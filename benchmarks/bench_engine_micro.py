@@ -1,0 +1,121 @@
+"""Micro-benchmarks of the framework's hot paths (pytest-benchmark).
+
+These track the wall-clock cost of the substrate itself — CSR
+construction, dispatch planning, the racy store, and one engine
+iteration per algorithm — so substrate regressions are visible
+independently of the virtual-time experiment numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, SSSP, WeaklyConnectedComponents
+from repro.engine import DispatchPolicy, EngineConfig, make_plan, run
+from repro.graph import DiGraph, generators
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return generators.rmat(10, 8.0, seed=3)
+
+
+def test_csr_construction(benchmark):
+    rng = np.random.default_rng(0)
+    n, m = 4096, 40_000
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    g = benchmark(lambda: DiGraph(n, src, dst))
+    assert g.num_edges == m
+
+
+def test_rmat_generation(benchmark):
+    g = benchmark(lambda: generators.rmat(10, 8.0, seed=1))
+    assert g.num_vertices == 1024
+
+
+def test_dispatch_block(benchmark):
+    active = np.arange(10_000)
+    plan = benchmark(lambda: make_plan(active, 16))
+    assert len(plan.slots) == 10_000
+
+
+def test_dispatch_round_robin_with_jitter(benchmark):
+    active = np.arange(10_000)
+
+    def build():
+        rng = np.random.default_rng(0)
+        return make_plan(active, 16, policy=DispatchPolicy.ROUND_ROBIN,
+                         jitter=0.5, rng=rng)
+
+    plan = benchmark(build)
+    assert len(plan.slots) == 10_000
+
+
+@pytest.mark.parametrize(
+    "factory,label",
+    [
+        (WeaklyConnectedComponents, "wcc"),
+        (lambda: PageRank(epsilon=1e-2), "pagerank"),
+        (lambda: SSSP(source=0), "sssp"),
+    ],
+    ids=["wcc", "pagerank", "sssp"],
+)
+def test_nondet_engine_full_run(benchmark, medium_graph, factory, label):
+    def go():
+        return run(factory(), medium_graph, mode="nondeterministic",
+                   config=EngineConfig(threads=8, seed=0))
+
+    result = benchmark.pedantic(go, rounds=1, iterations=1)
+    assert result.converged
+
+
+def test_deterministic_engine_full_run(benchmark, medium_graph):
+    def go():
+        return run(WeaklyConnectedComponents(), medium_graph, mode="deterministic")
+
+    result = benchmark.pedantic(go, rounds=1, iterations=1)
+    assert result.converged
+
+
+def test_sync_engine_full_run(benchmark, medium_graph):
+    def go():
+        return run(WeaklyConnectedComponents(), medium_graph, mode="sync",
+                   config=EngineConfig(threads=8))
+
+    result = benchmark.pedantic(go, rounds=1, iterations=1)
+    assert result.converged
+
+
+def test_union_find_reference(benchmark, medium_graph):
+    from repro.graph import weakly_connected_components
+
+    labels = benchmark(lambda: weakly_connected_components(medium_graph))
+    assert labels.shape == (medium_graph.num_vertices,)
+
+
+def test_vectorized_substrate_speedup(benchmark, medium_graph):
+    """E7-ish: the NumPy fast path vs the object BSP engine (bit-exact)."""
+    import numpy as np
+
+    from repro.algorithms import VWCC
+    from repro.engine import run_vectorized
+
+    result = benchmark(lambda: run_vectorized(VWCC(), medium_graph))
+    obj = run(WeaklyConnectedComponents(), medium_graph, mode="sync",
+              config=EngineConfig(threads=8))
+    assert np.array_equal(result.result(), obj.result())
+
+
+def test_vectorized_pagerank_scale12(benchmark):
+    """Large-scale baseline the object engines cannot reach comfortably."""
+    from repro.algorithms import VPageRank
+    from repro.engine import run_vectorized
+    from repro.graph import generators
+
+    big = generators.rmat(12, 8.0, seed=5)
+
+    def go():
+        return run_vectorized(VPageRank(epsilon=1e-3), big)
+
+    result = benchmark.pedantic(go, rounds=1, iterations=1)
+    assert result.converged

@@ -1,0 +1,35 @@
+"""Benchmark T1 — regenerate Table I (graphs used in the experiments).
+
+Times the dataset construction and emits the reproduced Table I next to
+the paper's original numbers, asserting the |E|/|V| fidelity of each
+stand-in.
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.graph.datasets import PAPER_DATASETS
+
+
+SCALE = 10
+
+
+def test_table1_rows(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale=SCALE), rounds=1, iterations=1
+    )
+    record_table("table1", result.render())
+    assert len(result.rows) == 4
+    # |E|/|V| of each stand-in within 2.5x of the paper's ratio — the
+    # structural knob the substitution promises to preserve.
+    for row in result.rows:
+        ratio = row["E/V"]
+        paper = row["paper E/V"]
+        assert paper / 2.5 <= ratio <= paper * 2.5, row
+
+
+@pytest.mark.parametrize("name", list(PAPER_DATASETS))
+def test_dataset_build_time(benchmark, name):
+    spec = PAPER_DATASETS[name]
+    graph = benchmark(lambda: spec.build(scale=SCALE, seed=7))
+    assert graph.num_vertices == 1 << SCALE

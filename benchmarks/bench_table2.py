@@ -1,0 +1,47 @@
+"""Benchmark T2 — regenerate Table II (difference degrees, same config).
+
+Five PageRank runs per configuration (DE with float-precision noise;
+NE at 4/8/16 virtual threads) on the web-Google stand-in, for
+ε ∈ {0.1, 0.01, 0.001}, averaged over the C(5,2) pairs.
+
+Shape claims asserted (§V-C):
+* nondeterministic variation reaches more significant pages than the
+  deterministic float-precision noise (NE degrees < DE degrees);
+* tightening ε moves NE variation toward less significant pages
+  (NE self-degrees grow as ε shrinks);
+* more cores push variation toward more significant pages (16NE degree
+  below 4NE degree, per ε, with slack for small-sample noise).
+"""
+
+import numpy as np
+
+from repro.experiments import PAPER_EPSILONS, run_table2
+
+SCALE = 9
+RUNS = 5
+
+
+def test_table2(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: run_table2(scale=SCALE, runs=RUNS, epsilons=PAPER_EPSILONS),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table2", result.render())
+    table = result.table()
+
+    ne_labels = ["4NE vs. 4NE", "8NE vs. 8NE", "16NE vs. 16NE"]
+    for eps in PAPER_EPSILONS:
+        de = table[eps]["DE vs. DE"]
+        for label in ne_labels:
+            assert table[eps][label] < de, (eps, label)
+
+    # smaller epsilon => larger NE self-degree (variation less significant)
+    for label in ne_labels:
+        degrees = [table[eps][label] for eps in sorted(PAPER_EPSILONS, reverse=True)]
+        assert degrees[-1] > degrees[0], (label, degrees)
+
+    # more cores => variation at more significant pages, averaged over eps
+    mean_4 = np.mean([table[eps]["4NE vs. 4NE"] for eps in PAPER_EPSILONS])
+    mean_16 = np.mean([table[eps]["16NE vs. 16NE"] for eps in PAPER_EPSILONS])
+    assert mean_16 <= mean_4 * 1.25  # slack: 5-run averages are noisy

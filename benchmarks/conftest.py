@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Every experiment benchmark renders its paper-shaped table to stdout
+(visible with ``pytest benchmarks/ -s``) and persists it under
+``benchmarks/results/`` so the artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Callable: persist and echo a rendered experiment table."""
+
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record

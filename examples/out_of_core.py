@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""GraphChi's storage story: shards, sliding windows, and out-of-core runs.
+
+The paper's experiments run on GraphChi — "large-scale graph computation
+on just a PC" — whose defining mechanism is the Parallel Sliding Windows
+disk layout.  This example:
+
+1. builds a stand-in graph and preprocesses it into PSW shards on disk;
+2. reloads the shards and verifies the layout invariants;
+3. executes WCC out-of-core, interval by interval, showing the I/O
+   accounting and that results are bit-identical to the in-memory
+   deterministic engine (the paper excludes I/O time from its Fig. 3
+   for exactly this separation of concerns);
+4. shows the window-size / shard-count trade-off.
+
+Run:  python examples/out_of_core.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import run
+from repro.algorithms import BFS, WeaklyConnectedComponents
+from repro.graph import load_dataset
+from repro.storage import OutOfCoreRunner, ShardedGraph
+
+
+def main() -> None:
+    graph = load_dataset("soc-livejournal1-mini", scale=10, seed=7)
+    print(f"graph: {graph}\n")
+
+    print("--- preprocessing into PSW shards ---")
+    sharded = ShardedGraph(graph, num_shards=4)
+    sharded.validate()
+    for shard in sharded.shards:
+        lo, hi = shard.interval
+        print(f"shard {shard.index}: dst interval [{lo:4d}, {hi:4d}), "
+              f"{shard.num_edges:6d} edges (sorted by src)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sharded.save(tmp)
+        reloaded = ShardedGraph.load(tmp)
+        reloaded.validate()
+        print(f"\nround-trip through {tmp}: graph equal = {reloaded.graph == graph}")
+
+    print("\n--- out-of-core execution (deterministic semantics) ---")
+    in_memory = run(WeaklyConnectedComponents(), graph, mode="deterministic")
+    ooc = OutOfCoreRunner(sharded)
+    result = ooc.run(WeaklyConnectedComponents())
+    identical = np.array_equal(result.result(), in_memory.result())
+    print(f"converged={result.converged} in {result.num_iterations} iterations; "
+          f"bit-identical to in-memory Gauss-Seidel: {identical}")
+    io = result.extra["io"]
+    print(f"I/O: {io['interval_loads']} interval loads, "
+          f"{io['bytes_read']/1024:.1f} KiB read, "
+          f"{io['bytes_written']/1024:.1f} KiB written")
+
+    print("\n--- shard count vs resident window ---")
+    for k in (1, 2, 4, 8, 16):
+        runner = OutOfCoreRunner(ShardedGraph(graph, k))
+        runner.run(BFS(source=0))
+        per_load = runner.io.bytes_read / max(1, runner.io.interval_loads)
+        print(f"{k:3d} shards: {runner.io.interval_loads:4d} loads, "
+              f"{per_load/1024:8.1f} KiB resident per load")
+
+
+if __name__ == "__main__":
+    main()

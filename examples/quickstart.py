@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: is your graph algorithm eligible for nondeterministic execution?
+
+Walks the paper's whole pipeline on a generated web-like graph:
+
+1. ask the eligibility checker (Theorems 1 and 2) about two algorithms;
+2. run each deterministically (GraphChi's external deterministic
+   scheduler) and nondeterministically (racy, 8 virtual threads);
+3. compare results, conflicts, iteration counts, and virtual time.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    EngineConfig,
+    PageRank,
+    WeaklyConnectedComponents,
+    check_program,
+    estimate_time,
+    run,
+)
+from repro.graph import generators
+
+
+def main() -> None:
+    graph = generators.rmat(10, 8.0, seed=42)
+    print(f"graph: {graph}\n")
+
+    for program_factory in (WeaklyConnectedComponents, lambda: PageRank(epsilon=1e-3)):
+        program = program_factory()
+        report = check_program(program)
+        print(report.render())
+        print()
+
+        de = run(program_factory(), graph, mode="deterministic")
+        ne = run(
+            program_factory(),
+            graph,
+            mode="nondeterministic",
+            config=EngineConfig(threads=8, seed=7),
+        )
+
+        name = program.traits.name
+        print(f"{name}: deterministic   {de.num_iterations:3d} iterations, "
+              f"{de.total_updates:6d} updates, virtual {estimate_time(de)*1e3:7.3f} ms")
+        print(f"{name}: nondeterministic {ne.num_iterations:3d} iterations, "
+              f"{ne.total_updates:6d} updates, virtual {estimate_time(ne)*1e3:7.3f} ms "
+              f"({ne.conflicts.read_write} RW / {ne.conflicts.write_write} WW conflicts)")
+
+        de_res, ne_res = de.result(), ne.result()
+        if report.results_deterministic:
+            same = np.array_equal(de_res, ne_res)
+            print(f"{name}: results identical across schedules: {same} "
+                  "(absolute convergence, as Theorem 2 predicts)")
+        else:
+            diff = float(np.max(np.abs(de_res.astype(np.float64) - ne_res.astype(np.float64))))
+            print(f"{name}: results differ by at most {diff:.2e} "
+                  "(approximate convergence: run-to-run variation expected)")
+        print("-" * 72)
+
+
+if __name__ == "__main__":
+    main()

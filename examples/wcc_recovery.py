@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's Fig. 2 walkthrough: write–write corruption and recovery.
+
+Two vertices v=0 (label 0... the paper uses 1) and u=1 (label 2 in the
+paper's numbering) share one edge whose label starts at infinity.  Run
+WCC nondeterministically with both updates deliberately concurrent
+(``f(v) ∥ f(u)``): in the first iteration u's larger label can overwrite
+(corrupt) v's smaller one on the shared edge; in later iterations v
+re-writes the correct minimum and u truly converges — Theorem 2's
+recovery in action.
+
+We replay the exact scenario with the simulated engine, printing the
+edge and vertex labels after every iteration, then scale the same
+experiment to a random graph to show recovery always completes.
+
+Run:  python examples/wcc_recovery.py
+"""
+
+import numpy as np
+
+from repro import EngineConfig, WeaklyConnectedComponents, run
+from repro.algorithms import reference
+from repro.graph import generators
+
+
+def two_vertex_walkthrough() -> None:
+    print("=== Fig. 2 scenario: one edge, two racing updates ===")
+    graph = generators.two_vertex_conflict_graph()  # 0 -> 1
+
+    trace: list[tuple[int, float, float, float]] = []
+
+    def observer(iteration, state, next_schedule):
+        labels = state.vertex("label")
+        edge = state.edge("label")
+        trace.append((iteration, float(labels[0]), float(labels[1]), float(edge[0])))
+
+    # Two threads, one update each: π(v) = π(u) = 0, so with d >= 1 the
+    # two updates are concurrent (∥) and their writes conflict.
+    result = run(
+        WeaklyConnectedComponents(),
+        graph,
+        mode="nondeterministic",
+        config=EngineConfig(threads=2, delay=2.0, jitter=0.5, seed=3),
+        observer=observer,
+    )
+
+    print(f"{'iter':>4} {'L_v':>6} {'L_u':>6} {'L_(v->u)':>9}")
+    print(f"{'init':>4} {0.0:>6} {1.0:>6} {'inf':>9}")
+    for it, lv, lu, le in trace:
+        print(f"{it:>4} {lv:>6} {lu:>6} {le:>9}")
+    print(f"converged: {result.converged} after {result.num_iterations} iterations")
+    print(f"write-write conflicts observed: {result.conflicts.write_write}")
+    print(f"lost (overwritten) writes:      {result.conflicts.lost_writes}")
+    assert np.array_equal(result.result(), [0.0, 0.0]), "both labels must reach the minimum"
+    print("final labels are the component minimum — corruption was recovered\n")
+
+
+def scaled_recovery() -> None:
+    print("=== Same story at scale: WCC on a 1024-vertex R-MAT graph ===")
+    graph = generators.rmat(10, 9.0, seed=11)
+    truth = reference.wcc_reference(graph)
+    for seed in range(5):
+        result = run(
+            WeaklyConnectedComponents(),
+            graph,
+            mode="nondeterministic",
+            config=EngineConfig(threads=16, seed=seed),
+        )
+        ok = np.array_equal(result.result(), truth)
+        print(
+            f"seed {seed}: {result.num_iterations} iterations, "
+            f"{result.conflicts.write_write:5d} WW conflicts, "
+            f"{result.conflicts.lost_writes:5d} lost writes, exact result: {ok}"
+        )
+        assert ok
+
+
+def main() -> None:
+    two_vertex_walkthrough()
+    scaled_recovery()
+
+
+if __name__ == "__main__":
+    main()

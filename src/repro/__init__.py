@@ -1,0 +1,105 @@
+"""repro — a reproduction of *"Is Your Graph Algorithm Eligible for
+Nondeterministic Execution?"* (Shao, Hou, Ai, Zhang, Jin — ICPP 2015).
+
+The package provides a from-scratch vertex-centric graph processing
+framework (GraphChi-style, coordinated scheduling, synchronous
+implementation of the asynchronous model) with four interchangeable
+executors — synchronous (BSP), deterministic asynchronous
+(Gauss–Seidel), simulated-nondeterministic (the paper's subject), and a
+real-thread demo backend — plus the paper's algorithms, its eligibility
+theory (Theorems 1 and 2) in executable form, the difference-degree
+result-variation analysis, a virtual-time cost model, and drivers that
+regenerate every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import run, WeaklyConnectedComponents, check_program
+    from repro.graph import generators
+
+    graph = generators.rmat(10, 8.0, seed=1)
+    print(check_program(WeaklyConnectedComponents()).render())
+    result = run(WeaklyConnectedComponents(), graph,
+                 mode="nondeterministic", threads=8, seed=0)
+    print(result.summary())
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from .engine import (
+    AlgorithmTraits,
+    AtomicityPolicy,
+    ConflictLog,
+    ConflictProfile,
+    ConvergenceKind,
+    DispatchPolicy,
+    EngineConfig,
+    FieldSpec,
+    Monotonicity,
+    RunResult,
+    State,
+    UpdateContext,
+    VertexProgram,
+    run,
+)
+from .algorithms import (
+    BFS,
+    SSSP,
+    AntiParity,
+    EdgeIncrementCounter,
+    MaxLabelPropagation,
+    PageRank,
+    SpMV,
+    WeaklyConnectedComponents,
+)
+from .analysis import difference_degree, ranking
+from .graph import DiGraph, GraphBuilder, load_dataset
+from .perf import CostModel, CostParams, estimate_time
+from .theory import Verdict, check_program, check_traits, probe_monotonicity, trace_chain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # engine
+    "run",
+    "EngineConfig",
+    "AtomicityPolicy",
+    "DispatchPolicy",
+    "VertexProgram",
+    "UpdateContext",
+    "FieldSpec",
+    "State",
+    "RunResult",
+    "ConflictLog",
+    "AlgorithmTraits",
+    "ConflictProfile",
+    "ConvergenceKind",
+    "Monotonicity",
+    # graph
+    "DiGraph",
+    "GraphBuilder",
+    "load_dataset",
+    # algorithms
+    "PageRank",
+    "WeaklyConnectedComponents",
+    "SSSP",
+    "BFS",
+    "SpMV",
+    "MaxLabelPropagation",
+    "EdgeIncrementCounter",
+    "AntiParity",
+    # theory
+    "check_program",
+    "check_traits",
+    "Verdict",
+    "probe_monotonicity",
+    "trace_chain",
+    # analysis
+    "ranking",
+    "difference_degree",
+    # perf
+    "CostModel",
+    "CostParams",
+    "estimate_time",
+]

@@ -1,0 +1,42 @@
+"""Breadth-First Search (§V-A).
+
+The paper treats BFS as "a special case of SSSP, where the weight values
+of the edges are all ones", and so do we: the program reuses the SSSP
+relaxation with a constant unit weight field, converging to hop counts.
+Like SSSP it produces only read–write conflicts, is monotone, and has an
+absolute convergence condition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+from .sssp import SSSP
+
+__all__ = ["BFS"]
+
+
+class BFS(SSSP):
+    """BFS levels as unit-weight SSSP."""
+
+    def __init__(self, source: int = 0):
+        super().__init__(source=source, name="BFS")
+        self.traits = AlgorithmTraits(
+            name="BFS",
+            conflict_profile=ConflictProfile.READ_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.DECREASING,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="graph traversal",
+        )
+
+    def make_weights(self, graph: DiGraph) -> np.ndarray:
+        return np.ones(graph.num_edges, dtype=np.float64)

@@ -1,0 +1,134 @@
+"""Algorithms that are *not* covered by the paper's sufficient conditions.
+
+The paper's title question — "is your graph algorithm eligible for
+nondeterministic execution?" — needs negatives as well as positives.
+These programs each violate one hypothesis of Theorems 1/2, and the test
+suite demonstrates the corresponding failure empirically:
+
+* :class:`EdgeIncrementCounter` — monotone and terminating, but its
+  update is a non-idempotent read–modify–write: under write–write
+  conflicts a losing increment is silently *lost* and, unlike WCC's
+  recomputable minimum, can never be recovered from the survivor's
+  value.  The run still converges (edge counts reach the target), but
+  the algorithm's semantic output — how many increments were performed —
+  is wrong: strictly more increments execute than the target.  Eligible
+  for convergence, not for result fidelity.
+
+* :class:`AntiParity` — each vertex insists on holding the complement of
+  its edges' bit, so any edge with two live endpoints flips forever.  It
+  converges under neither the synchronous nor the deterministic
+  asynchronous model; both theorems' hypotheses fail, the eligibility
+  verdict is NOT ESTABLISHED, and every engine runs it into its
+  ``max_iterations`` bound.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..engine.program import UpdateContext, VertexProgram
+from ..engine.state import FieldSpec
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+
+__all__ = ["EdgeIncrementCounter", "AntiParity"]
+
+
+class EdgeIncrementCounter(VertexProgram):
+    """Drive every incident edge counter up to ``target``, one step per visit.
+
+    Deterministically, exactly ``target`` increments are performed per
+    edge, so ``Σ_v performed_v == target · |E|``.  Nondeterministically,
+    two endpoints may read the same counter value and both write
+    ``value + 1``: one write is lost (Lemma 2) while both tasks tally an
+    increment — the total tally overshoots.  The declared monotonicity is
+    honest (counts only grow) but the update is not a recomputable
+    fixed-point step, which is exactly why Theorem 2's *recovery*
+    argument does not extend to result correctness here.
+    """
+
+    def __init__(self, target: int = 5):
+        if target < 1:
+            raise ValueError("target must be >= 1")
+        self.target = int(target)
+        self.traits = AlgorithmTraits(
+            name="EdgeIncrementCounter",
+            conflict_profile=ConflictProfile.WRITE_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            # Counter values rise monotonically, so Theorem 2 does promise
+            # convergence — and indeed every run terminates.  What it does
+            # NOT promise is that the performed-increment tallies match.
+            monotonicity=Monotonicity.INCREASING,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="non-idempotent accumulation",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        return {"performed": FieldSpec(np.int64, 0)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        return {"count": FieldSpec(np.int64, 0)}
+
+    def update(self, ctx: UpdateContext) -> None:
+        performed = int(ctx.get("performed"))
+        for eid in ctx.incident_eids().tolist():
+            count = int(ctx.read_edge(eid, "count"))
+            if count < self.target:
+                ctx.write_edge(eid, "count", count + 1)  # read–modify–write
+                performed += 1
+        ctx.set("performed", performed)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("performed")
+
+
+class AntiParity(VertexProgram):
+    """Every vertex wants its incident edges to carry the complement of
+    the bit it read from them.
+
+    Two adjacent vertices perpetually overwrite their shared edge with
+    opposite bits, so the algorithm is not monotone and converges under
+    no execution model; both theorems' hypotheses fail, the eligibility
+    verdict is NOT ESTABLISHED, and runs oscillate until
+    ``max_iterations``.
+    """
+
+    def __init__(self):
+        self.traits = AlgorithmTraits(
+            name="AntiParity",
+            conflict_profile=ConflictProfile.WRITE_WRITE,
+            converges_synchronously=False,
+            converges_async_deterministic=False,
+            monotonicity=Monotonicity.NONE,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="oscillating toy",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        return {"bit": FieldSpec(np.float64, 0.0)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        return {"bit": FieldSpec(np.float64, 0.0)}
+
+    def update(self, ctx: UpdateContext) -> None:
+        eids = ctx.incident_eids()
+        if eids.size == 0:
+            return
+        # Read the first incident edge, adopt its complement, then force
+        # every incident edge to the complement as well.
+        seen = ctx.read_edge(int(eids[0]), "bit")
+        want = 1.0 - float(seen)
+        ctx.set("bit", want)
+        for eid in eids.tolist():
+            if ctx.read_edge(eid, "bit") != want:
+                ctx.write_edge(eid, "bit", want)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("bit")

@@ -1,0 +1,168 @@
+"""K-core decomposition by h-index iteration — an extra Theorem 1 algorithm.
+
+Coreness can be computed as the fixed point of repeated *h-index*
+updates (Lü et al., Nature Comm. 2016): start every vertex at its
+degree; repeatedly set each vertex's value to the h-index of its
+neighbours' values (the largest ``h`` such that at least ``h``
+neighbours have value ≥ ``h``).  Values are monotonically
+non-increasing and converge to the core numbers.
+
+In our edge-dependence model each vertex publishes its current value on
+its out-edges (single writer per edge → read–write conflicts only) and
+gathers neighbour values from its in-edges.  The graph must be
+symmetric (undirected encoded as edge pairs) for coreness to be
+well-defined; :func:`kcore_reference` provides the classic peeling
+oracle.
+
+Traits: read–write only + synchronous convergence ⇒ eligible under
+Theorem 1; monotone decreasing and absolute convergence ⇒ identical
+results under every schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.program import UpdateContext, VertexProgram
+from ..engine.state import FieldSpec
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+
+__all__ = ["KCoreDecomposition", "kcore_reference", "h_index"]
+
+
+def h_index(values: list[float]) -> int:
+    """Largest ``h`` with at least ``h`` entries ≥ ``h``."""
+    values = sorted(values, reverse=True)
+    h = 0
+    for i, v in enumerate(values, start=1):
+        if v >= i:
+            h = i
+        else:
+            break
+    return h
+
+
+def kcore_reference(graph: DiGraph) -> np.ndarray:
+    """Core numbers by the classic peeling algorithm (undirected view).
+
+    Treats each distinct unordered adjacency as one undirected edge;
+    self-loops are ignored.
+    """
+    n = graph.num_vertices
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for e in range(graph.num_edges):
+        u, v = graph.edge_endpoints(e)
+        if u != v:
+            adj[u].add(v)
+            adj[v].add(u)
+    degree = np.array([len(a) for a in adj], dtype=np.int64)
+    core = degree.copy()
+    remaining = set(range(n))
+    # peel in nondecreasing degree order
+    import heapq
+
+    heap = [(int(degree[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    current = 0
+    deg = degree.copy()
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v not in remaining or d > deg[v]:
+            continue
+        current = max(current, d)
+        core[v] = current
+        remaining.discard(v)
+        for u in adj[v]:
+            if u in remaining:
+                deg[u] -= 1
+                heapq.heappush(heap, (int(deg[u]), u))
+    return core.astype(np.float64)
+
+
+class KCoreDecomposition(VertexProgram):
+    """Coreness via repeated h-index updates (pull mode, RW-only).
+
+    Requires a *symmetric* graph (every undirected edge stored as two
+    directed edges, the paper's §II convention): a vertex learns its
+    neighbours' values from its in-edges, so an out-only neighbour would
+    be invisible.  :meth:`make_state` enforces this.
+    """
+
+    def __init__(self):
+        self.traits = AlgorithmTraits(
+            name="KCore",
+            conflict_profile=ConflictProfile.READ_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.DECREASING,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="graph decomposition",
+        )
+
+    def make_state(self, graph: DiGraph):
+        for e in range(graph.num_edges):
+            u, v = graph.edge_endpoints(e)
+            if u != v and not graph.has_edge(v, u):
+                raise ValueError(
+                    "KCoreDecomposition requires a symmetric graph "
+                    f"(edge {u}->{v} has no reverse); encode undirected "
+                    "edges as two directed edges"
+                )
+        return super().make_state(graph)
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        def init_value(graph: DiGraph) -> np.ndarray:
+            # undirected degree ignoring self-loops and parallel edges
+            n = graph.num_vertices
+            vals = np.zeros(n)
+            for v in range(n):
+                nbrs = set(graph.neighbors(v).tolist())
+                nbrs.discard(v)
+                vals[v] = len(nbrs)
+            return vals
+
+        return {"core": FieldSpec(np.float64, init_value)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        def init_published(graph: DiGraph) -> np.ndarray:
+            # edge (u -> v) carries u's current value
+            deg = np.zeros(graph.num_vertices)
+            for v in range(graph.num_vertices):
+                nbrs = set(graph.neighbors(v).tolist())
+                nbrs.discard(v)
+                deg[v] = len(nbrs)
+            return deg[graph.edge_src].astype(np.float64)
+
+        return {"value": FieldSpec(np.float64, init_published)}
+
+    def update(self, ctx: UpdateContext) -> None:
+        srcs, in_eids = ctx.in_edges()
+        # one value per distinct neighbour (dedup parallel edges)
+        best: dict[int, float] = {}
+        for u, eid in zip(srcs.tolist(), in_eids.tolist()):
+            if u == ctx.vid:
+                continue
+            val = ctx.read_edge(eid, "value")
+            if u not in best or val < best[u]:
+                best[u] = val
+        new_core = float(h_index(list(best.values())))
+        old_core = float(ctx.get("core"))
+        if new_core > old_core:
+            new_core = old_core  # h-index iteration never increases
+        ctx.set("core", new_core)
+        # publish on out-edges whose stored value is stale
+        _, out_eids = ctx.out_edges()
+        for eid in out_eids.tolist():
+            if ctx.read_edge(eid, "value") != new_core:
+                ctx.write_edge(eid, "value", new_core)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("core")

@@ -1,0 +1,68 @@
+"""Maximum-label propagation — a second Theorem 2 exercise.
+
+The mirror image of WCC: vertices and edges adopt the *maximum* label of
+their component.  Monotone **increasing** (Theorem 2 covers both
+directions: "the computing results monotonically increase or decrease,
+but not both"), write–write conflicts, absolute convergence.  Exists so
+the test suite and the eligibility checker exercise the increasing
+branch of the monotonicity property, not just WCC's decreasing one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.program import UpdateContext, VertexProgram
+from ..engine.state import FieldSpec
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+
+__all__ = ["MaxLabelPropagation"]
+
+
+class MaxLabelPropagation(VertexProgram):
+    """Max-label flood fill over vertices and incident edges."""
+
+    def __init__(self):
+        self.traits = AlgorithmTraits(
+            name="MaxLabel",
+            conflict_profile=ConflictProfile.WRITE_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.INCREASING,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="graph traversal",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        def init_label(graph: DiGraph) -> np.ndarray:
+            return np.arange(graph.num_vertices, dtype=np.float64)
+
+        return {"label": FieldSpec(np.float64, init_label)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        # -inf mirrors WCC's +inf initial edge label.
+        return {"label": FieldSpec(np.float64, -np.inf)}
+
+    def update(self, ctx: UpdateContext) -> None:
+        observed: dict[int, float] = {}
+        maximum = float(ctx.get("label"))
+        for eid in ctx.gather_order(ctx.incident_eids()).tolist():
+            val = ctx.read_edge(eid, "label")
+            observed[eid] = val
+            if val > maximum:
+                maximum = val
+        ctx.set("label", maximum)
+        for eid, val in observed.items():
+            if val < maximum:
+                ctx.write_edge(eid, "label", maximum)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("label")

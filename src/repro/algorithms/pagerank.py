@@ -1,0 +1,105 @@
+"""PageRank with local convergence (the paper's fixed-point exemplar, §V-A).
+
+Follows the paper's description of its GraphChi implementation: every
+vertex stores a ``float`` (32-bit) weight initialized to 1; every edge
+stores a ``float`` weight initialized to ``1 / out_degree(src)``.  The
+update function reads all incoming edge weights, combines them into a
+new vertex weight, divides by the out-degree, and writes the quotient to
+the outgoing edges.  Convergence is *local* (approximate): when
+``|f(D_v) − D_v| < ε`` the vertex stops propagating.
+
+In pull mode an edge ``(u, v)`` is read by ``f(v)`` and written only by
+``f(u)``, so nondeterministic execution produces **read–write conflicts
+only** — the Theorem 1 case.  Because the convergence condition is
+relative, the paper predicts (and §V-C measures) run-to-run variation in
+the converged ranking; the 32-bit arithmetic here preserves the
+float-precision sensitivity those measurements rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.program import UpdateContext, VertexProgram
+from ..engine.state import FieldSpec
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+
+__all__ = ["PageRank"]
+
+
+class PageRank(VertexProgram):
+    """GraphChi-style PageRank with per-vertex (local) convergence.
+
+    Parameters
+    ----------
+    epsilon:
+        The local convergence threshold ``ε`` (§V-A / Tables II–III use
+        0.1, 0.01 and 0.001).
+    damping:
+        Random-surfer damping factor; the new rank is
+        ``(1 - damping) + damping * Σ in-edge values``.
+    """
+
+    def __init__(self, epsilon: float = 1e-3, damping: float = 0.85):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.epsilon = np.float32(epsilon)
+        self.damping = np.float32(damping)
+        self.base = np.float32(1.0 - damping)
+        self.traits = AlgorithmTraits(
+            name="PageRank",
+            conflict_profile=ConflictProfile.READ_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.NONE,
+            convergence_kind=ConvergenceKind.APPROXIMATE,
+            family="fixed-point iteration",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        return {"rank": FieldSpec(np.float32, 1.0)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        def init_edge(graph: DiGraph) -> np.ndarray:
+            out_deg = graph.out_degrees().astype(np.float32)
+            # Every edge has a source with out-degree >= 1 by definition.
+            return (1.0 / out_deg[graph.edge_src]).astype(np.float32)
+
+        return {"value": FieldSpec(np.float32, init_edge)}
+
+    def update(self, ctx: UpdateContext) -> None:
+        _, in_eids = ctx.in_edges()
+        # 32-bit accumulation in gather order: this is where the paper's
+        # float-precision run-to-run differences (Table II, DE vs DE)
+        # physically come from.
+        total = np.float32(0.0)
+        for eid in ctx.gather_order(in_eids).tolist():
+            total = np.float32(total + np.float32(ctx.read_edge(eid, "value")))
+        # Under fp-noise emulation the gathered sum carries one ulp of
+        # reassociation uncertainty (see UpdateContext.fp_round).
+        total = np.float32(ctx.fp_round(float(total)))
+        new_rank = np.float32(self.base + self.damping * total)
+        old_rank = np.float32(ctx.get("rank"))
+        ctx.set("rank", new_rank)
+        if abs(np.float32(new_rank - old_rank)) < self.epsilon:
+            return  # locally converged: no scatter, no new tasks
+        out_deg = ctx.out_degree
+        if out_deg == 0:
+            return
+        quotient = np.float32(new_rank / np.float32(out_deg))
+        _, out_eids = ctx.out_edges()
+        for eid in out_eids.tolist():
+            ctx.write_edge(eid, "value", float(quotient))
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("rank")

@@ -1,0 +1,36 @@
+"""Priority-annotated programs for autonomous scheduling (§I).
+
+The paper's §I distinguishes *autonomous* scheduling — "a graph
+algorithm is allowed to define the execution path of the updates so as
+to accelerate its convergence" — from the coordinated scheduling its
+study focuses on.  The pure-async engine honours a ``priority(vid,
+state)`` method on programs (lowest value runs first among ready
+tasks); these subclasses supply the classic priority functions:
+
+* :class:`PrioritizedSSSP` — order by tentative distance, approximating
+  Dijkstra's settled order and cutting wasted relaxations;
+* :class:`PrioritizedPageRank` — order by rank (a cheap stand-in for
+  residual magnitude), the delta-PageRank folklore heuristic.
+"""
+
+from __future__ import annotations
+
+from .pagerank import PageRank
+from .sssp import SSSP
+
+__all__ = ["PrioritizedSSSP", "PrioritizedPageRank"]
+
+
+class PrioritizedSSSP(SSSP):
+    """SSSP whose autonomous priority is the current tentative distance."""
+
+    def priority(self, vid: int, state) -> float:
+        return float(state.vertex("dist")[vid])
+
+
+class PrioritizedPageRank(PageRank):
+    """PageRank preferring high-rank (high-impact) vertices first."""
+
+    def priority(self, vid: int, state) -> float:
+        # heapq pops the smallest value: negate so big ranks run first.
+        return -float(state.vertex("rank")[vid])

@@ -1,0 +1,212 @@
+"""Push-mode algorithms (the future-work §II variant, exercised).
+
+Push-mode counterparts of the paper's algorithms, written against
+:class:`repro.engine.push.PushProgram`:
+
+* :class:`PushBFS` — frontier-push BFS with a MIN accumulator (the
+  idempotent case: duplicate or reordered delivery is harmless);
+* :class:`PushPageRankDelta` — residual-propagating PageRank with an
+  ADD accumulator (the non-idempotent case: correctness leans on the
+  atomic combine delivering every contribution exactly once);
+* :class:`PushMinReach` — minimum label over directed ancestors, the
+  push-mode analogue of label propagation.
+
+Each converges to the same fixed point as its pull-mode sibling (BFS
+levels, the PageRank equation, ancestor minima), which the tests check
+against independent references.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.push import AccumulatorSpec, CombineOp, PushContext, PushProgram
+from ..engine.state import INF, FieldSpec
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+
+__all__ = ["PushBFS", "PushPageRankDelta", "PushMinReach", "min_reach_reference"]
+
+
+class PushBFS(PushProgram):
+    """Breadth-first search by pushing candidate levels to out-neighbours."""
+
+    def __init__(self, source: int = 0):
+        if source < 0:
+            raise ValueError("source must be a valid vertex id")
+        self.source = int(source)
+        self.traits = AlgorithmTraits(
+            name="PushBFS",
+            conflict_profile=ConflictProfile.WRITE_WRITE,  # accumulator contention
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.DECREASING,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="graph traversal (push)",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        def init_dist(graph: DiGraph) -> np.ndarray:
+            dist = np.full(graph.num_vertices, INF)
+            if graph.num_vertices:
+                if self.source >= graph.num_vertices:
+                    raise ValueError(
+                        f"source {self.source} out of range [0, {graph.num_vertices})"
+                    )
+                dist[self.source] = 0.0
+            return dist
+
+        return {
+            "dist": FieldSpec(np.float64, init_dist),
+            "announced": FieldSpec(np.float64, 0.0),
+        }
+
+    def accumulators(self) -> Mapping[str, AccumulatorSpec]:
+        return {"cand": AccumulatorSpec(CombineOp.MIN)}
+
+    def initial_frontier(self, graph: DiGraph):
+        return [self.source] if graph.num_vertices else []
+
+    def update(self, ctx: PushContext) -> None:
+        cand = ctx.take("cand")
+        own = float(ctx.get("dist"))
+        improved = cand < own
+        if improved:
+            own = cand
+            ctx.set("dist", own)
+        if own == INF:
+            return
+        # Push when the level improved, or on the first announcement
+        # (the source's initial task).
+        if improved or not ctx.get("announced"):
+            ctx.set("announced", 1.0)
+            for u in ctx.out_neighbors().tolist():
+                ctx.push(u, "cand", own + 1.0)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("dist")
+
+
+class PushPageRankDelta(PushProgram):
+    """Residual (delta) PageRank: the ADD-combine fixed point.
+
+    Maintains ``rank_v = (1-damping) + damping * Σ_u rank_u / outdeg_u``
+    by propagating residuals: consuming a residual δ adds it to the rank
+    and forwards ``damping * δ / outdeg`` to each out-neighbour while
+    ``δ`` exceeds the tolerance.  The ADD combine is commutative and
+    associative but *not* idempotent: a lost or duplicated delivery
+    changes the fixed point, which is exactly why the push-mode
+    sufficient condition demands an atomic combine.
+    """
+
+    def __init__(self, epsilon: float = 1e-4, damping: float = 0.85):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.epsilon = float(epsilon)
+        self.damping = float(damping)
+        self.traits = AlgorithmTraits(
+            name="PushPageRankDelta",
+            conflict_profile=ConflictProfile.WRITE_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.INCREASING,  # ranks only accumulate
+            convergence_kind=ConvergenceKind.APPROXIMATE,
+            family="fixed-point iteration (push)",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        return {
+            "rank": FieldSpec(np.float64, 0.0),
+            "seeded": FieldSpec(np.float64, 0.0),
+        }
+
+    def accumulators(self) -> Mapping[str, AccumulatorSpec]:
+        return {"delta": AccumulatorSpec(CombineOp.ADD)}
+
+    def update(self, ctx: PushContext) -> None:
+        delta = ctx.take("delta")
+        if not ctx.get("seeded"):
+            ctx.set("seeded", 1.0)
+            delta += 1.0 - self.damping  # the teleport term, once
+        if delta == 0.0:
+            return
+        ctx.set("rank", float(ctx.get("rank")) + delta)
+        out_deg = ctx.out_degree
+        if delta > self.epsilon and out_deg > 0:
+            share = self.damping * delta / out_deg
+            for u in ctx.out_neighbors().tolist():
+                ctx.push(u, "delta", share)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("rank")
+
+
+class PushMinReach(PushProgram):
+    """Minimum label over the directed ancestor set (self included)."""
+
+    def __init__(self):
+        self.traits = AlgorithmTraits(
+            name="PushMinReach",
+            conflict_profile=ConflictProfile.WRITE_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.DECREASING,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="graph traversal (push)",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        def init_label(graph: DiGraph) -> np.ndarray:
+            return np.arange(graph.num_vertices, dtype=np.float64)
+
+        return {
+            "label": FieldSpec(np.float64, init_label),
+            "announced": FieldSpec(np.float64, 0.0),
+        }
+
+    def accumulators(self) -> Mapping[str, AccumulatorSpec]:
+        return {"cand": AccumulatorSpec(CombineOp.MIN)}
+
+    def update(self, ctx: PushContext) -> None:
+        cand = ctx.take("cand")
+        own = float(ctx.get("label"))
+        improved = cand < own
+        if improved:
+            own = cand
+            ctx.set("label", own)
+        if improved or not ctx.get("announced"):
+            ctx.set("announced", 1.0)
+            for u in ctx.out_neighbors().tolist():
+                ctx.push(u, "cand", own)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("label")
+
+
+def min_reach_reference(graph: DiGraph) -> np.ndarray:
+    """Fixed point of ``label_v = min(v, min over in-neighbours)``.
+
+    Bellman–Ford-style sweeps; the independent oracle for PushMinReach.
+    """
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=np.float64)
+    changed = True
+    while changed:
+        changed = False
+        for v in range(n):
+            nbrs = graph.in_neighbors(v)
+            if nbrs.size:
+                m = labels[nbrs].min()
+                if m < labels[v]:
+                    labels[v] = m
+                    changed = True
+    return labels

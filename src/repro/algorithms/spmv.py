@@ -1,0 +1,125 @@
+"""Iterative sparse matrix–vector fixed point (the paper's SpMV mention, §IV).
+
+Theorem 1 names Sparse Matrix–Vector Multiplication alongside PageRank
+as a fixed-point iteration algorithm eligible for nondeterministic
+execution under read–write conflicts.  We realize it as a Jacobi-style
+solver for ``x = A x + b`` on the graph's adjacency structure: each edge
+``(u, v)`` carries a fixed coefficient ``a_(u,v)`` and a mailbox holding
+the latest term ``a_(u,v) · x_u``; the update of ``v`` sums its in-edge
+mailboxes, adds ``b_v``, and scatters its own new products.
+
+The coefficients are scaled so each row sum is at most ``contraction``
+(< 1), making the iteration a contraction mapping — guaranteeing the
+synchronous convergence Theorem 1 requires.  Conflicts are read–write
+only (each edge has a single writer: its source).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.program import UpdateContext, VertexProgram
+from ..engine.state import FieldSpec
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+
+__all__ = ["SpMV"]
+
+
+class SpMV(VertexProgram):
+    """Jacobi iteration for ``x = A x + b`` with a contraction ``A``.
+
+    Parameters
+    ----------
+    epsilon:
+        Local convergence threshold on ``|Δx_v|``.
+    contraction:
+        Upper bound on every row sum of ``|A|``; must be < 1.
+    coeff_seed:
+        Seed for the random positive coefficients (part of the data).
+    b:
+        Constant term; scalar broadcast or per-vertex array.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1e-6,
+        *,
+        contraction: float = 0.8,
+        coeff_seed: int = 424242,
+        b: float = 1.0,
+    ):
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0.0 < contraction < 1.0:
+            raise ValueError("contraction must be in (0, 1)")
+        self.epsilon = float(epsilon)
+        self.contraction = float(contraction)
+        self.coeff_seed = int(coeff_seed)
+        self.b = float(b)
+        self.traits = AlgorithmTraits(
+            name="SpMV",
+            conflict_profile=ConflictProfile.READ_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.NONE,
+            convergence_kind=ConvergenceKind.APPROXIMATE,
+            family="fixed-point iteration",
+        )
+
+    def coefficients(self, graph: DiGraph) -> np.ndarray:
+        """The fixed matrix coefficients, one per edge (row = edge dst)."""
+        rng = np.random.default_rng(self.coeff_seed)
+        raw = rng.uniform(0.5, 1.0, size=graph.num_edges)
+        in_deg = graph.in_degrees().astype(np.float64)
+        # Normalize by the destination's in-degree so each row sum of |A|
+        # is below `contraction`.
+        return self.contraction * raw / np.maximum(in_deg[graph.edge_dst], 1.0)
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        return {"x": FieldSpec(np.float64, 0.0)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        def init_coeff(graph: DiGraph) -> np.ndarray:
+            return self.coefficients(graph)
+
+        return {
+            "a": FieldSpec(np.float64, init_coeff),
+            "term": FieldSpec(np.float64, 0.0),  # mailbox: a_(u,v) * x_u
+        }
+
+    def update(self, ctx: UpdateContext) -> None:
+        total = 0.0
+        _, in_eids = ctx.in_edges()
+        for eid in ctx.gather_order(in_eids).tolist():
+            total += ctx.read_edge(eid, "term")
+        new_x = self.b + total
+        old_x = float(ctx.get("x"))
+        ctx.set("x", new_x)
+        if abs(new_x - old_x) < self.epsilon:
+            return
+        _, out_eids = ctx.out_edges()
+        for eid in out_eids.tolist():
+            a = ctx.read_edge(eid, "a")
+            ctx.write_edge(eid, "term", a * new_x)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("x")
+
+    def reference_solution(self, graph: DiGraph) -> np.ndarray:
+        """Direct solve of ``(I − A) x = b`` for validation."""
+        n = graph.num_vertices
+        a = self.coefficients(graph)
+        mat = np.eye(n)
+        # x_v = b + Σ_{(u,v)} a_(u,v) x_u  =>  (I − A^T-layout) x = b.
+        for eid in range(graph.num_edges):
+            u, v = graph.edge_endpoints(eid)
+            mat[v, u] -= a[eid]
+        return np.linalg.solve(mat, np.full(n, self.b))

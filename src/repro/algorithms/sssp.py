@@ -1,0 +1,144 @@
+"""Single-Source Shortest Path (the paper's SSSP, §V-A).
+
+Per the paper: every vertex stores a distance (0 at the source, ∞
+elsewhere); every edge stores a *fixed* random weight drawn at
+initialization plus a distance value initialized to the distance of its
+source vertex.  The update function relaxes: it reads every in-edge's
+``(distance, weight)`` pair, takes the minimum sum as its own tentative
+distance, and scatters its distance to out-edges that carry a larger
+value (reading before writing — the optional scatter-phase read of
+Algorithm 1).
+
+Each directed edge is written only by its source endpoint, so
+nondeterministic execution yields **read–write conflicts only**; the
+algorithm is additionally monotone (distances only decrease) and its
+convergence is absolute, so nondeterministic runs reach exactly the
+deterministic distances.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.program import UpdateContext, VertexProgram
+from ..engine.state import INF, FieldSpec
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+
+__all__ = ["SSSP"]
+
+
+class SSSP(VertexProgram):
+    """Bellman–Ford-style relaxation from a single source.
+
+    Parameters
+    ----------
+    source:
+        The source vertex.
+    weight_low, weight_high:
+        Range of the fixed random edge weights generated at
+        initialization (the paper draws "a random value generated during
+        initialization"; we default to ``[1, 10)``).
+    weight_seed:
+        Seed of the weight draw — part of the *data*, deliberately
+        independent from the engine's execution seed.
+    weights:
+        Explicit per-edge weights overriding the random draw (used by BFS
+        and by tests that need hand-built instances).
+    """
+
+    def __init__(
+        self,
+        source: int = 0,
+        *,
+        weight_low: float = 1.0,
+        weight_high: float = 10.0,
+        weight_seed: int = 12345,
+        weights: np.ndarray | None = None,
+        name: str = "SSSP",
+    ):
+        if source < 0:
+            raise ValueError("source must be a valid vertex id")
+        if weights is None and not 0 < weight_low <= weight_high:
+            raise ValueError("require 0 < weight_low <= weight_high")
+        self.source = int(source)
+        self.weight_low = float(weight_low)
+        self.weight_high = float(weight_high)
+        self.weight_seed = int(weight_seed)
+        self.fixed_weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+        self.traits = AlgorithmTraits(
+            name=name,
+            conflict_profile=ConflictProfile.READ_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.DECREASING,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="graph traversal",
+        )
+
+    # -- state schema ----------------------------------------------------
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        def init_dist(graph: DiGraph) -> np.ndarray:
+            dist = np.full(graph.num_vertices, INF)
+            if graph.num_vertices:
+                if self.source >= graph.num_vertices:
+                    raise ValueError(
+                        f"source {self.source} out of range [0, {graph.num_vertices})"
+                    )
+                dist[self.source] = 0.0
+            return dist
+
+        return {"dist": FieldSpec(np.float64, init_dist)}
+
+    def make_weights(self, graph: DiGraph) -> np.ndarray:
+        """The fixed edge weights used for ``graph`` (for reference checks)."""
+        if self.fixed_weights is not None:
+            if self.fixed_weights.shape != (graph.num_edges,):
+                raise ValueError("explicit weights must have one entry per edge")
+            return self.fixed_weights
+        rng = np.random.default_rng(self.weight_seed)
+        return rng.uniform(self.weight_low, self.weight_high, size=graph.num_edges)
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        def init_weight(graph: DiGraph) -> np.ndarray:
+            return self.make_weights(graph)
+
+        def init_dist(graph: DiGraph) -> np.ndarray:
+            # "initially set to be the same as the distance value of its
+            # source vertex": 0 for the source's out-edges, ∞ elsewhere.
+            dist = np.full(graph.num_edges, INF)
+            dist[graph.edge_src == self.source] = 0.0
+            return dist
+
+        return {"weight": FieldSpec(np.float64, init_weight), "dist": FieldSpec(np.float64, init_dist)}
+
+    # -- update -----------------------------------------------------------
+    def update(self, ctx: UpdateContext) -> None:
+        best = float(ctx.get("dist"))
+        _, in_eids = ctx.in_edges()
+        for eid in ctx.gather_order(in_eids).tolist():
+            d = ctx.read_edge(eid, "dist")
+            if d == INF:
+                continue
+            w = ctx.read_edge(eid, "weight")
+            cand = d + w
+            if cand < best:
+                best = cand
+        ctx.set("dist", best)
+        if best == INF:
+            return  # still unreached: nothing to propagate
+        _, out_eids = ctx.out_edges()
+        for eid in out_eids.tolist():
+            # Optional read-before-write in the scatter phase.
+            if ctx.read_edge(eid, "dist") > best:
+                ctx.write_edge(eid, "dist", best)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("dist")

@@ -1,0 +1,84 @@
+"""Weakly Connected Components by minimum-label propagation (§IV, Fig. 2).
+
+This is the GraphChi example program the paper studies (and slightly
+modifies to run nondeterministically): the update function compares the
+label of its vertex with the labels of all incident edges, computes the
+minimum, adopts it, and writes it back to every incident edge carrying a
+larger label.  At convergence every vertex (and edge) holds the smallest
+vertex id of its weak component.
+
+Both endpoints of an edge write it, so nondeterministic execution
+produces **write–write conflicts** — the Theorem 2 case.  The algorithm
+is monotone (labels only decrease), converges under a deterministic
+asynchronous schedule, and its convergence condition is absolute; the
+paper therefore predicts both convergence *and* bit-identical final
+results under nondeterministic execution, corruption and recovery
+included (the Fig. 2 walkthrough, reproduced in
+``tests/test_fig2_scenario.py`` and ``examples/wcc_recovery.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.program import UpdateContext, VertexProgram
+from ..engine.state import INF, FieldSpec
+from ..engine.traits import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    Monotonicity,
+)
+
+__all__ = ["WeaklyConnectedComponents"]
+
+
+class WeaklyConnectedComponents(VertexProgram):
+    """Min-label propagation over vertices and incident edges."""
+
+    def __init__(self):
+        self.traits = AlgorithmTraits(
+            name="WCC",
+            conflict_profile=ConflictProfile.WRITE_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.DECREASING,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="graph traversal",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        def init_label(graph: DiGraph) -> np.ndarray:
+            return np.arange(graph.num_vertices, dtype=np.float64)
+
+        return {"label": FieldSpec(np.float64, init_label)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        # The paper's Fig. 2 initializes edge labels to infinity.
+        return {"label": FieldSpec(np.float64, INF)}
+
+    def update(self, ctx: UpdateContext) -> None:
+        # Gather: read every incident edge label once, remembering the
+        # observed values for the scatter criterion.
+        observed: dict[int, float] = {}
+        minimum = float(ctx.get("label"))
+        for eid in ctx.gather_order(ctx.incident_eids()).tolist():
+            val = ctx.read_edge(eid, "label")
+            observed[eid] = val
+            if val < minimum:
+                minimum = val
+        # Compute + apply to own vertex (private, immediate).
+        ctx.set("label", minimum)
+        # Scatter, guarded by the criterion "edge carries a larger label".
+        # An update that observed only its own value everywhere performs
+        # no write and thus generates no new tasks ("falsely converges"
+        # in the Fig. 2 walkthrough — until a neighbour corrects it).
+        for eid, val in observed.items():
+            if val > minimum:
+                ctx.write_edge(eid, "label", minimum)
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("label")

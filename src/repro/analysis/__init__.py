@@ -1,0 +1,28 @@
+"""Result analysis: difference degrees and run-to-run variation (§V-C)."""
+
+from .difference import (
+    average_difference_degree,
+    cross_difference_degree,
+    difference_degree,
+    identical_prefix_length,
+    ranking,
+)
+from .errors import ErrorReport, epsilon_error_study, error_report
+from .traces import ConvergenceTrace, trace_convergence
+from .variation import ConfigurationRuns, VariationStudy, collect_rankings
+
+__all__ = [
+    "average_difference_degree",
+    "cross_difference_degree",
+    "difference_degree",
+    "identical_prefix_length",
+    "ranking",
+    "ConfigurationRuns",
+    "VariationStudy",
+    "collect_rankings",
+    "ErrorReport",
+    "error_report",
+    "epsilon_error_study",
+    "ConvergenceTrace",
+    "trace_convergence",
+]

@@ -1,0 +1,163 @@
+"""Precision and range-of-errors analysis (the paper's future-work item #2).
+
+§V-C measures *where in the ranking* nondeterministic PageRank runs
+disagree, and defers "more discussions (e.g., precision and range of
+errors of the results)" to future work.  This module supplies them:
+
+* :func:`error_report` — numeric error statistics of one run against a
+  high-precision reference: absolute/relative magnitudes, quantiles,
+  and two rank-space measures (top-k set agreement and Spearman
+  footrule displacement) that connect numeric error back to the
+  paper's difference-degree view;
+* :func:`epsilon_error_study` — how the error envelope scales with the
+  local-convergence threshold ε, across schedules: the quantitative
+  underpinning of the paper's observation that tighter ε "filters the
+  noise".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.config import EngineConfig
+from ..engine.runner import run
+from .difference import ranking
+
+__all__ = ["ErrorReport", "error_report", "epsilon_error_study"]
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Numeric + rank-space error of one result vector vs a reference."""
+
+    max_abs: float
+    mean_abs: float
+    rms: float
+    q50: float  #: median absolute error
+    q90: float
+    q99: float
+    max_rel: float  #: max |err| / max(|ref|, floor)
+    top_k: int
+    top_k_agreement: float  #: |top-k(result) ∩ top-k(ref)| / k
+    footrule_top_k: float  #: mean |rank displacement| of the ref's top-k
+
+    def as_dict(self) -> dict:
+        return {
+            "max_abs": self.max_abs,
+            "mean_abs": self.mean_abs,
+            "rms": self.rms,
+            "q50": self.q50,
+            "q90": self.q90,
+            "q99": self.q99,
+            "max_rel": self.max_rel,
+            f"top{self.top_k}_agreement": self.top_k_agreement,
+            f"footrule_top{self.top_k}": self.footrule_top_k,
+        }
+
+
+def error_report(
+    values: np.ndarray,
+    reference: np.ndarray,
+    *,
+    top_k: int = 50,
+    rel_floor: float = 1e-12,
+) -> ErrorReport:
+    """Compare a result vector against a reference.
+
+    Non-finite entries must match between the two vectors (unreached =
+    unreached); they are excluded from the numeric statistics.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if values.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {values.shape} vs {reference.shape}")
+    finite_v = np.isfinite(values)
+    finite_r = np.isfinite(reference)
+    if not np.array_equal(finite_v, finite_r):
+        raise ValueError("finite/non-finite pattern differs from the reference")
+    v = values[finite_v]
+    r = reference[finite_r]
+    err = np.abs(v - r)
+    if err.size == 0:
+        zeros = 0.0
+        return ErrorReport(zeros, zeros, zeros, zeros, zeros, zeros, zeros,
+                           top_k, 1.0, 0.0)
+
+    k = min(top_k, values.size)
+    rank_v = ranking(np.where(np.isfinite(values), values, -np.inf))
+    rank_r = ranking(np.where(np.isfinite(reference), reference, -np.inf))
+    top_v = set(rank_v[:k].tolist())
+    top_r = set(rank_r[:k].tolist())
+    agreement = len(top_v & top_r) / k if k else 1.0
+    # Spearman footrule over the reference's top-k: how far did each of
+    # the truly-important vertices move in the measured ranking?
+    pos_v = np.empty(values.size, dtype=np.int64)
+    pos_v[rank_v] = np.arange(values.size)
+    displacement = [abs(int(pos_v[vtx]) - i) for i, vtx in enumerate(rank_r[:k].tolist())]
+    footrule = float(np.mean(displacement)) if displacement else 0.0
+
+    return ErrorReport(
+        max_abs=float(err.max()),
+        mean_abs=float(err.mean()),
+        rms=float(np.sqrt(np.mean(err**2))),
+        q50=float(np.quantile(err, 0.5)),
+        q90=float(np.quantile(err, 0.9)),
+        q99=float(np.quantile(err, 0.99)),
+        max_rel=float((err / np.maximum(np.abs(r), rel_floor)).max()),
+        top_k=k,
+        top_k_agreement=agreement,
+        footrule_top_k=footrule,
+    )
+
+
+def epsilon_error_study(
+    program_factory: Callable[[float], object],
+    graph: DiGraph,
+    reference: np.ndarray,
+    *,
+    epsilons: Sequence[float] = (1e-1, 1e-2, 1e-3),
+    modes: Sequence[tuple[str, str, int]] = (
+        ("DE", "deterministic", 4),
+        ("8NE", "nondeterministic", 8),
+    ),
+    seeds: Sequence[int] = (0, 1, 2),
+    top_k: int = 50,
+) -> list[dict]:
+    """Error envelope vs ε, per execution mode.
+
+    ``program_factory(epsilon)`` builds the program; each row reports
+    the worst (max over seeds) error statistics for one (mode, ε) cell.
+    """
+    rows: list[dict] = []
+    for label, mode, threads in modes:
+        for eps in epsilons:
+            worst_max = 0.0
+            worst_footrule = 0.0
+            agreements = []
+            for seed in seeds:
+                res = run(
+                    program_factory(eps),
+                    graph,
+                    mode=mode,
+                    config=EngineConfig(threads=threads, seed=seed),
+                )
+                if not res.converged:
+                    raise RuntimeError(f"{label} eps={eps} seed={seed} did not converge")
+                rep = error_report(res.result(), reference, top_k=top_k)
+                worst_max = max(worst_max, rep.max_abs)
+                worst_footrule = max(worst_footrule, rep.footrule_top_k)
+                agreements.append(rep.top_k_agreement)
+            rows.append(
+                {
+                    "config": label,
+                    "epsilon": eps,
+                    "worst max_abs": worst_max,
+                    "worst footrule": worst_footrule,
+                    "mean top-k agreement": float(np.mean(agreements)),
+                }
+            )
+    return rows

@@ -1,0 +1,100 @@
+"""Convergence traces: per-iteration progress curves.
+
+Attaches an observer to any barriered engine run and records, per
+iteration, the active-set size, the residual (max absolute change of
+the primary result), and — for nondeterministic runs — the conflict
+rate.  These are the curves behind the paper's iteration-count
+comparisons: they show *how* asynchronous execution converges faster
+(front-loaded residual decay) rather than just that it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.config import EngineConfig
+from ..engine.program import VertexProgram
+from ..engine.runner import run
+
+__all__ = ["ConvergenceTrace", "trace_convergence"]
+
+
+@dataclass
+class ConvergenceTrace:
+    """Per-iteration progress of one run."""
+
+    mode: str
+    active_sizes: list[int] = field(default_factory=list)
+    residuals: list[float] = field(default_factory=list)
+    conflict_counts: list[int] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def iterations(self) -> int:
+        return len(self.active_sizes)
+
+    def total_work(self) -> int:
+        """Total updates executed (sum of active-set sizes)."""
+        return int(sum(self.active_sizes))
+
+    def residual_halflife(self) -> int:
+        """First iteration at which the residual fell below half its
+        initial value; ``iterations`` if it never did."""
+        if not self.residuals:
+            return 0
+        target = self.residuals[0] / 2.0
+        for i, r in enumerate(self.residuals):
+            if r <= target:
+                return i
+        return self.iterations
+
+    def rows(self) -> list[dict]:
+        out = []
+        for i in range(self.iterations):
+            row = {
+                "iteration": i,
+                "active": self.active_sizes[i],
+                "residual": self.residuals[i],
+            }
+            if i < len(self.conflict_counts):
+                row["conflicts"] = self.conflict_counts[i]
+            out.append(row)
+        return out
+
+
+def trace_convergence(
+    program_factory: Callable[[], VertexProgram],
+    graph: DiGraph,
+    *,
+    mode: str = "nondeterministic",
+    config: EngineConfig | None = None,
+) -> ConvergenceTrace:
+    """Run once, recording the per-iteration progress curve."""
+    program = program_factory()
+    trace = ConvergenceTrace(mode=mode)
+    prev = np.array(program.result(program.make_state(graph)), dtype=np.float64)
+
+    def observer(iteration, state, next_schedule):
+        nonlocal prev
+        cur = np.array(program.result(state), dtype=np.float64, copy=True)
+        with np.errstate(invalid="ignore"):
+            delta = np.abs(cur - prev)
+        delta = delta[np.isfinite(delta)]
+        trace.residuals.append(float(delta.max()) if delta.size else 0.0)
+        prev = cur
+
+    result = run(program, graph, mode=mode, config=config, observer=observer)
+    # active sizes recorded by the engine are authoritative; overwrite the
+    # observer's placeholder with the per-iteration stats.
+    trace.active_sizes = [s.num_active for s in result.iterations]
+    if result.conflicts.per_iteration:
+        trace.conflict_counts = [
+            result.conflicts.per_iteration.get(i, 0)
+            for i in range(result.num_iterations)
+        ]
+    trace.converged = result.converged
+    return trace

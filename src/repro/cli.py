@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1`` / ``figure3`` / ``table2`` / ``table3`` / ``ablations``
+    Regenerate the paper's evaluation artifacts at a chosen scale.
+``eligibility [ALGORITHM ...]``
+    Print the Theorem 1/2 (and push-mode) verdicts for the built-in
+    algorithm zoo or a named subset.
+``run ALGORITHM``
+    Execute one algorithm on a stand-in dataset under a chosen executor
+    and print the run summary (and optionally the conflict audit).
+``speed ALGORITHM``
+    Convergence-speed report (iterations vs threads/delay vs the DE and
+    BSP baselines).
+
+Examples
+--------
+::
+
+    python -m repro table1 --scale 10
+    python -m repro eligibility WCC PageRank AntiParity
+    python -m repro run WCC --dataset web-google-mini --mode nondeterministic \
+        --threads 8 --seed 3 --audit
+    python -m repro speed BFS --dataset cage15-mini --scale 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .algorithms import (
+    BFS,
+    SSSP,
+    AntiParity,
+    EdgeIncrementCounter,
+    KCoreDecomposition,
+    MaxLabelPropagation,
+    PageRank,
+    SpMV,
+    WeaklyConnectedComponents,
+)
+from .engine import EngineConfig, run
+from .experiments import (
+    format_table,
+    run_delay_sweep,
+    run_dispatch_study,
+    run_figure3,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_torn_study,
+)
+from .graph import load_dataset
+from .graph.datasets import dataset_names
+from .theory import audit_run, check_program, measure_convergence_speed
+
+__all__ = ["main", "ALGORITHMS"]
+
+#: Algorithm name -> zero-argument factory.
+ALGORITHMS: dict[str, Callable] = {
+    "PageRank": lambda: PageRank(epsilon=1e-3),
+    "WCC": WeaklyConnectedComponents,
+    "SSSP": lambda: SSSP(source=0),
+    "BFS": lambda: BFS(source=0),
+    "SpMV": lambda: SpMV(),
+    "MaxLabel": MaxLabelPropagation,
+    "EdgeIncrementCounter": lambda: EdgeIncrementCounter(target=3),
+    "AntiParity": AntiParity,
+    "KCore": KCoreDecomposition,  # requires a symmetric graph (cage15-mini is)
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Is Your Graph Algorithm Eligible for "
+        "Nondeterministic Execution?' (ICPP 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p):
+        p.add_argument("--scale", type=int, default=9,
+                       help="log2 of the stand-in graph size (default 9)")
+        p.add_argument("--seed", type=int, default=7, help="dataset seed")
+
+    p = sub.add_parser("table1", help="Table I: graphs used in the experiments")
+    add_scale(p)
+
+    p = sub.add_parser("figure3", help="Fig. 3: computing times DE vs NE")
+    add_scale(p)
+    p.add_argument("--threads", type=int, nargs="+", default=[4, 8, 16])
+
+    p = sub.add_parser("table2", help="Table II: difference degrees, same config")
+    add_scale(p)
+    p.add_argument("--runs", type=int, default=5)
+
+    p = sub.add_parser("table3", help="Table III: difference degrees, cross config")
+    add_scale(p)
+    p.add_argument("--runs", type=int, default=5)
+
+    p = sub.add_parser("ablations", help="A1-A3 ablation studies")
+    add_scale(p)
+
+    p = sub.add_parser("eligibility", help="Theorem 1/2 verdicts")
+    p.add_argument("algorithms", nargs="*", metavar="ALGORITHM",
+                   help=f"subset of {', '.join(ALGORITHMS)} (default: all)")
+
+    p = sub.add_parser("run", help="execute one algorithm")
+    p.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    p.add_argument("--dataset", default="web-google-mini", choices=dataset_names())
+    add_scale(p)
+    p.add_argument("--mode", default="nondeterministic",
+                   choices=["sync", "deterministic", "chromatic",
+                            "nondeterministic", "pure-async", "threads"])
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--delay", type=float, default=2.0)
+    p.add_argument("--run-seed", type=int, default=0)
+    p.add_argument("--max-iterations", type=int, default=100_000)
+    p.add_argument("--audit", action="store_true",
+                   help="cross-check conflicts against declared traits")
+
+    p = sub.add_parser("report", help="regenerate the full evaluation as markdown")
+    add_scale(p)
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--out", default=None, help="write to file instead of stdout")
+
+    p = sub.add_parser("speed", help="convergence-speed report")
+    p.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    p.add_argument("--dataset", default="web-google-mini", choices=dataset_names())
+    add_scale(p)
+    p.add_argument("--threads", type=int, nargs="+", default=[2, 4, 8])
+    p.add_argument("--delays", type=float, nargs="+", default=[1.0, 4.0])
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        print(run_table1(scale=args.scale, seed=args.seed).render())
+    elif args.command == "figure3":
+        result = run_figure3(scale=args.scale, seed=args.seed,
+                             threads_list=tuple(args.threads))
+        print(result.render())
+    elif args.command == "table2":
+        print(run_table2(scale=args.scale, seed=args.seed, runs=args.runs).render())
+    elif args.command == "table3":
+        print(run_table3(scale=args.scale, seed=args.seed, runs=args.runs).render())
+    elif args.command == "ablations":
+        for driver in (run_torn_study, run_delay_sweep, run_dispatch_study):
+            print(driver(scale=args.scale, seed=args.seed).render())
+            print()
+    elif args.command == "eligibility":
+        names = args.algorithms or list(ALGORITHMS)
+        unknown = [n for n in names if n not in ALGORITHMS]
+        if unknown:
+            print(f"unknown algorithm(s): {', '.join(unknown)}; "
+                  f"choose from {', '.join(ALGORITHMS)}", file=sys.stderr)
+            return 1
+        for name in names:
+            print(check_program(ALGORITHMS[name]()).render())
+            print("-" * 72)
+    elif args.command == "run":
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        config = EngineConfig(
+            threads=args.threads,
+            delay=args.delay,
+            seed=args.run_seed,
+            max_iterations=args.max_iterations,
+        )
+        result = run(ALGORITHMS[args.algorithm](), graph, mode=args.mode,
+                     config=config)
+        print(format_table([{"dataset": args.dataset, **result.summary()}],
+                           title=f"{args.algorithm} on {args.dataset}"))
+        if args.audit:
+            issues = audit_run(result)
+            print("audit:", "CLEAN" if not issues else "; ".join(issues))
+            if issues:
+                return 1
+        if not result.converged:
+            return 2
+    elif args.command == "report":
+        from .experiments import generate_report
+
+        text = generate_report(scale=args.scale, seed=args.seed, runs=args.runs,
+                               progress=lambda m: print(f"... {m}", file=sys.stderr))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+    elif args.command == "speed":
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        report = measure_convergence_speed(
+            ALGORITHMS[args.algorithm],
+            graph,
+            threads_list=tuple(args.threads),
+            delays=tuple(args.delays),
+        )
+        print(format_table(report.rows(),
+                           title=f"Convergence speed: {report.algorithm} on {args.dataset}"))
+        print(f"chain bound (NE <= SYNC + 1, RW-only): {report.check_chain_bound()}")
+        print(f"recovery ratio (max NE / SYNC): {report.recovery_ratio():.2f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Vertex-centric execution engines (the paper's system model, §II–§III)."""
+
+from .atomicity import AtomicityPolicy, guarantees_atomicity, tear
+from .config import EngineConfig
+from .conflicts import AccessRecord, ConflictEvent, ConflictLog, classify_accesses
+from .dispatch import DispatchPlan, DispatchPolicy, make_plan
+from .frontier import Frontier, initial_frontier
+from .chromatic import ChromaticEngine
+from .gauss_seidel import DeterministicEngine
+from .delaymodel import DelayModel
+from .nondet_engine import NondeterministicEngine
+from .pure_async import PureAsyncEngine
+from .push import (
+    AccumulatorSpec,
+    CombineOp,
+    PushContext,
+    PushEngine,
+    PushProgram,
+    run_push,
+)
+from .ordering import Order, TaskSlot, classify, classify_timestamps, visible
+from .program import EdgeStore, UpdateContext, VertexProgram
+from .result import IterationStats, RunResult
+from .runner import ENGINES, Mode, run
+from .state import INF, FieldSpec, State
+from .sync_engine import SynchronousEngine
+from .threads_engine import ThreadsEngine
+from .traits import AlgorithmTraits, ConflictProfile, ConvergenceKind, Monotonicity
+from .vectorized import (
+    VectorizedBSPEngine,
+    VectorizedProgram,
+    VectorizedRunResult,
+    run_vectorized,
+)
+
+__all__ = [
+    "AtomicityPolicy",
+    "guarantees_atomicity",
+    "tear",
+    "EngineConfig",
+    "AccessRecord",
+    "ConflictEvent",
+    "ConflictLog",
+    "classify_accesses",
+    "DispatchPlan",
+    "DispatchPolicy",
+    "make_plan",
+    "Frontier",
+    "initial_frontier",
+    "ChromaticEngine",
+    "DeterministicEngine",
+    "DelayModel",
+    "NondeterministicEngine",
+    "PureAsyncEngine",
+    "AccumulatorSpec",
+    "CombineOp",
+    "PushContext",
+    "PushEngine",
+    "PushProgram",
+    "run_push",
+    "SynchronousEngine",
+    "ThreadsEngine",
+    "Order",
+    "TaskSlot",
+    "classify",
+    "classify_timestamps",
+    "visible",
+    "EdgeStore",
+    "UpdateContext",
+    "VertexProgram",
+    "IterationStats",
+    "RunResult",
+    "ENGINES",
+    "Mode",
+    "run",
+    "INF",
+    "FieldSpec",
+    "State",
+    "AlgorithmTraits",
+    "ConflictProfile",
+    "ConvergenceKind",
+    "Monotonicity",
+    "VectorizedBSPEngine",
+    "VectorizedProgram",
+    "VectorizedRunResult",
+    "run_vectorized",
+]

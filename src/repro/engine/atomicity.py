@@ -1,0 +1,70 @@
+"""Atomicity of individual reads and writes (§III).
+
+The paper's minimal requirement for nondeterministic execution is that
+each *individual* read or write of an edge value is atomic — no torn
+values — and it lists three ways programs obtain that guarantee, which
+differ only in synchronization overhead:
+
+1. **LOCK** — explicit per-edge lock/unlock around each access;
+2. **CACHE_LINE** — rely on the architecture: values aligned to a single
+   cache line transfer atomically;
+3. **ATOMIC_RELAXED** — the language's relaxed atomic primitives
+   (C++11 ``memory_order_relaxed``).
+
+All three yield identical *values* (Lemmas 1 and 2 hold); the cost model
+(:mod:`repro.perf.costmodel`) charges them differently, which is what
+separates the three NE curves of Fig. 3.
+
+**NONE** is the ablation the paper's §III motivates implicitly: without
+any atomicity guarantee a racy access can observe or commit a *torn*
+value — a bit-level mix of the competing values ("unexpected result" in
+the paper's words, citing Boehm's benign-races paper).  The
+:func:`tear` function manufactures such a value deterministically from a
+seeded RNG so the failure mode is reproducible and testable.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["AtomicityPolicy", "tear", "guarantees_atomicity"]
+
+
+class AtomicityPolicy(enum.Enum):
+    """How update functions make their individual edge accesses atomic."""
+
+    LOCK = "lock"  #: explicit per-edge lock/unlock
+    CACHE_LINE = "cache-line"  #: architecture support (aligned word)
+    ATOMIC_RELAXED = "atomic-relaxed"  #: compiler/language relaxed atomics
+    NONE = "none"  #: no guarantee — torn values possible (ablation)
+
+
+def guarantees_atomicity(policy: AtomicityPolicy) -> bool:
+    """True when ``policy`` provides the §III minimal guarantee."""
+    return policy is not AtomicityPolicy.NONE
+
+
+def tear(old: float, new: float, rng: np.random.Generator) -> float:
+    """Produce a torn 64-bit value mixing ``old`` and ``new``.
+
+    Models a non-atomic load/store racing a store: the two 32-bit halves
+    of the IEEE-754 bit pattern come from different values (a data bus
+    half-transfer).  Which half comes from which value is drawn from
+    ``rng``.  NaN results are collapsed to an arbitrary huge finite value
+    so downstream numeric comparisons stay well-defined while remaining
+    obviously corrupt.
+    """
+    a = np.float64(old).view(np.uint64)
+    b = np.float64(new).view(np.uint64)
+    hi_mask = np.uint64(0xFFFFFFFF00000000)
+    lo_mask = np.uint64(0x00000000FFFFFFFF)
+    if rng.random() < 0.5:
+        mixed = (a & hi_mask) | (b & lo_mask)
+    else:
+        mixed = (b & hi_mask) | (a & lo_mask)
+    value = float(mixed.view(np.float64))
+    if np.isnan(value):
+        value = 1.7e308
+    return value

@@ -1,0 +1,93 @@
+"""Execution configuration shared by all engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .atomicity import AtomicityPolicy
+from .delaymodel import DelayModel
+from .dispatch import DispatchPolicy
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the paper's system model plus reproduction controls.
+
+    Attributes
+    ----------
+    threads:
+        Number of (virtual) processing threads ``P``.  The paper assumes
+        one thread per processor and evaluates 4, 8, 16.
+    delay:
+        The propagation delay ``d`` of Definitions 1–3: the time, in
+        update slots, for a result to travel between threads.  Must be
+        >= 1.
+    jitter:
+        Magnitude of seeded environmental noise added to task timestamps
+        (models the paper's "uncertainty on scheduling, random IRQs,
+        memory stalls").  Must lie in ``[0, 1)`` so it never reorders
+        same-thread tasks; ``0`` recovers the pure Definitions 1–3.
+    atomicity:
+        How individual reads/writes are made atomic (§III).  All policies
+        except ``NONE`` produce identical values and differ only in cost;
+        ``NONE`` injects torn values.
+    dispatch:
+        Block (Fig. 1 / OpenMP static) or round-robin assignment.
+    seed:
+        Master seed; together with all other fields it makes a
+        nondeterministic run exactly reproducible.  Vary the seed to
+        sample different executions (the paper's "one run to another").
+    max_iterations:
+        Safety bound on the number of iterations.
+    fp_noise:
+        Emulate float-precision run-to-run variation of *deterministic*
+        executions by permuting gather order per update (§V-C's DE vs DE
+        rows); seeded by ``seed``.
+    torn_probability:
+        With ``atomicity=NONE``, the probability that a racing access
+        observes/commits a torn value.
+    keep_conflict_events:
+        Retain individual :class:`~repro.engine.conflicts.ConflictEvent`
+        records (bounded) in addition to aggregate counters.
+    validate_scope:
+        Enforce the §II scope rule at runtime: an update function that
+        reads or writes an edge not incident to its vertex raises
+        immediately.  Off by default (it costs a set construction per
+        update); turn on when developing a new program.
+    """
+
+    threads: int = 4
+    delay: float = 2.0
+    delay_model: DelayModel | None = None
+    jitter: float = 0.5
+    atomicity: AtomicityPolicy = AtomicityPolicy.CACHE_LINE
+    dispatch: DispatchPolicy = DispatchPolicy.BLOCK
+    seed: int = 0
+    max_iterations: int = 100_000
+    fp_noise: bool = False
+    torn_probability: float = 0.7
+    keep_conflict_events: bool = False
+    validate_scope: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.delay < 1:
+            raise ValueError(f"delay (d) must be >= 1, got {self.delay}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if not 0.0 <= self.torn_probability <= 1.0:
+            raise ValueError("torn_probability must be in [0, 1]")
+
+    def effective_delay_model(self) -> DelayModel:
+        """The pairwise delay model in force: ``delay_model`` when given,
+        otherwise the paper's uniform model built from ``delay``."""
+        return self.delay_model or DelayModel.uniform(self.delay)
+
+    def with_(self, **kwargs) -> "EngineConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,157 @@
+"""Conflict detection and accounting (§III, Lemmas 1 and 2).
+
+The paper calls competing same-iteration operations on one edge a
+*conflict* and distinguishes two kinds:
+
+* **read–write** — one update reads the edge while another writes it; by
+  Lemma 1 (given individual-access atomicity) the reader sees either the
+  old or the new value, never garbage.
+* **write–write** — two updates write the edge; by Lemma 2 exactly one
+  of the two values is committed at the end of the iteration.
+
+The nondeterministic engine records every same-iteration edge access and
+asks this module to classify them after the barrier.  The resulting
+:class:`ConflictLog` is part of every run result: it is how the library
+*verifies* an algorithm's declared conflict profile instead of trusting
+it (see :func:`repro.theory.eligibility.audit_run`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["ConflictEvent", "ConflictLog", "AccessRecord", "classify_accesses"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One edge access performed during an iteration."""
+
+    vid: int  #: the update task that performed the access
+    thread: int
+    time: float  #: effective timestamp within the iteration
+    is_write: bool
+    value: float | None = None  #: written value (writes only)
+
+
+@dataclass(frozen=True)
+class ConflictEvent:
+    """One detected conflict on one edge field in one iteration."""
+
+    iteration: int
+    eid: int
+    field: str
+    kind: str  #: "read-write" or "write-write"
+    first_vid: int
+    second_vid: int
+
+
+@dataclass
+class ConflictLog:
+    """Aggregated conflict statistics for a run.
+
+    ``read_write`` / ``write_write`` count conflicting *pairs* of update
+    tasks; ``contended_edges`` counts distinct (iteration, edge, field)
+    triples that saw at least one conflict; ``lost_writes`` counts writes
+    whose value was overwritten by a competing same-iteration write
+    (Lemma 2's losing value); ``stale_reads`` counts reads that raced a
+    write and observed the old value (one side of Lemma 1).
+    """
+
+    read_write: int = 0
+    write_write: int = 0
+    contended_edges: int = 0
+    lost_writes: int = 0
+    stale_reads: int = 0
+    per_iteration: Counter = field(default_factory=Counter)
+    events: list[ConflictEvent] = field(default_factory=list)
+    keep_events: bool = False
+    max_events: int = 10_000
+
+    @property
+    def total(self) -> int:
+        return self.read_write + self.write_write
+
+    def record(self, event: ConflictEvent) -> None:
+        if event.kind == "read-write":
+            self.read_write += 1
+        elif event.kind == "write-write":
+            self.write_write += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown conflict kind {event.kind!r}")
+        self.per_iteration[event.iteration] += 1
+        if self.keep_events and len(self.events) < self.max_events:
+            self.events.append(event)
+
+    def summary(self) -> dict:
+        return {
+            "read_write": self.read_write,
+            "write_write": self.write_write,
+            "contended_edges": self.contended_edges,
+            "lost_writes": self.lost_writes,
+            "stale_reads": self.stale_reads,
+        }
+
+
+def classify_accesses(
+    log: ConflictLog,
+    iteration: int,
+    eid: int,
+    fieldname: str,
+    accesses: list[AccessRecord],
+    winner_vid: int | None,
+) -> None:
+    """Classify all same-iteration accesses to one edge field.
+
+    ``accesses`` is every read/write performed on ``(eid, fieldname)``
+    during ``iteration``; ``winner_vid`` is the update whose write was
+    committed at the barrier (None when nothing was written).  Appends
+    conflict pairs to ``log``.
+
+    Following the race definition the paper builds on (Netzer & Miller:
+    competing accesses with no predefined order), a pair only counts as
+    a conflict when the two accesses come from *different threads* —
+    same-thread accesses are program-ordered and therefore deterministic,
+    and a read and write by the same update task (e.g. WCC reading then
+    re-writing an incident edge) is never a conflict.  A single-threaded
+    nondeterministic run consequently logs zero conflicts, matching its
+    value-equivalence with the Gauss–Seidel sweep.
+    """
+    writes = [a for a in accesses if a.is_write]
+    reads = [a for a in accesses if not a.is_write]
+    if not writes:
+        return
+    contended = False
+    # read-write pairs: reader and writer on different threads.
+    writer_by_vid: dict[int, AccessRecord] = {}
+    for w in writes:
+        writer_by_vid.setdefault(w.vid, w)
+    for r in reads:
+        for w_vid, w in writer_by_vid.items():
+            if w_vid != r.vid and w.thread != r.thread:
+                log.record(
+                    ConflictEvent(iteration, eid, fieldname, "read-write", w_vid, r.vid)
+                )
+                contended = True
+    # write-write pairs among distinct writers on different threads.
+    distinct = sorted(writer_by_vid)
+    for i in range(len(distinct)):
+        for j in range(i + 1, len(distinct)):
+            a, b = writer_by_vid[distinct[i]], writer_by_vid[distinct[j]]
+            if a.thread != b.thread:
+                log.record(
+                    ConflictEvent(
+                        iteration, eid, fieldname, "write-write", distinct[i], distinct[j]
+                    )
+                )
+                contended = True
+    if contended:
+        log.contended_edges += 1
+    if winner_vid is not None and winner_vid in writer_by_vid:
+        winner_thread = writer_by_vid[winner_vid].thread
+        log.lost_writes += sum(
+            1
+            for w in writes
+            if w.vid != winner_vid and w.thread != winner_thread
+        )

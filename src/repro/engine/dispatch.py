@@ -1,0 +1,113 @@
+"""Dispatching the chosen updates of an iteration onto threads (§II, Fig. 1).
+
+The paper dispatches the updates of ``S_n`` among the participating
+threads in contiguous blocks — "this fashion actually complies with the
+method of the static scheduling by the OpenMP runtime system" — and each
+thread executes its assigned updates small-label-first.  For the Fig. 1
+situation (``S_n = V``) this yields ``π(v) = L_v mod (V/P)``.
+
+A true round-robin (cyclic) assignment is provided as well, used by the
+dispatch-policy ablation (DESIGN.md A3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ordering import TaskSlot
+
+__all__ = ["DispatchPolicy", "DispatchPlan", "make_plan"]
+
+
+class DispatchPolicy(enum.Enum):
+    """How the sorted active set is split across threads."""
+
+    BLOCK = "block"  #: contiguous chunks (Fig. 1 / OpenMP static)
+    ROUND_ROBIN = "round-robin"  #: cyclic assignment (ablation)
+
+
+@dataclass
+class DispatchPlan:
+    """Placement of every active update for one iteration.
+
+    ``slots`` maps vertex id → :class:`TaskSlot` (thread, π, effective
+    time); ``per_thread`` lists each thread's vertices in execution
+    (small-label-first) order.
+    """
+
+    num_threads: int
+    slots: dict[int, TaskSlot]
+    per_thread: list[list[int]] = field(default_factory=list)
+
+    def execution_order(self) -> list[int]:
+        """All active vertices sorted by effective timestamp.
+
+        The simulated engine executes updates in this global virtual-time
+        order; ties are broken by (π, thread) so the order is total and
+        reproducible.
+        """
+        return sorted(
+            self.slots,
+            key=lambda v: (self.slots[v].time, self.slots[v].pi, self.slots[v].thread),
+        )
+
+
+def make_plan(
+    active_sorted: np.ndarray | list[int],
+    num_threads: int,
+    *,
+    policy: DispatchPolicy = DispatchPolicy.BLOCK,
+    jitter: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> DispatchPlan:
+    """Assign the (label-sorted) active vertices to ``num_threads`` threads.
+
+    Parameters
+    ----------
+    active_sorted:
+        The chosen vertices of this iteration, ascending by label (the
+        caller — the frontier — guarantees sortedness).
+    jitter:
+        Magnitude of seeded environmental noise added to each task's
+        effective timestamp: ``time = π + U(0, jitter)``.  ``0`` recovers
+        Definitions 1–3 exactly.
+    """
+    active = np.asarray(active_sorted, dtype=np.int64)
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    if jitter < 0:
+        raise ValueError("jitter must be >= 0")
+    if jitter > 0 and rng is None:
+        raise ValueError("jitter > 0 requires an rng")
+    k = int(active.size)
+    slots: dict[int, TaskSlot] = {}
+    per_thread: list[list[int]] = [[] for _ in range(num_threads)]
+
+    if policy is DispatchPolicy.BLOCK:
+        # Contiguous chunks; first (k % P) threads take one extra task,
+        # matching OpenMP static scheduling of a non-divisible range.
+        base = k // num_threads
+        extra = k % num_threads
+        start = 0
+        for t in range(num_threads):
+            size = base + (1 if t < extra else 0)
+            chunk = active[start : start + size]
+            start += size
+            for pi, vid in enumerate(chunk.tolist()):
+                noise = float(rng.uniform(0.0, jitter)) if jitter > 0 else 0.0
+                slots[vid] = TaskSlot(vid=vid, thread=t, pi=pi, time=pi + noise)
+                per_thread[t].append(vid)
+    elif policy is DispatchPolicy.ROUND_ROBIN:
+        for idx, vid in enumerate(active.tolist()):
+            t = idx % num_threads
+            pi = idx // num_threads
+            noise = float(rng.uniform(0.0, jitter)) if jitter > 0 else 0.0
+            slots[vid] = TaskSlot(vid=vid, thread=t, pi=pi, time=pi + noise)
+            per_thread[t].append(vid)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown policy {policy}")
+
+    return DispatchPlan(num_threads=num_threads, slots=slots, per_thread=per_thread)

@@ -1,0 +1,324 @@
+"""The nondeterministic executor: the paper's subject of study.
+
+This engine realizes, exactly, the system model of §II under which the
+paper proves Theorems 1 and 2: the *synchronous implementation of the
+asynchronous model*.  Execution proceeds in barrier-separated iterations;
+within an iteration the chosen updates are dispatched to ``P`` virtual
+threads (Fig. 1), run small-label-first per thread, and race on the edge
+data they share.  Visibility between same-iteration accesses follows
+Definitions 1–3, parameterized by the propagation delay ``d``, with
+optional seeded timestamp jitter modelling environmental noise.
+
+Because Python (the GIL, and this reproduction's single-core target)
+cannot host genuinely racy native threads, concurrency is *simulated*:
+updates execute one at a time in global virtual-time order while the
+engine mediates every edge access through the visibility rule.  This is
+a faithful — in fact strictly more controllable — realization of the
+paper's model:
+
+* a read sees a same-iteration write iff the writer ``≺`` the reader
+  (Lemma 1: the edge transmits either the old or the new value, decided
+  by the schedule);
+* when several updates write one edge, the one with the maximal
+  effective timestamp commits at the barrier (Lemma 2: exactly one of
+  the competing values survives);
+* every conflict is *observed and counted*, which a real racy execution
+  cannot do without perturbing itself;
+* the whole execution is a deterministic function of
+  ``(program, graph, EngineConfig)`` — vary ``seed`` to sample the
+  paper's "one run to another".
+
+With ``atomicity=NONE`` the engine additionally injects torn values into
+racing accesses, demonstrating why §III's minimal atomicity guarantee is
+a precondition for everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import DiGraph
+from .atomicity import AtomicityPolicy, tear
+from .config import EngineConfig
+from .conflicts import AccessRecord, ConflictLog, classify_accesses
+from .dispatch import make_plan
+from .frontier import Frontier, initial_frontier
+from .ordering import TaskSlot
+from .program import UpdateContext, VertexProgram
+from .result import IterationStats, RunResult
+from .state import State
+
+__all__ = ["NondeterministicEngine"]
+
+# Write record layout inside the per-edge history: (time, thread, vid, value).
+_T, _TH, _VID, _VAL = 0, 1, 2, 3
+
+
+class _RacyStore:
+    """Edge store implementing the Definitions 1–3 visibility rule.
+
+    One instance lives for one iteration.  ``current`` is set by the
+    engine to the executing update's :class:`TaskSlot` before each call
+    into the program.
+    """
+
+    __slots__ = (
+        "_committed",
+        "_delay",
+        "_torn",
+        "_torn_p",
+        "_torn_rng",
+        "writes",
+        "reads",
+        "stale_reads",
+        "torn_reads",
+        "current",
+    )
+
+    def __init__(
+        self,
+        committed: dict[str, np.ndarray],
+        delay_model,
+        atomicity: AtomicityPolicy,
+        torn_probability: float,
+        torn_rng: np.random.Generator | None,
+    ):
+        self._committed = committed
+        self._delay = delay_model  # DelayModel: pairwise propagation delays
+        self._torn = atomicity is AtomicityPolicy.NONE
+        self._torn_p = torn_probability
+        self._torn_rng = torn_rng
+        # field -> eid -> list of write records / read records.
+        self.writes: dict[str, dict[int, list[tuple]]] = {f: {} for f in committed}
+        self.reads: dict[str, dict[int, list[tuple]]] = {f: {} for f in committed}
+        self.stale_reads = 0
+        self.torn_reads = 0
+        self.current: TaskSlot | None = None
+
+    def read(self, vid: int, eid: int, field: str) -> float:
+        slot = self.current
+        t_r, thread_r = slot.time, slot.thread
+        rlog = self.reads[field].setdefault(eid, [])
+        rlog.append((t_r, thread_r, vid))
+
+        wlist = self.writes[field].get(eid)
+        value = self._committed[field][eid]
+        racing_value = None
+        if wlist:
+            best_key = None
+            stale = False
+            for w in wlist:
+                t_w, thread_w, vid_w, val_w = w
+                if thread_w == thread_r:
+                    visible = t_w < t_r
+                else:
+                    visible = (t_r - t_w) >= self._delay.delay(thread_w, thread_r)
+                if visible:
+                    key = (t_w, vid_w)
+                    if best_key is None or key > best_key:
+                        best_key = key
+                        value = val_w
+                elif vid_w != vid:
+                    if t_w <= t_r:
+                        stale = True
+                    if (
+                        self._torn
+                        and thread_w != thread_r
+                        and abs(t_r - t_w) < self._delay.delay(thread_w, thread_r)
+                    ):
+                        racing_value = val_w
+            if stale:
+                self.stale_reads += 1
+        if racing_value is not None and self._torn_rng.random() < self._torn_p:
+            self.torn_reads += 1
+            return tear(float(value), float(racing_value), self._torn_rng)
+        return float(value)
+
+    def write(self, vid: int, eid: int, field: str, value: float) -> None:
+        slot = self.current
+        self.writes[field].setdefault(eid, []).append(
+            (slot.time, slot.thread, vid, float(value))
+        )
+
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        state: State,
+        iteration: int,
+        log: ConflictLog,
+    ) -> None:
+        """Barrier: resolve winners (Lemma 2), commit, classify conflicts."""
+        for field, per_edge in self.writes.items():
+            arr = state.edge(field)
+            read_map = self.reads[field]
+            for eid, wlist in per_edge.items():
+                winner = max(wlist, key=lambda w: (w[_T], w[_VID]))
+                final = winner[_VAL]
+                if self._torn and len(wlist) > 1:
+                    # A pair of writes racing within the propagation window
+                    # may commit a torn mix of the two values.
+                    racing = [
+                        w
+                        for w in wlist
+                        if w[_VID] != winner[_VID]
+                        and w[_TH] != winner[_TH]
+                        and abs(w[_T] - winner[_T])
+                        < self._delay.delay(w[_TH], winner[_TH])
+                    ]
+                    if racing and self._torn_rng.random() < self._torn_p:
+                        loser = max(racing, key=lambda w: (w[_T], w[_VID]))
+                        final = tear(loser[_VAL], final, self._torn_rng)
+                arr[eid] = final
+                accesses = [
+                    AccessRecord(vid=w[_VID], thread=w[_TH], time=w[_T], is_write=True, value=w[_VAL])
+                    for w in wlist
+                ]
+                accesses.extend(
+                    AccessRecord(vid=r[2], thread=r[1], time=r[0], is_write=False)
+                    for r in read_map.get(eid, ())
+                )
+                classify_accesses(log, iteration, eid, field, accesses, winner[_VID])
+        log.stale_reads += self.stale_reads
+
+
+class NondeterministicEngine:
+    """Simulated racy parallel executor (coordinated, asynchronous model)."""
+
+    mode = "nondeterministic"
+
+    @staticmethod
+    def step_iteration(
+        program: VertexProgram,
+        graph: DiGraph,
+        state: State,
+        plan,
+        config: EngineConfig,
+        *,
+        iteration: int = 0,
+        log: ConflictLog | None = None,
+        torn_rng: np.random.Generator | None = None,
+    ) -> set[int]:
+        """Execute one racy iteration under an explicit dispatch plan.
+
+        Mutates ``state`` (the barrier commit) and returns ``S_{n+1}``.
+        This is the engine's iteration body factored out so external
+        drivers — notably the exhaustive schedule explorer in
+        :mod:`repro.theory.explore` — can steer the schedule directly
+        instead of sampling it through seeds.
+        """
+        log = log if log is not None else ConflictLog()
+        delay_model = config.effective_delay_model()
+        committed = {f: state.edge(f) for f in state.edge_field_names}
+        store = _RacyStore(
+            committed,
+            delay_model,
+            config.atomicity,
+            config.torn_probability,
+            torn_rng,
+        )
+        next_schedule: set[int] = set()
+        for vid in plan.execution_order():
+            store.current = plan.slots[vid]
+            ctx = UpdateContext(vid, graph, state, store, next_schedule)
+            program.update(ctx)
+        store.commit(state, iteration, log)
+        return next_schedule
+
+    def run(
+        self,
+        program: VertexProgram,
+        graph: DiGraph,
+        config: EngineConfig | None = None,
+        *,
+        state: State | None = None,
+        observer=None,
+    ) -> RunResult:
+        config = config or EngineConfig()
+        state = state if state is not None else program.make_state(graph)
+        frontier = initial_frontier(program, graph)
+
+        # Independent sub-streams of the master seed: fp-noise, jitter, tearing.
+        fp_rng = (
+            np.random.default_rng(np.random.SeedSequence([config.seed, 1]))
+            if config.fp_noise
+            else None
+        )
+        jitter_rng = (
+            np.random.default_rng(np.random.SeedSequence([config.seed, 2]))
+            if config.jitter > 0
+            else None
+        )
+        torn_rng = (
+            np.random.default_rng(np.random.SeedSequence([config.seed, 3]))
+            if config.atomicity is AtomicityPolicy.NONE
+            else None
+        )
+
+        delay_model = config.effective_delay_model()
+        log = ConflictLog(keep_events=config.keep_conflict_events)
+        stats: list[IterationStats] = []
+        iteration = 0
+        converged = False
+        p = config.threads
+        while iteration < config.max_iterations:
+            if not frontier:
+                converged = True
+                break
+            active = frontier.sorted_vertices()
+            plan = make_plan(
+                active,
+                p,
+                policy=config.dispatch,
+                jitter=config.jitter,
+                rng=jitter_rng,
+            )
+            committed = {f: state.edge(f) for f in state.edge_field_names}
+            store = _RacyStore(
+                committed,
+                delay_model,
+                config.atomicity,
+                config.torn_probability,
+                torn_rng,
+            )
+            next_schedule: set[int] = set()
+            upd = [0] * p
+            reads = [0] * p
+            writes = [0] * p
+            for vid in plan.execution_order():
+                slot = plan.slots[vid]
+                store.current = slot
+                ctx = UpdateContext(
+                    vid, graph, state, store, next_schedule, gather_rng=fp_rng,
+                    strict_scope=config.validate_scope,
+                )
+                program.update(ctx)
+                upd[slot.thread] += 1
+                reads[slot.thread] += ctx.n_edge_reads
+                writes[slot.thread] += ctx.n_edge_writes
+            store.commit(state, iteration, log)
+            stats.append(
+                IterationStats(
+                    iteration=iteration,
+                    num_active=int(active.size),
+                    updates_per_thread=upd,
+                    reads_per_thread=reads,
+                    writes_per_thread=writes,
+                )
+            )
+            if observer is not None:
+                observer(iteration, state, next_schedule)
+            frontier = Frontier(next_schedule)
+            iteration += 1
+        else:
+            converged = not frontier
+
+        return RunResult(
+            program=program,
+            state=state,
+            mode=self.mode,
+            converged=converged,
+            num_iterations=iteration,
+            iterations=stats,
+            conflicts=log,
+            config=config,
+        )

@@ -1,0 +1,243 @@
+"""The vertex-centric programming API (the paper's Algorithm 1).
+
+A :class:`VertexProgram` defines the update function ``f(v)`` of §II:
+its scope is the vertex ``v`` plus all of ``v``'s incident edges (pull
+mode), organized as Gather (read a subset ``E_r`` of incident edges),
+Compute, and Scatter (write a subset ``E_w``, optionally guarded by a
+criterion).  Programs never touch state arrays directly — every edge
+access goes through the :class:`UpdateContext`, which is where each
+engine plugs in its visibility semantics (BSP snapshot, in-place
+Gauss–Seidel, or the racy simulated-parallel store) and where access
+events are counted for the conflict log and the cost model.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Literal, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from ..graph import DiGraph
+from .state import FieldSpec, State
+from .traits import AlgorithmTraits
+
+__all__ = ["EdgeStore", "UpdateContext", "VertexProgram", "Frontier0"]
+
+#: What a program may return from :meth:`VertexProgram.initial_frontier`.
+Frontier0 = Literal["all"] | Iterable[int]
+
+
+class EdgeStore(Protocol):
+    """Engine-side mediator for shared edge data.
+
+    Each engine implements these two methods with its own visibility
+    semantics; the context calls them for every individual read/write,
+    which is exactly the granularity at which the paper's §III atomicity
+    guarantee (and its absence) applies.
+    """
+
+    def read(self, vid: int, eid: int, field: str) -> float:
+        """Value of edge ``eid``'s ``field`` as visible to ``f(vid)`` now."""
+        ...
+
+    def write(self, vid: int, eid: int, field: str, value: float) -> None:
+        """Write issued by ``f(vid)`` to edge ``eid``'s ``field``."""
+        ...
+
+
+class UpdateContext:
+    """Everything ``f(v)`` may legally see and do (the scope rule of §II).
+
+    One context is constructed per executed update task.  The engine owns
+    vertex-data arrays; since the paper's scope restricts vertex data to
+    the update's own vertex, :meth:`get` / :meth:`set` address only
+    ``self.vid``.
+
+    The context also implements the paper's task-generation rule: a write
+    to edge ``(u, v)`` by either endpoint schedules the *other* endpoint
+    into ``S_{n+1}``.
+    """
+
+    __slots__ = (
+        "vid",
+        "_graph",
+        "_state",
+        "_store",
+        "_schedule",
+        "n_edge_reads",
+        "n_edge_writes",
+        "_gather_rng",
+        "_scope",
+    )
+
+    def __init__(
+        self,
+        vid: int,
+        graph: DiGraph,
+        state: State,
+        store: EdgeStore,
+        schedule: set[int],
+        gather_rng: np.random.Generator | None = None,
+        strict_scope: bool = False,
+    ):
+        self.vid = vid
+        self._graph = graph
+        self._state = state
+        self._store = store
+        self._schedule = schedule
+        self.n_edge_reads = 0
+        self.n_edge_writes = 0
+        self._gather_rng = gather_rng
+        # §II scope rule enforcement: the set of edge ids f(vid) may touch.
+        self._scope = (
+            set(graph.incident_eids(vid).tolist()) if strict_scope else None
+        )
+
+    def _check_scope(self, eid: int) -> None:
+        if self._scope is not None and eid not in self._scope:
+            raise PermissionError(
+                f"scope violation: f({self.vid}) accessed edge {eid}, which is "
+                f"not incident to vertex {self.vid} (the paper's §II scope rule)"
+            )
+
+    # -- topology ------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        return self._graph
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def in_degree(self) -> int:
+        return self._graph.in_degree(self.vid)
+
+    @property
+    def out_degree(self) -> int:
+        return self._graph.out_degree(self.vid)
+
+    def in_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(sources, edge_ids)`` of edges entering this vertex."""
+        return self._graph.in_edges(self.vid)
+
+    def out_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(destinations, edge_ids)`` of edges leaving this vertex."""
+        return self._graph.out_edges(self.vid)
+
+    def incident_eids(self) -> np.ndarray:
+        """Edge ids of all incident edges (in + out): the full scope."""
+        return self._graph.incident_eids(self.vid)
+
+    def gather_order(self, eids: Sequence[int]) -> np.ndarray:
+        """Order in which to read edges during gather.
+
+        Deterministic (identity) by default.  When the engine enables
+        floating-point noise emulation (``fp_noise``), the order is a
+        seeded permutation — modelling the float-non-associativity
+        run-to-run differences the paper attributes its DE-vs-DE
+        difference degrees to (§V-C).
+        """
+        eids = np.asarray(eids, dtype=np.int64)
+        if self._gather_rng is None or eids.size <= 1:
+            return eids
+        return eids[self._gather_rng.permutation(eids.size)]
+
+    def fp_round(self, value: float, dtype=np.float32) -> float:
+        """One-ulp rounding uncertainty under fp-noise emulation.
+
+        On the paper's testbed, deterministic reruns differ only through
+        "the precision limit of float data type" — reassociated 32-bit
+        summations land within an ulp of each other.  Our stand-in graphs
+        have small in-degrees, so order permutation alone often rounds to
+        the identical float; this hook completes the emulation by moving
+        a computed aggregate one unit-in-the-last-place in a seeded
+        random direction (staying put with probability 1/2).  Identity
+        when fp-noise is disabled.
+        """
+        if self._gather_rng is None:
+            return value
+        r = self._gather_rng.random()
+        v = dtype(value)
+        if r < 0.25:
+            return float(np.nextafter(v, dtype(np.inf)))
+        if r < 0.5:
+            return float(np.nextafter(v, dtype(-np.inf)))
+        return float(v)
+
+    # -- edge data (the contended resource) -----------------------------
+    def read_edge(self, eid: int, field: str) -> float:
+        """Atomic individual read of one edge value (§III granularity)."""
+        eid = int(eid)
+        self._check_scope(eid)
+        self.n_edge_reads += 1
+        return self._store.read(self.vid, eid, field)
+
+    def write_edge(self, eid: int, field: str, value: float) -> None:
+        """Atomic individual write of one edge value.
+
+        Also applies the paper's task-generation rule: the endpoint of
+        ``eid`` other than this vertex is added to ``S_{n+1}``.
+        """
+        eid = int(eid)
+        self._check_scope(eid)
+        self.n_edge_writes += 1
+        self._store.write(self.vid, eid, field, value)
+        u, v = self._graph.edge_endpoints(eid)
+        other = v if u == self.vid else u
+        self._schedule.add(other)
+
+    # -- own vertex data (private by the scope rule) ---------------------
+    def get(self, field: str) -> float:
+        """This vertex's own value of ``field``."""
+        return self._state.vertex(field)[self.vid]
+
+    def set(self, field: str, value: float) -> None:
+        """Set this vertex's own value of ``field`` (effective immediately)."""
+        self._state.vertex(field)[self.vid] = value
+
+
+class VertexProgram(abc.ABC):
+    """A graph algorithm expressed as an update function (Algorithm 1).
+
+    Subclasses provide the declared :class:`AlgorithmTraits`, the state
+    schema, the initial active set ``S_0``, and the update body.
+    """
+
+    #: Declared algorithm properties (hypotheses for Theorems 1 and 2).
+    traits: AlgorithmTraits
+
+    @abc.abstractmethod
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        """Schema of per-vertex data ``D_v``."""
+
+    @abc.abstractmethod
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        """Schema of per-edge data ``D_(u->v)``."""
+
+    def initial_frontier(self, graph: DiGraph) -> Frontier0:
+        """The initial active set ``S_0``; defaults to every vertex."""
+        return "all"
+
+    @abc.abstractmethod
+    def update(self, ctx: UpdateContext) -> None:
+        """The update function ``f(v)``: gather → compute → scatter."""
+
+    def make_state(self, graph: DiGraph) -> State:
+        """Materialize an initial :class:`State` for ``graph``."""
+        return State(graph, self.vertex_fields(), self.edge_fields())
+
+    # -- optional hooks -------------------------------------------------
+    def result(self, state: State) -> np.ndarray:
+        """The algorithm's primary per-vertex output (for analysis).
+
+        Defaults to the first declared vertex field.
+        """
+        names = state.vertex_field_names
+        if not names:
+            raise ValueError(f"{type(self).__name__} declares no vertex fields")
+        return state.vertex(names[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.traits.name})"

@@ -1,0 +1,93 @@
+"""Unified front-end for executing a program with any of the engines."""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..graph import DiGraph
+from .config import EngineConfig
+from .chromatic import ChromaticEngine
+from .gauss_seidel import DeterministicEngine
+from .nondet_engine import NondeterministicEngine
+from .pure_async import PureAsyncEngine
+from .program import VertexProgram
+from .result import RunResult
+from .state import State
+from .sync_engine import SynchronousEngine
+from .threads_engine import ThreadsEngine
+
+__all__ = ["Mode", "run", "ENGINES"]
+
+Mode = Literal[
+    "sync", "deterministic", "chromatic", "nondeterministic", "pure-async", "threads"
+]
+
+ENGINES = {
+    "sync": SynchronousEngine,
+    "deterministic": DeterministicEngine,
+    "chromatic": ChromaticEngine,
+    "nondeterministic": NondeterministicEngine,
+    "pure-async": PureAsyncEngine,
+    "threads": ThreadsEngine,
+}
+
+
+def run(
+    program: VertexProgram,
+    graph: DiGraph,
+    *,
+    mode: Mode = "nondeterministic",
+    config: EngineConfig | None = None,
+    state: State | None = None,
+    observer=None,
+    **config_kwargs,
+) -> RunResult:
+    """Execute ``program`` on ``graph`` under the chosen execution model.
+
+    Parameters
+    ----------
+    mode:
+        ``"sync"`` — BSP (Theorem 1's premise);
+        ``"deterministic"`` — sequential asynchronous Gauss–Seidel, the
+        paper's DE baseline (external deterministic scheduler);
+        ``"chromatic"`` — deterministic *parallel* asynchronous execution
+        via color classes (the related-work chromatic scheduler);
+        ``"nondeterministic"`` — the simulated racy parallel executor
+        (the paper's NE);
+        ``"pure-async"`` — barrier-free asynchronous executor with
+        autonomous scheduling (the paper's future-work model);
+        ``"threads"`` — best-effort real-thread backend.
+    config:
+        Full :class:`EngineConfig`; alternatively pass individual fields
+        as keyword arguments (``threads=8, seed=3, ...``).
+    state:
+        Resume from an existing state instead of the program's initial
+        one (used by the convergence-chain tracer).
+    observer:
+        Optional callback ``observer(iteration, state, next_schedule)``
+        invoked at every iteration barrier (not supported by the
+        real-thread backend).
+
+    Examples
+    --------
+    >>> from repro.graph import generators
+    >>> from repro.algorithms import WeaklyConnectedComponents
+    >>> g = generators.path_graph(8)
+    >>> res = run(WeaklyConnectedComponents(), g, mode="nondeterministic",
+    ...           threads=4, seed=1)
+    >>> res.converged
+    True
+    """
+    if config is not None and config_kwargs:
+        raise ValueError("pass either config= or individual config kwargs, not both")
+    if config is None:
+        config = EngineConfig(**config_kwargs)
+    try:
+        engine_cls = ENGINES[mode]
+    except KeyError:
+        raise ValueError(f"unknown mode {mode!r}; choose from {sorted(ENGINES)}") from None
+    if mode == "threads":
+        if observer is not None:
+            raise ValueError("the real-thread backend does not support observers")
+        return engine_cls().run(program, graph, config, state=state)
+    return engine_cls().run(program, graph, config, state=state, observer=observer)

@@ -1,0 +1,133 @@
+"""Computation state: the paper's per-vertex data ``D_v`` and per-edge data ``D_(u->v)``.
+
+A :class:`FieldSpec` declares one named array of values (dtype + initial
+value); a :class:`State` bundles the vertex-field and edge-field arrays
+for one run.  Vertex data is private to its owning update function (the
+paper's scope rule), so it is stored as plain arrays mutated in place.
+Edge data is the shared, contended resource — the engines mediate every
+edge access through their own visibility machinery, and use
+:meth:`State.snapshot_edges` / :meth:`State.commit_edges` at iteration
+barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..graph import DiGraph
+
+__all__ = ["FieldSpec", "State", "INF"]
+
+#: Sentinel "infinite" value the paper uses for unreached labels/distances.
+INF = np.inf
+
+Initializer = float | int | Callable[[DiGraph], np.ndarray]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Declaration of one named value array.
+
+    Parameters
+    ----------
+    dtype:
+        NumPy dtype of the array.
+    init:
+        Either a scalar broadcast to every element, or a callable
+        ``f(graph) -> ndarray`` producing the initial array (used e.g. by
+        SSSP's random edge weights and PageRank's ``1/out_degree`` edge
+        values).
+    """
+
+    dtype: np.dtype | type | str
+    init: Initializer = 0.0
+
+    def materialize(self, graph: DiGraph, size: int) -> np.ndarray:
+        """Produce the initial array of ``size`` elements."""
+        if callable(self.init):
+            arr = np.asarray(self.init(graph), dtype=self.dtype)
+            if arr.shape != (size,):
+                raise ValueError(
+                    f"field initializer returned shape {arr.shape}, expected ({size},)"
+                )
+            return arr.copy()
+        return np.full(size, self.init, dtype=self.dtype)
+
+
+class State:
+    """Vertex and edge value arrays for one execution.
+
+    Access vertex arrays via :meth:`vertex` and edge arrays via
+    :meth:`edge`.  The engines — not user programs — are the only code
+    that should touch edge arrays directly; programs go through their
+    :class:`~repro.engine.program.UpdateContext`.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        vertex_fields: Mapping[str, FieldSpec],
+        edge_fields: Mapping[str, FieldSpec],
+    ):
+        self._graph = graph
+        self._vertex: dict[str, np.ndarray] = {
+            name: spec.materialize(graph, graph.num_vertices)
+            for name, spec in vertex_fields.items()
+        }
+        self._edge: dict[str, np.ndarray] = {
+            name: spec.materialize(graph, graph.num_edges)
+            for name, spec in edge_fields.items()
+        }
+
+    @property
+    def graph(self) -> DiGraph:
+        return self._graph
+
+    @property
+    def vertex_field_names(self) -> tuple[str, ...]:
+        return tuple(self._vertex)
+
+    @property
+    def edge_field_names(self) -> tuple[str, ...]:
+        return tuple(self._edge)
+
+    def vertex(self, field: str) -> np.ndarray:
+        """The full per-vertex array for ``field`` (mutable view)."""
+        try:
+            return self._vertex[field]
+        except KeyError:
+            raise KeyError(
+                f"unknown vertex field {field!r}; have {list(self._vertex)}"
+            ) from None
+
+    def edge(self, field: str) -> np.ndarray:
+        """The full per-edge array for ``field`` (mutable view)."""
+        try:
+            return self._edge[field]
+        except KeyError:
+            raise KeyError(f"unknown edge field {field!r}; have {list(self._edge)}") from None
+
+    # ------------------------------------------------------------------
+    # Barrier support
+    # ------------------------------------------------------------------
+    def snapshot_edges(self) -> dict[str, np.ndarray]:
+        """Copy of all edge arrays — the values committed at the last barrier."""
+        return {name: arr.copy() for name, arr in self._edge.items()}
+
+    def commit_edges(self, updates: Mapping[str, Mapping[int, float]]) -> None:
+        """Apply ``{field: {eid: value}}`` to the edge arrays (barrier commit)."""
+        for field, writes in updates.items():
+            arr = self.edge(field)
+            for eid, value in writes.items():
+                arr[eid] = value
+
+    def copy(self) -> "State":
+        """Deep copy (same graph, copied arrays)."""
+        clone = State.__new__(State)
+        clone._graph = self._graph
+        clone._vertex = {k: v.copy() for k, v in self._vertex.items()}
+        clone._edge = {k: v.copy() for k, v in self._edge.items()}
+        return clone

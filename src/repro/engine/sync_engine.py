@@ -1,0 +1,125 @@
+"""Synchronous (Bulk Synchronous Parallel) execution (§I, §II).
+
+Under the BSP model the effectiveness of all updates is postponed to the
+next iteration: every read during iteration ``n`` observes the values
+committed at the end of iteration ``n-1``, and all writes commit at the
+barrier.  This exempts the updates of one iteration from any data
+dependences among themselves — which is why Theorem 1 takes "converges
+with synchronous model execution" as its premise.
+
+Two updates may still write the same edge in one iteration (e.g. WCC on
+edge ``(v, u)`` written by both endpoints); the commit applies writes in
+ascending writer-label order, so the largest label deterministically
+wins.  That choice is arbitrary but fixed, keeping BSP runs
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import DiGraph
+from .config import EngineConfig
+from .dispatch import make_plan
+from .frontier import Frontier, initial_frontier
+from .program import UpdateContext, VertexProgram
+from .result import IterationStats, RunResult
+from .state import State
+
+__all__ = ["SynchronousEngine"]
+
+
+class _SnapshotStore:
+    """Reads from the pre-iteration snapshot; buffers writes for the barrier."""
+
+    __slots__ = ("_snapshot", "pending")
+
+    def __init__(self, snapshot: dict[str, np.ndarray]):
+        self._snapshot = snapshot
+        # field -> eid -> (writer_vid, value); later (higher-label) writers
+        # overwrite earlier ones because updates run in ascending order.
+        self.pending: dict[str, dict[int, float]] = {f: {} for f in snapshot}
+
+    def read(self, vid: int, eid: int, field: str) -> float:
+        return self._snapshot[field][eid]
+
+    def write(self, vid: int, eid: int, field: str, value: float) -> None:
+        self.pending[field][eid] = value
+
+
+class SynchronousEngine:
+    """BSP executor: barrier-deferred writes, snapshot reads."""
+
+    mode = "sync"
+
+    def run(
+        self,
+        program: VertexProgram,
+        graph: DiGraph,
+        config: EngineConfig | None = None,
+        *,
+        state: State | None = None,
+        observer=None,
+    ) -> RunResult:
+        config = config or EngineConfig()
+        state = state if state is not None else program.make_state(graph)
+        frontier = initial_frontier(program, graph)
+        fp_rng = (
+            np.random.default_rng(np.random.SeedSequence([config.seed, 1]))
+            if config.fp_noise
+            else None
+        )
+
+        stats: list[IterationStats] = []
+        iteration = 0
+        converged = False
+        while iteration < config.max_iterations:
+            if not frontier:
+                converged = True
+                break
+            active = frontier.sorted_vertices()
+            # Dispatch is used only for work accounting: BSP has no
+            # intra-iteration dependences, so placement can't change values.
+            plan = make_plan(active, config.threads, policy=config.dispatch)
+            store = _SnapshotStore(state.snapshot_edges())
+            next_schedule: set[int] = set()
+            p = config.threads
+            upd = [0] * p
+            reads = [0] * p
+            writes = [0] * p
+            for vid in active.tolist():
+                ctx = UpdateContext(
+                    vid, graph, state, store, next_schedule, gather_rng=fp_rng,
+                    strict_scope=config.validate_scope,
+                )
+                program.update(ctx)
+                t = plan.slots[vid].thread
+                upd[t] += 1
+                reads[t] += ctx.n_edge_reads
+                writes[t] += ctx.n_edge_writes
+            state.commit_edges(store.pending)
+            stats.append(
+                IterationStats(
+                    iteration=iteration,
+                    num_active=int(active.size),
+                    updates_per_thread=upd,
+                    reads_per_thread=reads,
+                    writes_per_thread=writes,
+                )
+            )
+            if observer is not None:
+                observer(iteration, state, next_schedule)
+            frontier = Frontier(next_schedule)
+            iteration += 1
+        else:
+            converged = not frontier
+
+        return RunResult(
+            program=program,
+            state=state,
+            mode=self.mode,
+            converged=converged,
+            num_iterations=iteration,
+            iterations=stats,
+            config=config,
+        )

@@ -1,0 +1,160 @@
+"""Best-effort *real*-thread nondeterministic backend.
+
+This backend exists for API parity and as a live demonstration that the
+paper's claims survive genuine OS-scheduled interleaving: it runs each
+iteration's updates on ``P`` ``threading.Thread`` workers sharing the
+state arrays in place, with a barrier between iterations.
+
+Two honest caveats, both documented in DESIGN.md:
+
+* **CPython's GIL serializes bytecode**, so individual NumPy scalar
+  loads/stores are naturally atomic — which happens to be precisely the
+  paper's §III minimal guarantee ("architecture support" for free), but
+  it also means no wall-clock speedup is obtainable here; performance
+  claims are the job of the simulated engine plus the cost model.
+* The interleaving is real and therefore **unobservable**: this backend
+  cannot populate the conflict log (watching the race would change it).
+  With ``atomicity=LOCK`` it takes a real per-edge lock around each
+  access, mimicking the paper's explicit locking method.
+
+Runs are *not* reproducible from the seed — that is the point.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..graph import DiGraph
+from .atomicity import AtomicityPolicy
+from .config import EngineConfig
+from .dispatch import make_plan
+from .frontier import Frontier, initial_frontier
+from .program import UpdateContext, VertexProgram
+from .result import IterationStats, RunResult
+from .state import State
+
+__all__ = ["ThreadsEngine"]
+
+
+class _SharedStore:
+    """Direct in-place store shared by racing threads."""
+
+    __slots__ = ("_edges", "_locks", "_guard")
+
+    def __init__(self, state: State, use_locks: bool):
+        self._edges = {name: state.edge(name) for name in state.edge_field_names}
+        # One lock per edge, created lazily under a guard lock, only in
+        # LOCK mode.  (A dict of locks, not a list: most edges are never
+        # contended.)
+        self._locks: dict[int, threading.Lock] | None = {} if use_locks else None
+        self._guard = threading.Lock() if use_locks else None
+
+    def _lock_for(self, eid: int) -> threading.Lock:
+        locks = self._locks
+        lock = locks.get(eid)
+        if lock is None:
+            with self._guard:
+                lock = locks.setdefault(eid, threading.Lock())
+        return lock
+
+    def read(self, vid: int, eid: int, field: str) -> float:
+        if self._locks is not None:
+            with self._lock_for(eid):
+                return float(self._edges[field][eid])
+        return float(self._edges[field][eid])
+
+    def write(self, vid: int, eid: int, field: str, value: float) -> None:
+        if self._locks is not None:
+            with self._lock_for(eid):
+                self._edges[field][eid] = value
+            return
+        self._edges[field][eid] = value
+
+
+class ThreadsEngine:
+    """Real ``threading``-based nondeterministic executor (demo backend)."""
+
+    mode = "threads"
+
+    def run(
+        self,
+        program: VertexProgram,
+        graph: DiGraph,
+        config: EngineConfig | None = None,
+        *,
+        state: State | None = None,
+    ) -> RunResult:
+        config = config or EngineConfig()
+        if config.atomicity is AtomicityPolicy.NONE:
+            raise ValueError(
+                "the real-thread backend cannot forgo atomicity: the GIL "
+                "always provides it; use NondeterministicEngine for the "
+                "torn-value ablation"
+            )
+        state = state if state is not None else program.make_state(graph)
+        store = _SharedStore(state, use_locks=config.atomicity is AtomicityPolicy.LOCK)
+        frontier = initial_frontier(program, graph)
+
+        stats: list[IterationStats] = []
+        iteration = 0
+        converged = False
+        p = config.threads
+        while iteration < config.max_iterations:
+            if not frontier:
+                converged = True
+                break
+            active = frontier.sorted_vertices()
+            plan = make_plan(active, p, policy=config.dispatch)
+            next_schedule: set[int] = set()
+            sched_lock = threading.Lock()
+            upd = [0] * p
+            reads = [0] * p
+            writes = [0] * p
+
+            def worker(tid: int) -> None:
+                local_sched: set[int] = set()
+                r = w = 0
+                for vid in plan.per_thread[tid]:
+                    ctx = UpdateContext(vid, graph, state, store, local_sched,
+                                        strict_scope=config.validate_scope)
+                    program.update(ctx)
+                    r += ctx.n_edge_reads
+                    w += ctx.n_edge_writes
+                with sched_lock:
+                    next_schedule.update(local_sched)
+                upd[tid] = len(plan.per_thread[tid])
+                reads[tid] = r
+                writes[tid] = w
+
+            threads = [
+                threading.Thread(target=worker, args=(t,), daemon=True)
+                for t in range(p)
+            ]
+            for th in threads:
+                th.start()
+            for th in threads:  # the iteration barrier
+                th.join()
+
+            stats.append(
+                IterationStats(
+                    iteration=iteration,
+                    num_active=int(active.size),
+                    updates_per_thread=upd,
+                    reads_per_thread=reads,
+                    writes_per_thread=writes,
+                )
+            )
+            frontier = Frontier(next_schedule)
+            iteration += 1
+        else:
+            converged = not frontier
+
+        return RunResult(
+            program=program,
+            state=state,
+            mode=self.mode,
+            converged=converged,
+            num_iterations=iteration,
+            iterations=stats,
+            config=config,
+        )

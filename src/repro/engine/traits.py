@@ -1,0 +1,104 @@
+"""Algorithm traits: the declared properties Theorems 1 and 2 reason over.
+
+The paper's two sufficient conditions key off a handful of properties of
+an algorithm's update function:
+
+* which **conflicts** its nondeterministic execution can produce on edges
+  (read–write only, or also write–write) — §III;
+* whether it **converges under the synchronous (BSP) model** — the premise
+  of Theorem 1;
+* whether it **converges under a deterministic asynchronous schedule** —
+  the premise of Theorem 2 (and of Theorem 1's stated extension);
+* whether it satisfies the **monotonicity property** (computing results
+  monotonically increase or decrease, but not both) — Theorem 2;
+* whether its convergence condition is **absolute** (e.g. "label equals
+  component minimum") or **approximate/relative** (e.g. PageRank's
+  ``|f(D_v) − D_v| < ε``), which governs whether nondeterministic runs
+  produce identical or merely close final results (§IV, §V-C).
+
+Programs declare these traits; :mod:`repro.theory.eligibility` turns them
+into an executable verdict, and :mod:`repro.theory.monotonic` can probe
+the monotonicity claim empirically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ConflictProfile", "ConvergenceKind", "Monotonicity", "AlgorithmTraits"]
+
+
+class ConflictProfile(enum.Enum):
+    """Which edge conflicts a nondeterministic execution can raise (§III)."""
+
+    NONE = "none"  #: update tasks never contend on shared edges
+    READ_WRITE = "read-write"  #: reads race writes, but each edge has one writer
+    WRITE_WRITE = "write-write"  #: multiple updates may write the same edge
+
+
+class ConvergenceKind(enum.Enum):
+    """How the algorithm expresses "done" (§IV discussion after Thm 1/2)."""
+
+    ABSOLUTE = "absolute"  #: exact fixed point; results insensitive to schedule
+    APPROXIMATE = "approximate"  #: relative/epsilon condition; results vary by run
+
+
+class Monotonicity(enum.Enum):
+    """Direction of the computing results over time (Theorem 2)."""
+
+    NONE = "none"
+    DECREASING = "decreasing"
+    INCREASING = "increasing"
+
+    @property
+    def is_monotone(self) -> bool:
+        return self is not Monotonicity.NONE
+
+
+@dataclass(frozen=True)
+class AlgorithmTraits:
+    """Declared properties of a vertex program.
+
+    These are *claims by the program author*; the theory package treats
+    them as the hypotheses of the paper's theorems.
+
+    Attributes
+    ----------
+    name:
+        Human-readable algorithm name.
+    conflict_profile:
+        Worst-case conflicts the update function can produce on edges when
+        executed nondeterministically in pull mode.
+    converges_synchronously:
+        True if the algorithm converges under the BSP model (Theorem 1's
+        premise).
+    converges_async_deterministic:
+        True if the algorithm converges under a deterministic asynchronous
+        (Gauss–Seidel) schedule (Theorem 2's premise, and the extension of
+        Theorem 1 noted at the end of its proof).
+    monotonicity:
+        Monotone direction of intermediate results, if any (Theorem 2).
+    convergence_kind:
+        Absolute vs approximate convergence condition; decides whether the
+        paper predicts identical or merely similar results across runs.
+    family:
+        Informal family label used in reports ("fixed-point iteration",
+        "graph traversal", ...).
+    """
+
+    name: str
+    conflict_profile: ConflictProfile
+    converges_synchronously: bool
+    converges_async_deterministic: bool
+    monotonicity: Monotonicity = Monotonicity.NONE
+    convergence_kind: ConvergenceKind = ConvergenceKind.ABSOLUTE
+    family: str = ""
+
+    @property
+    def has_write_write(self) -> bool:
+        return self.conflict_profile is ConflictProfile.WRITE_WRITE
+
+    @property
+    def is_monotone(self) -> bool:
+        return self.monotonicity.is_monotone

@@ -1,0 +1,35 @@
+"""Experiment drivers: one module per paper table/figure plus ablations.
+
+See DESIGN.md §4 for the experiment index (T1, F3, T2, T3, A1–A3).
+"""
+
+from .ablations import AblationResult, run_delay_sweep, run_dispatch_study, run_torn_study
+from .common import DEFAULT_SCALE, DEFAULT_SEED, PAPER_THREADS, format_table
+from .figure3 import NE_POLICIES, Figure3Result, run_figure3
+from .report import generate_report
+from .table1 import Table1Result, run_table1
+from .table2 import PAPER_CONFIGS, PAPER_EPSILONS, VarianceResult, build_study, run_table2
+from .table3 import run_table3
+
+__all__ = [
+    "AblationResult",
+    "run_delay_sweep",
+    "run_dispatch_study",
+    "run_torn_study",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "PAPER_THREADS",
+    "format_table",
+    "NE_POLICIES",
+    "Figure3Result",
+    "run_figure3",
+    "generate_report",
+    "Table1Result",
+    "run_table1",
+    "PAPER_CONFIGS",
+    "PAPER_EPSILONS",
+    "VarianceResult",
+    "build_study",
+    "run_table2",
+    "run_table3",
+]

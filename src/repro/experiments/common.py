@@ -1,0 +1,49 @@
+"""Shared experiment plumbing: configuration defaults and table rendering."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "DEFAULT_SCALE", "DEFAULT_SEED", "PAPER_THREADS"]
+
+#: Default log2 graph scale for experiment drivers (2**10 = 1024 vertices).
+DEFAULT_SCALE = 10
+#: Default data seed for the stand-in datasets.
+DEFAULT_SEED = 7
+#: The thread counts of the paper's Fig. 3 x-axes.
+PAPER_THREADS = (4, 8, 16)
+
+
+def format_table(rows: Sequence[Mapping], *, title: str | None = None) -> str:
+    """Render dict rows as an aligned plain-text table.
+
+    Columns are the union of keys in first-seen order; floats are shown
+    with 4 significant digits.  Used by every experiment driver and by
+    the benchmark harness to print the paper-shaped tables.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Experiment F3 — Fig. 3: computing times, deterministic vs nondeterministic.
+
+Reproduces the paper's 16-panel performance grid: for each of
+{PageRank, WCC, SSSP, BFS} × {4 stand-in graphs}, the deterministic
+baseline (external deterministic scheduler, shown by the paper at 4
+threads only because it does not scale) against nondeterministic
+execution with the three §III atomicity methods at 4, 8 and 16 threads.
+
+Because the three atomicity methods produce *identical values* and
+differ only in cost, each (algorithm, graph, threads) cell needs exactly
+one engine run; the three NE curves are three pricings of that run's
+work profile.  Iteration counts are measured, not modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..algorithms import PAPER_ALGORITHMS
+from ..engine.atomicity import AtomicityPolicy
+from ..engine.config import EngineConfig
+from ..engine.runner import run
+from ..graph import DiGraph
+from ..graph.datasets import PAPER_DATASETS
+from ..perf import CostParams, TimingRow, price_run
+from .common import DEFAULT_SCALE, DEFAULT_SEED, PAPER_THREADS, format_table
+
+__all__ = ["Figure3Result", "run_figure3", "NE_POLICIES"]
+
+#: The three §III atomicity methods, in the paper's legend order.
+NE_POLICIES = (
+    AtomicityPolicy.LOCK,
+    AtomicityPolicy.CACHE_LINE,
+    AtomicityPolicy.ATOMIC_RELAXED,
+)
+
+
+@dataclass
+class Figure3Result:
+    """All timing rows of the Fig. 3 grid, with panel accessors."""
+
+    rows: list[TimingRow] = field(default_factory=list)
+
+    def panel(self, algorithm: str, graph: str) -> list[TimingRow]:
+        """The rows of one Fig. 3 subplot."""
+        return [r for r in self.rows if r.algorithm == algorithm and r.graph == graph]
+
+    def cell(
+        self, algorithm: str, graph: str, mode: str, threads: int, policy: str = "-"
+    ) -> TimingRow:
+        for r in self.panel(algorithm, graph):
+            if r.mode == mode and r.threads == threads and r.policy == policy:
+                return r
+        raise KeyError(f"no row for {algorithm}/{graph}/{mode}/{threads}/{policy}")
+
+    def algorithms(self) -> list[str]:
+        return sorted({r.algorithm for r in self.rows})
+
+    def graphs(self) -> list[str]:
+        return sorted({r.graph for r in self.rows})
+
+    def render(self) -> str:
+        chunks = []
+        for algo in self.algorithms():
+            for graph in self.graphs():
+                panel = self.panel(algo, graph)
+                if panel:
+                    chunks.append(
+                        format_table(
+                            [r.as_dict() for r in panel],
+                            title=f"Fig. 3 — {algo} on {graph}",
+                        )
+                    )
+        return "\n\n".join(chunks)
+
+
+def run_figure3(
+    *,
+    scale: int = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    run_seed: int = 0,
+    threads_list: Sequence[int] = PAPER_THREADS,
+    algorithms: Mapping[str, Callable] | None = None,
+    graphs: Mapping[str, DiGraph] | None = None,
+    cost_params: CostParams | None = None,
+) -> Figure3Result:
+    """Execute the full grid and price every cell.
+
+    Parameters
+    ----------
+    scale, seed:
+        Size/seed of the stand-in datasets (ignored when ``graphs`` is
+        given explicitly).
+    run_seed:
+        Engine seed for the nondeterministic runs.
+    algorithms:
+        ``name -> program factory``; defaults to the paper's four.
+    graphs:
+        ``name -> graph``; defaults to the four Table I stand-ins.
+    """
+    algorithms = dict(algorithms or PAPER_ALGORITHMS)
+    if graphs is None:
+        graphs = {
+            spec.name: spec.build(scale=scale, seed=seed)
+            for spec in PAPER_DATASETS.values()
+        }
+
+    out = Figure3Result()
+    for algo_name, factory in algorithms.items():
+        for graph_name, graph in graphs.items():
+            # Deterministic baseline: the paper shows it at 4 threads only
+            # ("the performances ... do not scale").
+            de = run(
+                factory(),
+                graph,
+                mode="deterministic",
+                config=EngineConfig(threads=4, seed=run_seed),
+            )
+            out.rows.append(
+                price_run(
+                    de,
+                    algorithm=algo_name,
+                    graph=graph_name,
+                    params=cost_params,
+                )
+            )
+            for threads in threads_list:
+                ne = run(
+                    factory(),
+                    graph,
+                    mode="nondeterministic",
+                    config=EngineConfig(threads=threads, seed=run_seed),
+                )
+                for policy in NE_POLICIES:
+                    out.rows.append(
+                        price_run(
+                            ne,
+                            algorithm=algo_name,
+                            graph=graph_name,
+                            policy=policy,
+                            params=cost_params,
+                        )
+                    )
+    return out

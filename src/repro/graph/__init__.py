@@ -1,0 +1,56 @@
+"""Graph substrate: storage, construction, generation, I/O, reference algorithms."""
+
+from .digraph import DiGraph
+from .builder import GraphBuilder
+from .properties import (
+    GraphStats,
+    bfs_levels,
+    dijkstra_distances,
+    graph_stats,
+    is_weakly_connected,
+    num_weakly_connected_components,
+    weakly_connected_components,
+)
+from .coloring import color_classes, greedy_coloring, is_valid_coloring
+from .partition import (
+    PartitionQuality,
+    apply_partition,
+    bfs_partition,
+    contiguous_partition,
+    partition_quality,
+    random_partition,
+)
+from .datasets import PAPER_DATASETS, DatasetSpec, dataset_names, load_dataset
+from .metrics import DegreeProfile, degree_profile, gini, tail_ratio
+from . import generators, io
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "GraphStats",
+    "graph_stats",
+    "weakly_connected_components",
+    "num_weakly_connected_components",
+    "is_weakly_connected",
+    "bfs_levels",
+    "dijkstra_distances",
+    "greedy_coloring",
+    "is_valid_coloring",
+    "color_classes",
+    "PartitionQuality",
+    "partition_quality",
+    "random_partition",
+    "contiguous_partition",
+    "bfs_partition",
+    "apply_partition",
+    "DegreeProfile",
+    "degree_profile",
+    "gini",
+    "tail_ratio",
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "generators",
+    "io",
+]

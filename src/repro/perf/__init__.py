@@ -1,0 +1,14 @@
+"""Virtual-time performance modelling (Fig. 3 reproduction machinery)."""
+
+from .costmodel import CostModel, CostParams, estimate_time
+from .metrics import TimingRow, price_run, scaling_efficiency, speedup
+
+__all__ = [
+    "CostModel",
+    "CostParams",
+    "estimate_time",
+    "TimingRow",
+    "price_run",
+    "scaling_efficiency",
+    "speedup",
+]

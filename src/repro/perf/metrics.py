@@ -1,0 +1,82 @@
+"""Derived performance metrics: speedups, scaling curves, work summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.atomicity import AtomicityPolicy
+from ..engine.result import RunResult
+from .costmodel import CostModel, CostParams
+
+__all__ = ["TimingRow", "speedup", "scaling_efficiency", "price_run"]
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    """One cell of the Fig. 3 grid: an execution priced in virtual time."""
+
+    algorithm: str
+    graph: str
+    mode: str  #: "DE" or "NE"
+    policy: str  #: atomicity method (NE only; "-" for DE)
+    threads: int
+    iterations: int
+    updates: int
+    virtual_seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "graph": self.graph,
+            "mode": self.mode,
+            "policy": self.policy,
+            "threads": self.threads,
+            "iterations": self.iterations,
+            "updates": self.updates,
+            "virtual_seconds": self.virtual_seconds,
+        }
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """How many times faster than the baseline (``>1`` means faster)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return baseline_seconds / seconds
+
+
+def scaling_efficiency(t1: float, tp: float, threads: int) -> float:
+    """Parallel efficiency ``t1 / (threads * tp)`` in ``(0, 1]`` ideally."""
+    if threads < 1 or tp <= 0:
+        raise ValueError("threads must be >= 1 and tp positive")
+    return t1 / (threads * tp)
+
+
+def price_run(
+    result: RunResult,
+    *,
+    algorithm: str,
+    graph: str,
+    policy: AtomicityPolicy | None = None,
+    params: CostParams | None = None,
+) -> TimingRow:
+    """Build a :class:`TimingRow` from one engine run."""
+    model = CostModel(params or CostParams())
+    seconds = model.time(result, policy)
+    threads = result.config.threads if result.config else 1
+    if result.mode == "deterministic":
+        mode, policy_name, threads = "DE", "-", threads
+    elif result.mode == "sync":
+        mode, policy_name = "SYNC", "-"
+    else:
+        chosen = policy or (result.config.atomicity if result.config else None)
+        mode, policy_name = "NE", chosen.value if chosen else "?"
+    return TimingRow(
+        algorithm=algorithm,
+        graph=graph,
+        mode=mode,
+        policy=policy_name,
+        threads=threads,
+        iterations=result.num_iterations,
+        updates=result.total_updates,
+        virtual_seconds=seconds,
+    )

@@ -1,0 +1,13 @@
+"""On-disk graph storage: binary containers and GraphChi-style PSW shards."""
+
+from .binfmt import load_graph, save_graph
+from .shards import IOStats, OutOfCoreRunner, Shard, ShardedGraph
+
+__all__ = [
+    "load_graph",
+    "save_graph",
+    "IOStats",
+    "OutOfCoreRunner",
+    "Shard",
+    "ShardedGraph",
+]

@@ -1,0 +1,112 @@
+"""Compact binary graph format.
+
+GraphChi preprocesses text edge lists into binary shards once and then
+reuses them; this module provides the equivalent first stage — a
+single-file binary container for a :class:`~repro.graph.DiGraph` plus
+optional named per-edge and per-vertex value arrays.
+
+Layout (little-endian)::
+
+    magic   8 bytes   b"RPROGRF1"
+    header  3 x u64   num_vertices, num_edges, num_arrays
+    src     E x i64
+    dst     E x i64
+    arrays  repeated: name_len u16, name utf-8,
+                      kind u8 (0 = vertex, 1 = edge),
+                      dtype_len u16, dtype str, raw data
+
+The format is intentionally simple and self-describing so tests can
+byte-poke corruption scenarios.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from ..graph import DiGraph
+
+__all__ = ["save_graph", "load_graph", "MAGIC"]
+
+MAGIC = b"RPROGRF1"
+_KIND_VERTEX = 0
+_KIND_EDGE = 1
+
+
+def save_graph(
+    graph: DiGraph,
+    path: str | os.PathLike,
+    *,
+    vertex_arrays: dict[str, np.ndarray] | None = None,
+    edge_arrays: dict[str, np.ndarray] | None = None,
+) -> None:
+    """Serialize ``graph`` (and optional value arrays) to ``path``."""
+    vertex_arrays = vertex_arrays or {}
+    edge_arrays = edge_arrays or {}
+    for name, arr in vertex_arrays.items():
+        if arr.shape != (graph.num_vertices,):
+            raise ValueError(f"vertex array {name!r} has shape {arr.shape}")
+    for name, arr in edge_arrays.items():
+        if arr.shape != (graph.num_edges,):
+            raise ValueError(f"edge array {name!r} has shape {arr.shape}")
+
+    with open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(
+            struct.pack(
+                "<QQQ",
+                graph.num_vertices,
+                graph.num_edges,
+                len(vertex_arrays) + len(edge_arrays),
+            )
+        )
+        fh.write(graph.edge_src.astype("<i8").tobytes())
+        fh.write(graph.edge_dst.astype("<i8").tobytes())
+        for kind, arrays in ((_KIND_VERTEX, vertex_arrays), (_KIND_EDGE, edge_arrays)):
+            for name, arr in arrays.items():
+                name_b = name.encode("utf-8")
+                dtype_b = arr.dtype.str.encode("ascii")
+                fh.write(struct.pack("<H", len(name_b)))
+                fh.write(name_b)
+                fh.write(struct.pack("<B", kind))
+                fh.write(struct.pack("<H", len(dtype_b)))
+                fh.write(dtype_b)
+                fh.write(np.ascontiguousarray(arr).tobytes())
+
+
+def load_graph(
+    path: str | os.PathLike,
+) -> tuple[DiGraph, dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Load a graph container; returns ``(graph, vertex_arrays, edge_arrays)``."""
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"{path}: not a repro graph file (bad magic {magic!r})")
+        n, m, num_arrays = struct.unpack("<QQQ", fh.read(24))
+        src = np.frombuffer(fh.read(8 * m), dtype="<i8")
+        dst = np.frombuffer(fh.read(8 * m), dtype="<i8")
+        if src.size != m or dst.size != m:
+            raise ValueError(f"{path}: truncated edge section")
+        graph = DiGraph(n, src, dst)
+        vertex_arrays: dict[str, np.ndarray] = {}
+        edge_arrays: dict[str, np.ndarray] = {}
+        for _ in range(num_arrays):
+            (name_len,) = struct.unpack("<H", fh.read(2))
+            name = fh.read(name_len).decode("utf-8")
+            (kind,) = struct.unpack("<B", fh.read(1))
+            (dtype_len,) = struct.unpack("<H", fh.read(2))
+            dtype = np.dtype(fh.read(dtype_len).decode("ascii"))
+            count = n if kind == _KIND_VERTEX else m
+            raw = fh.read(dtype.itemsize * count)
+            arr = np.frombuffer(raw, dtype=dtype)
+            if arr.size != count:
+                raise ValueError(f"{path}: truncated array {name!r}")
+            if kind == _KIND_VERTEX:
+                vertex_arrays[name] = arr.copy()
+            elif kind == _KIND_EDGE:
+                edge_arrays[name] = arr.copy()
+            else:
+                raise ValueError(f"{path}: unknown array kind {kind}")
+    return graph, vertex_arrays, edge_arrays

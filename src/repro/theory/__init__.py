@@ -1,0 +1,32 @@
+"""Executable theory: the paper's §IV made checkable."""
+
+from .chain import ConvergenceChain, trace_chain
+from .explore import ExplorationReport, explore_schedules
+from .eligibility import (
+    EligibilityReport,
+    Verdict,
+    audit_run,
+    check_program,
+    check_push_program,
+    check_traits,
+)
+from .monotonic import MonotonicityProbe, probe_monotonicity
+from .speed import SpeedPoint, SpeedReport, measure_convergence_speed
+
+__all__ = [
+    "ConvergenceChain",
+    "trace_chain",
+    "ExplorationReport",
+    "explore_schedules",
+    "EligibilityReport",
+    "Verdict",
+    "audit_run",
+    "check_program",
+    "check_push_program",
+    "check_traits",
+    "MonotonicityProbe",
+    "probe_monotonicity",
+    "SpeedPoint",
+    "SpeedReport",
+    "measure_convergence_speed",
+]

@@ -1,0 +1,259 @@
+"""Executable form of the paper's sufficient conditions (§IV).
+
+This module answers the paper's title question for a concrete program:
+
+* **Theorem 1** — if the algorithm converges under the synchronous model
+  and its nondeterministic execution produces only read–write conflicts
+  on edges, it converges nondeterministically.  (The proof's closing
+  remark extends the premise to algorithms that converge under a
+  deterministic asynchronous schedule; :func:`check_traits` honours the
+  extension and labels it as such.)
+* **Theorem 2** — if the algorithm converges under deterministic
+  asynchronous execution and satisfies the monotonicity property, it
+  converges nondeterministically even under write–write conflicts,
+  recovering from corrupted intermediate results.
+
+Beyond convergence, the report carries the paper's §IV/§V-C observation
+about *results*: algorithms with absolute convergence conditions produce
+the same final results as deterministic execution, while approximate
+(fixed-point, ε-threshold) algorithms exhibit run-to-run variation.
+
+:func:`audit_run` closes the loop between declaration and observation:
+it cross-checks a finished run's conflict log against the traits the
+verdict was based on, flagging e.g. an "eligible under Theorem 1"
+algorithm that in fact produced write–write conflicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..engine.result import RunResult
+from ..engine.traits import AlgorithmTraits, ConflictProfile, ConvergenceKind
+
+__all__ = ["Verdict", "EligibilityReport", "check_traits", "check_program", "audit_run"]
+
+
+class Verdict(enum.Enum):
+    """Outcome of applying the sufficient conditions."""
+
+    ELIGIBLE_THEOREM_1 = "eligible (Theorem 1)"
+    ELIGIBLE_THEOREM_2 = "eligible (Theorem 2)"
+    ELIGIBLE_PUSH = "eligible (push-mode condition)"
+    NOT_ESTABLISHED = "not established"
+
+    @property
+    def eligible(self) -> bool:
+        return self is not Verdict.NOT_ESTABLISHED
+
+
+@dataclass(frozen=True)
+class EligibilityReport:
+    """The answer, with its reasoning, for one algorithm."""
+
+    traits: AlgorithmTraits
+    verdict: Verdict
+    reasons: tuple[str, ...]
+    #: True when the paper predicts nondeterministic runs reproduce the
+    #: deterministic final results exactly (absolute convergence).
+    results_deterministic: bool
+    warnings: tuple[str, ...] = field(default=())
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f"Algorithm: {self.traits.name} ({self.traits.family or 'unclassified'})"]
+        lines.append(f"Verdict:   {self.verdict.value}")
+        for r in self.reasons:
+            lines.append(f"  - {r}")
+        if self.verdict.eligible:
+            lines.append(
+                "Results:   identical to deterministic execution"
+                if self.results_deterministic
+                else "Results:   expect run-to-run variation (approximate convergence)"
+            )
+        for w in self.warnings:
+            lines.append(f"  ! {w}")
+        return "\n".join(lines)
+
+
+def check_traits(traits: AlgorithmTraits) -> EligibilityReport:
+    """Apply Theorems 1 and 2 to declared traits."""
+    reasons: list[str] = []
+    warnings: list[str] = []
+    verdict = Verdict.NOT_ESTABLISHED
+
+    rw_only = traits.conflict_profile in (ConflictProfile.NONE, ConflictProfile.READ_WRITE)
+
+    if rw_only and traits.converges_synchronously:
+        verdict = Verdict.ELIGIBLE_THEOREM_1
+        reasons.append(
+            "converges under the synchronous model and nondeterministic "
+            "execution raises only read-write conflicts (Theorem 1)"
+        )
+    elif rw_only and traits.converges_async_deterministic:
+        verdict = Verdict.ELIGIBLE_THEOREM_1
+        reasons.append(
+            "converges under a deterministic asynchronous schedule with only "
+            "read-write conflicts (Theorem 1, extended applicability)"
+        )
+    elif traits.has_write_write and traits.converges_async_deterministic and traits.is_monotone:
+        verdict = Verdict.ELIGIBLE_THEOREM_2
+        reasons.append(
+            "converges under deterministic asynchronous execution and is "
+            f"monotone ({traits.monotonicity.value}): write-write conflicts "
+            "are tolerated via corruption recovery (Theorem 2)"
+        )
+    else:
+        if traits.has_write_write and not traits.is_monotone:
+            reasons.append(
+                "produces write-write conflicts but is not monotone: "
+                "Theorem 2 does not apply"
+            )
+        if not traits.converges_synchronously and not traits.converges_async_deterministic:
+            reasons.append(
+                "converges under neither the synchronous model nor a "
+                "deterministic asynchronous schedule: no theorem's premise holds"
+            )
+        elif not traits.converges_synchronously:
+            reasons.append("does not converge under the synchronous model")
+        reasons.append(
+            "the sufficient conditions of the paper do not cover this "
+            "algorithm; nondeterministic execution may or may not converge"
+        )
+
+    # Secondary checks — even an eligible WW algorithm can also qualify
+    # under Theorem 2's premises for its RW conflicts (informational).
+    if (
+        verdict is Verdict.ELIGIBLE_THEOREM_1
+        and traits.has_write_write
+    ):  # pragma: no cover - defensive, unreachable by construction
+        warnings.append("write-write profile contradicts a Theorem 1 verdict")
+
+    results_deterministic = (
+        verdict.eligible and traits.convergence_kind is ConvergenceKind.ABSOLUTE
+    )
+    if verdict.eligible and traits.convergence_kind is ConvergenceKind.APPROXIMATE:
+        warnings.append(
+            "approximate convergence condition: results at convergence vary "
+            "from one run to another (paper §V-C); validate the variation is "
+            "acceptable for your use (difference-degree analysis)"
+        )
+    if verdict is Verdict.ELIGIBLE_THEOREM_2:
+        warnings.append(
+            "Theorem 2 guarantees convergence of the edge/vertex fixed point; "
+            "auxiliary non-recomputable outputs (e.g. operation tallies) are "
+            "not covered — see EdgeIncrementCounter for a cautionary example"
+        )
+
+    return EligibilityReport(
+        traits=traits,
+        verdict=verdict,
+        reasons=tuple(reasons),
+        results_deterministic=results_deterministic,
+        warnings=tuple(warnings),
+    )
+
+
+def check_program(program) -> EligibilityReport:
+    """Convenience: :func:`check_traits` on a program's declared traits."""
+    return check_traits(program.traits)
+
+
+def check_push_program(program) -> EligibilityReport:
+    """The push-mode sufficient condition (the paper's future-work item).
+
+    *If a push-mode algorithm converges under a deterministic schedule
+    and every accumulator's combine is commutative and associative, and
+    combines are applied atomically, then it converges
+    nondeterministically*: delivery order cannot change a folded value,
+    so Theorem 1's chain argument carries over with "edge value"
+    replaced by "accumulator value".  Non-idempotent combines (ADD) get
+    a warning — they depend on exactly-once delivery, i.e. on the atomic
+    combine; idempotent ones (MIN/MAX) additionally tolerate duplicate
+    delivery.
+    """
+    traits = program.traits
+    specs = program.accumulators()
+    reasons: list[str] = []
+    warnings: list[str] = []
+
+    all_ca = all(spec.op.commutative_associative for spec in specs.values())
+    converges = traits.converges_async_deterministic or traits.converges_synchronously
+    if converges and all_ca:
+        verdict = Verdict.ELIGIBLE_PUSH
+        ops = ", ".join(f"{name}:{spec.op.value}" for name, spec in specs.items())
+        reasons.append(
+            "converges deterministically and every accumulator combine is "
+            f"commutative and associative ({ops}): delivery order cannot "
+            "change folded values (push-mode condition)"
+        )
+        non_idem = [n for n, s in specs.items() if not s.op.idempotent]
+        if non_idem:
+            warnings.append(
+                "non-idempotent combine(s) "
+                + ", ".join(non_idem)
+                + ": correctness requires the atomic combine to deliver every "
+                "contribution exactly once — lost updates under "
+                "AtomicityPolicy.NONE corrupt the fixed point"
+            )
+    else:
+        verdict = Verdict.NOT_ESTABLISHED
+        if not converges:
+            reasons.append("no deterministic convergence premise holds")
+        if not all_ca:
+            reasons.append("an accumulator combine is not commutative-associative")
+        reasons.append("the push-mode sufficient condition does not cover this algorithm")
+
+    results_deterministic = (
+        verdict.eligible and traits.convergence_kind is ConvergenceKind.ABSOLUTE
+    )
+    if verdict.eligible and traits.convergence_kind is ConvergenceKind.APPROXIMATE:
+        warnings.append(
+            "approximate convergence condition: results vary from one run to "
+            "another (truncated residuals depend on delivery schedule)"
+        )
+    return EligibilityReport(
+        traits=traits,
+        verdict=verdict,
+        reasons=tuple(reasons),
+        results_deterministic=results_deterministic,
+        warnings=tuple(warnings),
+    )
+
+
+def audit_run(result: RunResult) -> list[str]:
+    """Cross-check a run's observed conflicts against the declared traits.
+
+    Returns a list of discrepancy messages (empty = consistent).  This is
+    the empirical safety net for hand-declared conflict profiles.
+    """
+    issues: list[str] = []
+    traits = result.program.traits
+    log = result.conflicts
+    if result.mode == "deterministic" and log.total:
+        issues.append(
+            f"deterministic run logged {log.total} conflicts — engine invariant broken"
+        )
+    if result.mode == "nondeterministic":
+        if traits.conflict_profile is ConflictProfile.NONE and log.total:
+            issues.append(
+                f"declared conflict-free but observed {log.read_write} read-write "
+                f"and {log.write_write} write-write conflicts"
+            )
+        if (
+            traits.conflict_profile is ConflictProfile.READ_WRITE
+            and log.write_write
+        ):
+            issues.append(
+                f"declared read-write-only but observed {log.write_write} "
+                "write-write conflicts"
+            )
+    if not result.converged:
+        report = check_traits(traits)
+        if report.verdict.eligible:
+            issues.append(
+                f"declared eligible ({report.verdict.value}) but the run did not "
+                f"converge within {result.num_iterations} iterations"
+            )
+    return issues

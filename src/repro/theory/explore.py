@@ -1,0 +1,186 @@
+"""Exhaustive schedule exploration: model-checking the theorems.
+
+Seeded runs *sample* the space of nondeterministic executions; on tiny
+instances we can do better and enumerate it.  The explorer drives the
+nondeterministic engine one iteration at a time, branching over **every
+dispatch of the active set**: each permutation of the chosen updates
+laid out over the thread blocks yields a distinct pattern of ``≺ / ≻ /
+∥`` relations (Definitions 1–3), so the union over permutations covers
+every schedule the system model admits for the given thread count and
+delay.
+
+The search walks the resulting state graph (states are the exact bytes
+of all vertex and edge arrays plus the pending active set):
+
+* every *terminal* state (empty active set) contributes its result
+  vector to the report — Theorem 2's "same final results" claim becomes
+  "exactly one terminal result across all schedules";
+* a *cycle* in the state graph is a witness of a schedule that never
+  terminates — what the NOT-ESTABLISHED verdicts warn about;
+* ``max_depth`` bounds runaway exploration of genuinely divergent
+  programs.
+
+This is exact verification, not sampling — but it is exponential, so
+keep instances tiny (≤ ~5 active vertices per iteration; the Fig. 2
+two-vertex scenario, triangles, small stars and paths are the intended
+targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..engine.config import EngineConfig
+from ..engine.dispatch import DispatchPolicy, make_plan
+from ..engine.frontier import initial_frontier
+from ..engine.nondet_engine import NondeterministicEngine
+from ..engine.program import VertexProgram
+from ..engine.state import State
+
+__all__ = ["ExplorationReport", "explore_schedules"]
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of exhaustively exploring a program's schedule space."""
+
+    states_visited: int
+    terminal_results: list[np.ndarray]
+    cycle_found: bool  #: some schedule revisits a state (can run forever)
+    depth_exceeded: bool  #: some path exceeded max_depth without terminating
+    max_terminal_depth: int  #: most iterations any converging schedule took
+
+    @property
+    def always_converges(self) -> bool:
+        """Every explored schedule reaches an empty active set."""
+        return not self.cycle_found and not self.depth_exceeded
+
+    @property
+    def result_deterministic(self) -> bool:
+        """All converging schedules agree on the final result."""
+        if not self.terminal_results:
+            return True
+        first = self.terminal_results[0]
+        return all(np.array_equal(first, r) for r in self.terminal_results[1:])
+
+    def distinct_results(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for r in self.terminal_results:
+            if not any(np.array_equal(r, seen) for seen in out):
+                out.append(r)
+        return out
+
+
+def _state_key(state: State, active: frozenset[int]) -> tuple:
+    parts = [active]
+    for name in state.vertex_field_names:
+        parts.append(state.vertex(name).tobytes())
+    for name in state.edge_field_names:
+        parts.append(state.edge(name).tobytes())
+    return tuple(parts)
+
+
+def explore_schedules(
+    program_factory,
+    graph: DiGraph,
+    *,
+    threads: int = 2,
+    delay: float = 2.0,
+    max_depth: int = 25,
+    max_states: int = 50_000,
+    max_active: int = 6,
+) -> ExplorationReport:
+    """Enumerate every schedule of ``program_factory()`` on ``graph``.
+
+    Raises ``ValueError`` if an active set ever exceeds ``max_active``
+    (the permutation fan-out would explode) and ``RuntimeError`` when
+    ``max_states`` is exhausted before the frontier of the search dries
+    up.
+    """
+    probe = program_factory()
+    config = EngineConfig(threads=threads, delay=delay, jitter=0.0)
+
+    initial_state = probe.make_state(graph)
+    initial_active = frozenset(initial_frontier(probe, graph).as_set())
+
+    # Depth-first search over (state bytes, active set).
+    seen: set[tuple] = set()
+    on_path: set[tuple] = set()
+    terminal_results: list[np.ndarray] = []
+    stats = {
+        "states": 0,
+        "cycle": False,
+        "depth_exceeded": False,
+        "max_terminal_depth": 0,
+    }
+
+    def successors(state: State, active: frozenset[int]):
+        ordered = sorted(active)
+        if len(ordered) > max_active:
+            raise ValueError(
+                f"active set of {len(ordered)} exceeds max_active={max_active}; "
+                "exhaustive exploration is only for tiny instances"
+            )
+        seen_plans: set[tuple] = set()
+        for perm in permutations(ordered):
+            plan = make_plan(
+                np.array(perm, dtype=np.int64),
+                threads,
+                policy=DispatchPolicy.BLOCK,
+            )
+            # Distinct permutations can induce identical (thread, π)
+            # placements relevant to semantics; dedup on the placement.
+            placement = tuple(
+                sorted((v, s.thread, s.pi) for v, s in plan.slots.items())
+            )
+            if placement in seen_plans:
+                continue
+            seen_plans.add(placement)
+            branch = state.copy()
+            program = program_factory()
+            next_sched = NondeterministicEngine.step_iteration(
+                program, graph, branch, plan, config
+            )
+            yield branch, frozenset(next_sched)
+
+    def dfs(state: State, active: frozenset[int], depth: int) -> None:
+        if stats["cycle"] and stats["depth_exceeded"]:
+            return  # nothing left to learn
+        key = _state_key(state, active)
+        if key in on_path:
+            stats["cycle"] = True
+            return
+        if key in seen:
+            return
+        seen.add(key)
+        stats["states"] += 1
+        if stats["states"] > max_states:
+            raise RuntimeError(f"exceeded max_states={max_states}")
+        if not active:
+            terminal_results.append(
+                np.array(program_factory().result(state), copy=True)
+            )
+            stats["max_terminal_depth"] = max(stats["max_terminal_depth"], depth)
+            return
+        if depth >= max_depth:
+            stats["depth_exceeded"] = True
+            return
+        on_path.add(key)
+        try:
+            for branch, next_active in successors(state, active):
+                dfs(branch, next_active, depth + 1)
+        finally:
+            on_path.discard(key)
+
+    dfs(initial_state, initial_active, 0)
+    return ExplorationReport(
+        states_visited=stats["states"],
+        terminal_results=terminal_results,
+        cycle_found=stats["cycle"],
+        depth_exceeded=stats["depth_exceeded"],
+        max_terminal_depth=stats["max_terminal_depth"],
+    )

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph, generators
+
+
+@pytest.fixture
+def path8() -> DiGraph:
+    """Undirected path of 8 vertices (16 directed edges)."""
+    return generators.path_graph(8)
+
+
+@pytest.fixture
+def star6() -> DiGraph:
+    """Hub-and-spoke with 6 vertices — maximal edge contention."""
+    return generators.star_graph(6)
+
+
+@pytest.fixture
+def two_vertex() -> DiGraph:
+    """The Fig. 2 graph: 0 -> 1."""
+    return generators.two_vertex_conflict_graph()
+
+
+@pytest.fixture
+def rmat_small() -> DiGraph:
+    """128-vertex skewed random graph used across integration tests."""
+    return generators.rmat(7, 6.0, seed=2)
+
+
+@pytest.fixture
+def er_medium() -> DiGraph:
+    """512-vertex Erdős–Rényi graph, weakly connected w.h.p."""
+    return generators.erdos_renyi(512, 3000, seed=9)
+
+
+@pytest.fixture
+def disconnected() -> DiGraph:
+    """Two separate components: a path 0-1-2-3 and a triangle 4-5-6."""
+    src = np.array([0, 1, 1, 2, 2, 3, 4, 5, 5, 6, 6, 4])
+    dst = np.array([1, 0, 2, 1, 3, 2, 5, 4, 6, 5, 4, 6])
+    return DiGraph(7, src, dst)

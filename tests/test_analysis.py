@@ -1,0 +1,173 @@
+"""Tests for difference degrees and variation studies (§V-C metric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ConfigurationRuns,
+    VariationStudy,
+    average_difference_degree,
+    collect_rankings,
+    cross_difference_degree,
+    difference_degree,
+    identical_prefix_length,
+    ranking,
+)
+
+
+class TestRanking:
+    def test_descending_by_score(self):
+        r = ranking(np.array([0.1, 0.9, 0.5]))
+        assert r.tolist() == [1, 2, 0]
+
+    def test_ties_break_by_vertex_id(self):
+        r = ranking(np.array([0.5, 0.5, 0.9]))
+        assert r.tolist() == [2, 0, 1]
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            ranking(np.zeros((2, 2)))
+
+
+class TestDifferenceDegree:
+    def test_paper_example(self):
+        """The worked example from §V-C of the paper."""
+        r1 = np.array([1, 2, 3, 5, 7])
+        r2 = np.array([1, 2, 3, 7, 5])
+        assert difference_degree(r1, r2) == 3
+
+    def test_identical_rankings(self):
+        r = np.array([4, 2, 0, 1, 3])
+        assert difference_degree(r, r) == 5
+
+    def test_differ_at_zero(self):
+        assert difference_degree(np.array([1, 2]), np.array([2, 1])) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            difference_degree(np.array([1]), np.array([1, 2]))
+
+    @given(st.permutations(list(range(8))), st.permutations(list(range(8))))
+    def test_symmetric(self, a, b):
+        assert difference_degree(np.array(a), np.array(b)) == difference_degree(
+            np.array(b), np.array(a)
+        )
+
+    @given(st.permutations(list(range(8))), st.permutations(list(range(8))))
+    def test_prefix_property(self, a, b):
+        """Rankings agree exactly on the prefix shorter than the degree."""
+        d = difference_degree(np.array(a), np.array(b))
+        assert a[:d] == b[:d]
+        if d < 8:
+            assert a[d] != b[d]
+
+
+class TestAverages:
+    def test_average_pairwise(self):
+        rankings = [
+            np.array([0, 1, 2]),
+            np.array([0, 1, 2]),
+            np.array([0, 2, 1]),
+        ]
+        # pairs: (0,1)->3, (0,2)->1, (1,2)->1  => mean 5/3
+        assert average_difference_degree(rankings) == pytest.approx(5 / 3)
+
+    def test_average_needs_two(self):
+        with pytest.raises(ValueError):
+            average_difference_degree([np.array([0])])
+
+    def test_cross_difference(self):
+        a = [np.array([0, 1, 2])]
+        b = [np.array([0, 1, 2]), np.array([1, 0, 2])]
+        # pairs: 3 and 0 => 1.5
+        assert cross_difference_degree(a, b) == pytest.approx(1.5)
+
+    def test_cross_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cross_difference_degree([], [np.array([0])])
+
+    def test_identical_prefix_all_agree(self):
+        rs = [np.array([3, 1, 2, 0]), np.array([3, 1, 0, 2]), np.array([3, 1, 2, 0])]
+        assert identical_prefix_length(rs) == 2
+
+    def test_identical_prefix_single(self):
+        assert identical_prefix_length([np.array([1, 0])]) == 2
+
+    def test_identical_prefix_empty_rejected(self):
+        with pytest.raises(ValueError):
+            identical_prefix_length([])
+
+    @given(
+        st.lists(st.permutations(list(range(6))), min_size=2, max_size=5)
+    )
+    def test_identical_prefix_is_common_prefix(self, perms):
+        rs = [np.array(p) for p in perms]
+        k = identical_prefix_length(rs)
+        first = rs[0][:k]
+        for r in rs[1:]:
+            assert np.array_equal(r[:k], first)
+
+
+class TestCollectRankings:
+    def test_deterministic_without_noise_identical(self, rmat_small):
+        from repro.algorithms import PageRank
+
+        runs = collect_rankings(
+            lambda: PageRank(epsilon=1e-3),
+            rmat_small,
+            label="DE",
+            mode="deterministic",
+            runs=3,
+            fp_noise=False,
+        )
+        assert runs.self_average() == rmat_small.num_vertices
+
+    def test_nondeterministic_varies(self, er_medium):
+        from repro.algorithms import PageRank
+
+        runs = collect_rankings(
+            lambda: PageRank(epsilon=1e-3),
+            er_medium,
+            label="8NE",
+            mode="nondeterministic",
+            threads=8,
+            runs=3,
+        )
+        assert runs.self_average() < er_medium.num_vertices
+
+    def test_label_and_count(self, rmat_small):
+        from repro.algorithms import PageRank
+
+        runs = collect_rankings(
+            lambda: PageRank(epsilon=1e-2),
+            rmat_small,
+            label="4NE",
+            mode="nondeterministic",
+            runs=4,
+        )
+        assert runs.label == "4NE"
+        assert len(runs.rankings) == 4
+
+
+class TestVariationStudy:
+    def make_study(self):
+        a = ConfigurationRuns("A", (np.array([0, 1, 2]), np.array([0, 2, 1])))
+        b = ConfigurationRuns("B", (np.array([0, 1, 2]), np.array([0, 1, 2])))
+        return VariationStudy([a, b])
+
+    def test_table2_labels(self):
+        t2 = self.make_study().table2()
+        assert set(t2) == {"A vs. A", "B vs. B"}
+        assert t2["A vs. A"] == 1.0
+        assert t2["B vs. B"] == 3.0
+
+    def test_table3_labels(self):
+        t3 = self.make_study().table3()
+        assert set(t3) == {"A vs. B"}
+        # pairs: (012,012)->3, (012,012)->3, (021,012)->1, (021,012)->1
+        assert t3["A vs. B"] == pytest.approx(2.0)
+
+    def test_identical_prefix(self):
+        assert self.make_study().identical_prefix() == 1

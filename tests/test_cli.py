@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ALGORITHMS, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestEligibility:
+    def test_all_algorithms(self, capsys):
+        code, out = run_cli(capsys, "eligibility")
+        assert code == 0
+        for name in ("PageRank", "WCC", "AntiParity"):
+            assert name in out
+
+    def test_subset(self, capsys):
+        code, out = run_cli(capsys, "eligibility", "WCC")
+        assert code == 0
+        assert "Theorem 2" in out
+        assert "PageRank" not in out
+
+    def test_unknown_algorithm(self, capsys):
+        code = main(["eligibility", "Nope"])
+        assert code == 1
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_wcc(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "WCC", "--scale", "7", "--threads", "4", "--audit"
+        )
+        assert code == 0
+        assert "converged" in out
+        assert "CLEAN" in out
+
+    def test_run_all_modes(self, capsys):
+        for mode in ("sync", "deterministic", "nondeterministic", "pure-async"):
+            code, out = run_cli(
+                capsys, "run", "BFS", "--scale", "7", "--mode", mode
+            )
+            assert code == 0, mode
+            assert "True" in out
+
+    def test_nonconvergent_exit_code(self, capsys):
+        code, _ = run_cli(
+            capsys, "run", "AntiParity", "--scale", "6", "--max-iterations", "10"
+        )
+        assert code == 2
+
+    def test_dataset_choice_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "WCC", "--dataset", "nope"])
+
+    def test_algorithm_choice_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "NoSuchAlgo"])
+
+
+class TestExperimentCommands:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "table1", "--scale", "7")
+        assert code == 0
+        assert "Table I" in out
+        assert "web-berkstan-mini" in out
+
+    def test_table2_small(self, capsys):
+        code, out = run_cli(capsys, "table2", "--scale", "7", "--runs", "2")
+        assert code == 0
+        assert "DE vs. DE" in out
+
+    def test_speed(self, capsys):
+        code, out = run_cli(
+            capsys, "speed", "BFS", "--scale", "7", "--threads", "2",
+            "--delays", "1.0",
+        )
+        assert code == 0
+        assert "chain bound" in out
+        assert "SYNC" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestRegistry:
+    def test_registry_matches_zoo(self):
+        assert set(ALGORITHMS) >= {
+            "PageRank", "WCC", "SSSP", "BFS", "SpMV", "MaxLabel",
+            "EdgeIncrementCounter", "AntiParity",
+        }
+
+    def test_factories_produce_programs(self):
+        for name, factory in ALGORITHMS.items():
+            program = factory()
+            assert hasattr(program, "traits"), name

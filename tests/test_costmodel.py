@@ -1,0 +1,151 @@
+"""Tests for the virtual-time cost model and performance metrics."""
+
+import pytest
+
+from repro.algorithms import PageRank, WeaklyConnectedComponents
+from repro.engine import AtomicityPolicy, EngineConfig, run
+from repro.perf import (
+    CostModel,
+    CostParams,
+    estimate_time,
+    price_run,
+    scaling_efficiency,
+    speedup,
+)
+
+
+@pytest.fixture(scope="module")
+def ne_run():
+    from repro.graph import generators
+
+    g = generators.rmat(7, 6.0, seed=2)
+    return run(WeaklyConnectedComponents(), g, mode="nondeterministic",
+               config=EngineConfig(threads=8, seed=0))
+
+
+@pytest.fixture(scope="module")
+def de_run():
+    from repro.graph import generators
+
+    g = generators.rmat(7, 6.0, seed=2)
+    return run(WeaklyConnectedComponents(), g, mode="deterministic",
+               config=EngineConfig(threads=4))
+
+
+class TestCostParams:
+    def test_sync_overhead_ordering(self):
+        p = CostParams()
+        assert p.sync_overhead(AtomicityPolicy.LOCK) > p.sync_overhead(
+            AtomicityPolicy.ATOMIC_RELAXED
+        )
+        assert p.sync_overhead(AtomicityPolicy.ATOMIC_RELAXED) > p.sync_overhead(
+            AtomicityPolicy.CACHE_LINE
+        )
+        assert p.sync_overhead(AtomicityPolicy.NONE) == p.sync_overhead(
+            AtomicityPolicy.CACHE_LINE
+        )
+
+    def test_contention_identity_below_knee(self):
+        p = CostParams(bandwidth_threads=6.0)
+        assert p.memory_contention(1) == 1.0
+        assert p.memory_contention(6) == 1.0
+
+    def test_contention_monotone_past_knee(self):
+        p = CostParams()
+        assert p.memory_contention(8) < p.memory_contention(16)
+        assert p.memory_contention(8) > 1.0
+
+    def test_with_functional_update(self):
+        p = CostParams().with_(lock_overhead_ns=999.0)
+        assert p.lock_overhead_ns == 999.0
+        assert CostParams().lock_overhead_ns != 999.0
+
+
+class TestCostModel:
+    def test_policy_ordering_on_same_run(self, ne_run):
+        m = CostModel()
+        t_lock = m.nondeterministic_time(ne_run, AtomicityPolicy.LOCK)
+        t_atomic = m.nondeterministic_time(ne_run, AtomicityPolicy.ATOMIC_RELAXED)
+        t_arch = m.nondeterministic_time(ne_run, AtomicityPolicy.CACHE_LINE)
+        assert t_arch < t_atomic < t_lock
+
+    def test_default_policy_from_config(self, ne_run):
+        m = CostModel()
+        assert m.nondeterministic_time(ne_run) == m.nondeterministic_time(
+            ne_run, AtomicityPolicy.CACHE_LINE
+        )
+
+    def test_deterministic_time_positive_and_has_plot_overhead(self, de_run):
+        m = CostModel()
+        with_plot = m.deterministic_time(de_run)
+        no_plot = CostModel(CostParams(plot_task_ns=0.0, plot_edge_ns=0.0)).deterministic_time(de_run)
+        assert with_plot > no_plot > 0.0
+
+    def test_time_dispatches_on_mode(self, de_run, ne_run):
+        m = CostModel()
+        assert m.time(de_run) == m.deterministic_time(de_run)
+        assert m.time(ne_run) == m.nondeterministic_time(ne_run)
+
+    def test_sync_time(self):
+        from repro.graph import generators
+
+        g = generators.path_graph(8)
+        res = run(WeaklyConnectedComponents(), g, mode="sync",
+                  config=EngineConfig(threads=4))
+        assert CostModel().synchronous_time(res) > 0.0
+
+    def test_barrier_charged_per_iteration(self, ne_run):
+        base = CostModel(CostParams(barrier_ns=0.0)).nondeterministic_time(ne_run)
+        with_barrier = CostModel(CostParams(barrier_ns=1e6)).nondeterministic_time(ne_run)
+        expected = base + ne_run.num_iterations * 1e-3
+        assert with_barrier == pytest.approx(expected)
+
+    def test_estimate_time_wrapper(self, ne_run):
+        assert estimate_time(ne_run) == CostModel().time(ne_run)
+        custom = estimate_time(ne_run, params=CostParams(read_mem_ns=1000.0))
+        assert custom > estimate_time(ne_run)
+
+    def test_more_threads_faster_below_knee(self):
+        """Same work split over more (unsaturated) threads takes less time."""
+        from repro.graph import generators
+
+        g = generators.rmat(8, 8.0, seed=1)
+        m = CostModel()
+        times = []
+        for p in (1, 2, 4):
+            res = run(PageRank(epsilon=1e-3), g, mode="nondeterministic",
+                      config=EngineConfig(threads=p, seed=0))
+            times.append(m.nondeterministic_time(res))
+        assert times[0] > times[1] > times[2]
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_scaling_efficiency(self):
+        assert scaling_efficiency(8.0, 1.0, 8) == 1.0
+        assert scaling_efficiency(8.0, 2.0, 8) == 0.5
+        with pytest.raises(ValueError):
+            scaling_efficiency(8.0, 1.0, 0)
+
+    def test_price_run_de(self, de_run):
+        row = price_run(de_run, algorithm="WCC", graph="g")
+        assert row.mode == "DE"
+        assert row.policy == "-"
+        assert row.virtual_seconds > 0
+
+    def test_price_run_ne_policy(self, ne_run):
+        row = price_run(ne_run, algorithm="WCC", graph="g",
+                        policy=AtomicityPolicy.LOCK)
+        assert row.mode == "NE"
+        assert row.policy == "lock"
+        assert row.threads == 8
+
+    def test_timing_row_as_dict(self, ne_run):
+        row = price_run(ne_run, algorithm="WCC", graph="g")
+        d = row.as_dict()
+        assert d["algorithm"] == "WCC"
+        assert d["iterations"] == ne_run.num_iterations

@@ -1,0 +1,174 @@
+"""Tests for dataset stand-ins and the experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import WeaklyConnectedComponents
+from repro.graph import load_dataset
+from repro.graph.datasets import PAPER_DATASETS, dataset_names, paper_table1_reference
+from repro.experiments import (
+    PAPER_EPSILONS,
+    format_table,
+    run_delay_sweep,
+    run_dispatch_study,
+    run_figure3,
+    run_table1,
+    run_table2,
+    run_torn_study,
+)
+
+
+class TestDatasets:
+    def test_four_paper_graphs(self):
+        assert dataset_names() == [
+            "web-berkstan-mini",
+            "web-google-mini",
+            "soc-livejournal1-mini",
+            "cage15-mini",
+        ]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_loadable_and_valid(self, name):
+        g = load_dataset(name, scale=7)
+        assert g.num_vertices == 128
+        g.validate()
+
+    def test_deterministic_per_seed(self):
+        a = load_dataset("web-google-mini", scale=7, seed=3)
+        b = load_dataset("web-google-mini", scale=7, seed=3)
+        assert a == b
+
+    def test_ratio_ordering_matches_paper(self):
+        """E/V ordering: google < berkstan < livejournal < cage15."""
+        ratios = {
+            name: (lambda g: g.num_edges / g.num_vertices)(load_dataset(name, scale=9))
+            for name in dataset_names()
+        }
+        assert ratios["web-google-mini"] < ratios["web-berkstan-mini"]
+        assert ratios["soc-livejournal1-mini"] < ratios["cage15-mini"]
+
+    def test_reference_rows(self):
+        rows = paper_table1_reference()
+        assert len(rows) == 4
+        assert rows[0]["graph"] == "web-BerkStan"
+        assert rows[0]["V"] == 685_231
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_union_of_columns(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456789}])
+        assert "0.1235" in text
+
+
+class TestTable1:
+    def test_rows_and_render(self):
+        result = run_table1(scale=7)
+        assert len(result.rows) == 4
+        text = result.render()
+        assert "Table I" in text
+        assert "web-berkstan-mini" in text
+
+    def test_paper_ratio_column_present(self):
+        result = run_table1(scale=7)
+        for row in result.rows:
+            assert "paper E/V" in row
+            assert row["V"] == 128
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def small_grid(self):
+        from repro.graph import generators
+
+        graphs = {"tiny": generators.rmat(7, 6.0, seed=2)}
+        algos = {"WCC": WeaklyConnectedComponents}
+        return run_figure3(threads_list=(2, 4), algorithms=algos, graphs=graphs)
+
+    def test_row_count(self, small_grid):
+        # 1 DE row + 2 thread counts x 3 policies.
+        assert len(small_grid.rows) == 7
+
+    def test_policy_ordering(self, small_grid):
+        for threads in (2, 4):
+            lock = small_grid.cell("WCC", "tiny", "NE", threads, "lock")
+            arch = small_grid.cell("WCC", "tiny", "NE", threads, "cache-line")
+            atomic = small_grid.cell("WCC", "tiny", "NE", threads, "atomic-relaxed")
+            assert arch.virtual_seconds < atomic.virtual_seconds < lock.virtual_seconds
+
+    def test_de_cell_present(self, small_grid):
+        de = small_grid.cell("WCC", "tiny", "DE", 4)
+        assert de.policy == "-"
+
+    def test_missing_cell_raises(self, small_grid):
+        with pytest.raises(KeyError):
+            small_grid.cell("WCC", "tiny", "NE", 99, "lock")
+
+    def test_render_mentions_panel(self, small_grid):
+        assert "WCC on tiny" in small_grid.render()
+
+    def test_iterations_measured_not_modeled(self, small_grid):
+        ne_rows = [r for r in small_grid.panel("WCC", "tiny") if r.mode == "NE"]
+        # all three pricings of one run share its measured iteration count
+        by_threads = {}
+        for r in ne_rows:
+            by_threads.setdefault(r.threads, set()).add(r.iterations)
+        for iters in by_threads.values():
+            assert len(iters) == 1
+
+
+class TestVarianceExperiments:
+    def test_paper_epsilons(self):
+        assert PAPER_EPSILONS == (0.1, 0.01, 0.001)
+
+    def test_table2_structure(self):
+        res = run_table2(scale=7, runs=2, epsilons=(0.1,))
+        table = res.table()
+        assert 0.1 in table
+        assert set(table[0.1]) == {
+            "DE vs. DE", "4NE vs. 4NE", "8NE vs. 8NE", "16NE vs. 16NE",
+        }
+        assert "Table II" in res.render()
+
+    def test_table3_structure(self):
+        from repro.experiments import run_table3
+
+        res = run_table3(scale=7, runs=2, epsilons=(0.1,))
+        table = res.table()
+        assert "DE vs. 4NE" in table[0.1]
+        assert "4NE vs. 16NE" in table[0.1]
+        assert "Table III" in res.render()
+
+
+class TestAblations:
+    def test_delay_sweep_rows(self):
+        res = run_delay_sweep(scale=7, delays=(1, 4), seeds=(0,))
+        assert len(res.rows) == 2
+        assert res.rows[0]["delay d"] == 1
+
+    def test_torn_study_detects_corruption(self):
+        res = run_torn_study(scale=9, seeds=(0, 1, 2))
+        assert any(row["corrupted"] for row in res.rows)
+
+    def test_dispatch_study_rows(self):
+        res = run_dispatch_study(scale=7, seeds=(0,))
+        assert len(res.rows) == 4
+        dispatches = {row["dispatch"] for row in res.rows}
+        assert dispatches == {"block", "round-robin"}

@@ -1,0 +1,81 @@
+"""Tests for pairwise delay models (NUMA / distributed relaxation)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, WeaklyConnectedComponents, reference
+from repro.engine import DelayModel, EngineConfig, run
+from repro.graph import generators
+
+
+class TestDelayModel:
+    def test_uniform(self):
+        m = DelayModel.uniform(3.0)
+        assert m.delay(0, 1) == 3.0
+        assert m.delay(5, 2) == 3.0
+        assert m.max_delay == 3.0
+
+    def test_numa_groups(self):
+        m = DelayModel.numa(4, intra=2.0, inter=8.0)
+        assert m.group(0) == m.group(3) == 0
+        assert m.group(4) == 1
+        assert m.delay(0, 3) == 2.0
+        assert m.delay(0, 4) == 8.0
+        assert m.max_delay == 8.0
+
+    def test_distributed(self):
+        m = DelayModel.distributed(2, intra=1.0, network=64.0)
+        assert m.delay(0, 1) == 1.0
+        assert m.delay(1, 2) == 64.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            DelayModel(intra=0.5)
+        with pytest.raises(ValueError, match="inter-group"):
+            DelayModel(intra=4.0, inter=2.0)
+        with pytest.raises(ValueError):
+            DelayModel.numa(0)
+        with pytest.raises(ValueError):
+            DelayModel.distributed(0)
+
+    def test_config_default_is_uniform(self):
+        cfg = EngineConfig(delay=3.0)
+        m = cfg.effective_delay_model()
+        assert m.delay(0, 7) == 3.0
+
+    def test_config_explicit_model_wins(self):
+        model = DelayModel.numa(2, intra=1.0, inter=16.0)
+        cfg = EngineConfig(delay=3.0, delay_model=model)
+        assert cfg.effective_delay_model() is model
+
+
+class TestEnginesUnderRelaxedDelays:
+    @pytest.mark.parametrize("model", [
+        DelayModel.uniform(2.0),
+        DelayModel.numa(2, intra=1.0, inter=8.0),
+        DelayModel.distributed(4, intra=2.0, network=64.0),
+    ], ids=["uniform", "numa", "distributed"])
+    @pytest.mark.parametrize("mode", ["nondeterministic", "pure-async"])
+    def test_wcc_exact_under_any_delay_topology(self, rmat_small, model, mode):
+        truth = reference.wcc_reference(rmat_small)
+        res = run(WeaklyConnectedComponents(), rmat_small, mode=mode,
+                  config=EngineConfig(threads=8, delay_model=model, seed=1))
+        assert res.converged
+        assert np.array_equal(res.result(), truth)
+
+    def test_cross_machine_delay_costs_staleness(self):
+        """A slow network produces more stale reads than a flat machine."""
+        g = generators.erdos_renyi(400, 1600, seed=3)
+        flat = run(BFS(source=0), g, mode="nondeterministic",
+                   config=EngineConfig(threads=8,
+                                       delay_model=DelayModel.uniform(2.0), seed=0))
+        dist = run(BFS(source=0), g, mode="nondeterministic",
+                   config=EngineConfig(threads=8,
+                                       delay_model=DelayModel.distributed(2, network=48.0),
+                                       seed=0))
+        assert dist.conflicts.stale_reads > flat.conflicts.stale_reads
+        # ... but the distances are still exact (Theorem 1 survives the
+        # relaxation)
+        truth = reference.bfs_reference(g, 0)
+        assert np.array_equal(flat.result(), truth)
+        assert np.array_equal(dist.result(), truth)

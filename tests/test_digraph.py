@@ -1,0 +1,174 @@
+"""Unit tests for the CSR directed graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DiGraph
+
+
+def make_triangle() -> DiGraph:
+    # 0 -> 1, 1 -> 2, 2 -> 0
+    return DiGraph(3, [0, 1, 2], [1, 2, 0])
+
+
+class TestConstruction:
+    def test_sizes(self):
+        g = make_triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert len(g) == 3
+
+    def test_empty_graph(self):
+        g = DiGraph(0, [], [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        g.validate()
+
+    def test_vertices_without_edges(self):
+        g = DiGraph(5, [0], [1])
+        assert g.num_vertices == 5
+        assert g.out_degree(4) == 0
+        assert g.in_degree(4) == 0
+        g.validate()
+
+    def test_edges_sorted_canonically(self):
+        g = DiGraph(3, [2, 0, 1], [0, 1, 2])
+        assert g.edge_src.tolist() == [0, 1, 2]
+        assert g.edge_dst.tolist() == [1, 2, 0]
+
+    def test_parallel_edges_allowed(self):
+        g = DiGraph(2, [0, 0], [1, 1])
+        assert g.num_edges == 2
+        assert g.out_degree(0) == 2
+        g.validate()
+
+    def test_self_loop_allowed(self):
+        g = DiGraph(2, [0], [0])
+        assert g.out_degree(0) == 1
+        assert g.in_degree(0) == 1
+        g.validate()
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DiGraph(3, [-1], [0])
+
+    def test_too_large_vertex_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DiGraph(3, [0], [3])
+
+    def test_negative_num_vertices_rejected(self):
+        with pytest.raises(ValueError, match="num_vertices"):
+            DiGraph(-1, [], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            DiGraph(3, [0, 1], [1])
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            DiGraph(3, [[0], [1]], [[1], [2]])
+
+
+class TestAdjacency:
+    def test_out_edges(self):
+        g = make_triangle()
+        nbrs, eids = g.out_edges(0)
+        assert nbrs.tolist() == [1]
+        assert eids.tolist() == [0]
+
+    def test_in_edges(self):
+        g = make_triangle()
+        nbrs, eids = g.in_edges(0)
+        assert nbrs.tolist() == [2]
+        assert g.edge_endpoints(int(eids[0])) == (2, 0)
+
+    def test_degrees(self):
+        g = make_triangle()
+        for v in range(3):
+            assert g.out_degree(v) == 1
+            assert g.in_degree(v) == 1
+            assert g.degree(v) == 2
+
+    def test_degree_vectors(self):
+        g = DiGraph(3, [0, 0, 1], [1, 2, 2])
+        assert g.out_degrees().tolist() == [2, 1, 0]
+        assert g.in_degrees().tolist() == [0, 1, 2]
+
+    def test_neighbors_union(self):
+        g = DiGraph(4, [0, 1, 2], [1, 0, 1])
+        assert g.neighbors(1).tolist() == [0, 2]
+
+    def test_incident_eids_cover_scope(self):
+        g = make_triangle()
+        eids = g.incident_eids(1)
+        endpoints = {g.edge_endpoints(int(e)) for e in eids}
+        assert endpoints == {(0, 1), (1, 2)}
+
+    def test_vertex_out_of_range(self):
+        g = make_triangle()
+        with pytest.raises(IndexError):
+            g.out_edges(3)
+        with pytest.raises(IndexError):
+            g.in_degree(-1)
+
+    def test_out_neighbors_sorted(self):
+        g = DiGraph(4, [0, 0, 0], [3, 1, 2])
+        assert g.out_neighbors(0).tolist() == [1, 2, 3]
+
+
+class TestEdgeLookup:
+    def test_has_edge(self):
+        g = make_triangle()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edge_id_roundtrip(self):
+        g = make_triangle()
+        for e in range(g.num_edges):
+            u, v = g.edge_endpoints(e)
+            assert g.edge_id(u, v) == e
+
+    def test_edge_id_missing(self):
+        g = make_triangle()
+        with pytest.raises(KeyError):
+            g.edge_id(1, 0)
+
+    def test_edge_endpoints_out_of_range(self):
+        g = make_triangle()
+        with pytest.raises(IndexError):
+            g.edge_endpoints(3)
+
+    def test_iter_edges(self):
+        g = make_triangle()
+        edges = list(g.iter_edges())
+        assert edges == [(0, 0, 1), (1, 1, 2), (2, 2, 0)]
+
+
+class TestDerived:
+    def test_reverse(self):
+        g = make_triangle()
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert not r.has_edge(0, 1)
+        r.validate()
+
+    def test_reverse_twice_identity(self):
+        g = DiGraph(5, [0, 2, 4, 1], [1, 3, 0, 4])
+        assert g.reverse().reverse() == g
+
+    def test_as_undirected_pairs_dedups(self):
+        g = DiGraph(3, [0, 1, 1], [1, 0, 2])
+        pairs = g.as_undirected_pairs()
+        assert pairs.tolist() == [[0, 1], [1, 2]]
+
+    def test_equality_and_hash(self):
+        a = make_triangle()
+        b = DiGraph(3, [2, 1, 0], [0, 2, 1])  # same edges, different order
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = make_triangle()
+        b = DiGraph(3, [0, 1, 2], [1, 2, 1])
+        assert a != b
+        assert a != "not a graph"

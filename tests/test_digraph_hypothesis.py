@@ -1,0 +1,106 @@
+"""Property-based tests for the CSR graph invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import DiGraph
+
+# A random small digraph as (n, list-of-edges).
+graphs = st.integers(min_value=1, max_value=24).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=80,
+        ),
+    )
+)
+
+
+def build(n, edges) -> DiGraph:
+    src = [u for u, _ in edges]
+    dst = [v for _, v in edges]
+    return DiGraph(n, src, dst)
+
+
+@given(graphs)
+def test_internal_invariants(data):
+    n, edges = data
+    g = build(n, edges)
+    g.validate()
+
+
+@given(graphs)
+def test_degree_sums_equal_edge_count(data):
+    n, edges = data
+    g = build(n, edges)
+    assert int(g.out_degrees().sum()) == g.num_edges
+    assert int(g.in_degrees().sum()) == g.num_edges
+
+
+@given(graphs)
+def test_out_edges_consistent_with_endpoints(data):
+    n, edges = data
+    g = build(n, edges)
+    for v in range(n):
+        nbrs, eids = g.out_edges(v)
+        for w, e in zip(nbrs.tolist(), eids.tolist()):
+            assert g.edge_endpoints(e) == (v, w)
+
+
+@given(graphs)
+def test_in_edges_consistent_with_endpoints(data):
+    n, edges = data
+    g = build(n, edges)
+    for v in range(n):
+        nbrs, eids = g.in_edges(v)
+        for u, e in zip(nbrs.tolist(), eids.tolist()):
+            assert g.edge_endpoints(e) == (u, v)
+
+
+@given(graphs)
+def test_reverse_swaps_degrees(data):
+    n, edges = data
+    g = build(n, edges)
+    r = g.reverse()
+    assert np.array_equal(g.out_degrees(), r.in_degrees())
+    assert np.array_equal(g.in_degrees(), r.out_degrees())
+
+
+@given(graphs)
+def test_multiset_of_edges_preserved(data):
+    n, edges = data
+    g = build(n, edges)
+    original = sorted(edges)
+    stored = sorted(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+    assert original == stored
+
+
+@given(graphs)
+@settings(max_examples=50)
+def test_has_edge_matches_edge_list(data):
+    n, edges = data
+    g = build(n, edges)
+    edge_set = set(edges)
+    for u in range(min(n, 8)):
+        for v in range(min(n, 8)):
+            assert g.has_edge(u, v) == ((u, v) in edge_set)
+
+
+@given(graphs)
+def test_incident_eids_are_in_plus_out(data):
+    n, edges = data
+    g = build(n, edges)
+    for v in range(n):
+        eids = sorted(g.incident_eids(v).tolist())
+        expected = sorted(
+            [e for e, (u, w) in enumerate(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+             if u == v]
+            + [e for e, (u, w) in enumerate(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+               if w == v]
+        )
+        assert eids == expected

@@ -1,0 +1,103 @@
+"""Tests for the Fig. 1 dispatch of updates onto threads."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine import DispatchPolicy, make_plan
+
+
+class TestBlockDispatch:
+    def test_fig1_layout(self):
+        """π(v) = L_v mod (V/P) for a full, divisible active set (Fig. 1)."""
+        V, P = 12, 3
+        plan = make_plan(np.arange(V), P)
+        for v in range(V):
+            slot = plan.slots[v]
+            assert slot.pi == v % (V // P)
+            assert slot.thread == v // (V // P)
+
+    def test_non_divisible_remainder_spread(self):
+        plan = make_plan(np.arange(10), 4)
+        sizes = [len(t) for t in plan.per_thread]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_threads_exceed_tasks(self):
+        plan = make_plan(np.arange(2), 8)
+        sizes = [len(t) for t in plan.per_thread]
+        assert sizes == [1, 1, 0, 0, 0, 0, 0, 0]
+
+    def test_small_label_first_within_thread(self):
+        plan = make_plan(np.array([3, 5, 9, 11, 20, 21]), 2)
+        for worklist in plan.per_thread:
+            assert worklist == sorted(worklist)
+
+    def test_pure_times_equal_pi(self):
+        plan = make_plan(np.arange(6), 2)
+        for slot in plan.slots.values():
+            assert slot.time == float(slot.pi)
+
+    def test_empty_active_set(self):
+        plan = make_plan(np.array([], dtype=np.int64), 4)
+        assert plan.slots == {}
+        assert plan.execution_order() == []
+
+
+class TestRoundRobin:
+    def test_cyclic_assignment(self):
+        plan = make_plan(np.arange(8), 3, policy=DispatchPolicy.ROUND_ROBIN)
+        assert plan.slots[0].thread == 0
+        assert plan.slots[1].thread == 1
+        assert plan.slots[2].thread == 2
+        assert plan.slots[3].thread == 0
+        assert plan.slots[3].pi == 1
+
+    def test_per_thread_lists(self):
+        plan = make_plan(np.arange(7), 2, policy=DispatchPolicy.ROUND_ROBIN)
+        assert plan.per_thread[0] == [0, 2, 4, 6]
+        assert plan.per_thread[1] == [1, 3, 5]
+
+
+class TestJitter:
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            make_plan(np.arange(4), 2, jitter=0.5)
+
+    def test_jitter_bounds(self):
+        rng = np.random.default_rng(0)
+        plan = make_plan(np.arange(100), 4, jitter=0.5, rng=rng)
+        for slot in plan.slots.values():
+            assert slot.pi <= slot.time < slot.pi + 0.5
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="jitter"):
+            make_plan(np.arange(4), 2, jitter=-0.1)
+
+    def test_jitter_reproducible_from_seed(self):
+        p1 = make_plan(np.arange(20), 4, jitter=0.9, rng=np.random.default_rng(5))
+        p2 = make_plan(np.arange(20), 4, jitter=0.9, rng=np.random.default_rng(5))
+        assert all(p1.slots[v].time == p2.slots[v].time for v in range(20))
+
+    @given(st.integers(1, 6), st.integers(0, 40), st.integers(0, 2**31))
+    def test_same_thread_order_preserved_under_jitter(self, threads, n, seed):
+        """jitter < 1 never reorders tasks within a thread."""
+        rng = np.random.default_rng(seed)
+        plan = make_plan(np.arange(n), threads, jitter=0.999, rng=rng)
+        for worklist in plan.per_thread:
+            times = [plan.slots[v].time for v in worklist]
+            assert times == sorted(times)
+
+
+class TestExecutionOrder:
+    def test_total_and_deterministic(self):
+        rng = np.random.default_rng(3)
+        plan = make_plan(np.arange(30), 4, jitter=0.5, rng=rng)
+        order = plan.execution_order()
+        assert sorted(order) == list(range(30))
+        times = [plan.slots[v].time for v in order]
+        assert times == sorted(times)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError, match="num_threads"):
+            make_plan(np.arange(4), 0)

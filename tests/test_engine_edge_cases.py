@@ -1,0 +1,132 @@
+"""Edge cases across all executors: degenerate graphs and extreme configs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    SSSP,
+    PageRank,
+    SpMV,
+    WeaklyConnectedComponents,
+    reference,
+)
+from repro.engine import AtomicityPolicy, DispatchPolicy, EngineConfig, run
+from repro.graph import DiGraph, generators
+
+ALL_MODES = ["sync", "deterministic", "chromatic", "nondeterministic", "pure-async"]
+
+
+class TestDegenerateGraphs:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_empty_graph(self, mode):
+        g = DiGraph(0, [], [])
+        res = run(WeaklyConnectedComponents(), g, mode=mode, threads=2)
+        assert res.converged
+        assert res.result().size == 0
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_single_vertex(self, mode):
+        g = DiGraph(1, [], [])
+        res = run(WeaklyConnectedComponents(), g, mode=mode, threads=4)
+        assert res.converged
+        assert res.result().tolist() == [0.0]
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_edgeless_vertices(self, mode):
+        g = DiGraph(5, [], [])
+        res = run(PageRank(epsilon=1e-3), g, mode=mode, threads=2)
+        assert res.converged
+        assert np.allclose(res.result(), 0.15, atol=1e-5)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_self_loop_only(self, mode):
+        g = DiGraph(2, [0], [0])
+        res = run(WeaklyConnectedComponents(), g, mode=mode, threads=2)
+        assert res.converged
+        assert res.result().tolist() == [0.0, 1.0]
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_parallel_edges(self, mode):
+        g = DiGraph(2, [0, 0, 0], [1, 1, 1])
+        res = run(BFS(source=0), g, mode=mode, threads=2)
+        assert res.result().tolist() == [0.0, 1.0]
+
+    def test_wcc_on_self_loop_heavy_graph(self):
+        g = DiGraph(3, [0, 1, 1, 2], [0, 1, 2, 2])
+        res = run(WeaklyConnectedComponents(), g, mode="nondeterministic",
+                  threads=2, seed=0)
+        assert res.result().tolist() == [0.0, 1.0, 1.0]
+
+
+class TestExtremeConfigs:
+    def test_more_threads_than_vertices(self, path8):
+        res = run(WeaklyConnectedComponents(), path8, mode="nondeterministic",
+                  config=EngineConfig(threads=64, seed=0))
+        assert res.converged
+        assert np.all(res.result() == 0.0)
+
+    def test_huge_delay(self, path8):
+        res = run(BFS(source=0), path8, mode="nondeterministic",
+                  config=EngineConfig(threads=4, delay=1e6, seed=0))
+        assert res.converged
+        assert np.array_equal(res.result(), reference.bfs_reference(path8, 0))
+
+    def test_delay_exactly_one(self, path8):
+        res = run(BFS(source=0), path8, mode="nondeterministic",
+                  config=EngineConfig(threads=4, delay=1.0, seed=0))
+        assert res.converged
+
+    def test_zero_jitter_reproducible_across_seeds(self, rmat_small):
+        """With jitter disabled the seed is irrelevant to the schedule."""
+        a = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                config=EngineConfig(threads=4, jitter=0.0, seed=1))
+        b = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                config=EngineConfig(threads=4, jitter=0.0, seed=999))
+        assert np.array_equal(a.result(), b.result())
+        assert a.conflicts.summary() == b.conflicts.summary()
+
+    def test_round_robin_dispatch_everywhere(self, rmat_small):
+        truth = reference.wcc_reference(rmat_small)
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=0,
+                                      dispatch=DispatchPolicy.ROUND_ROBIN))
+        assert np.array_equal(res.result(), truth)
+
+    def test_max_iterations_one(self, rmat_small):
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=4, seed=0, max_iterations=1))
+        assert not res.converged
+        assert res.num_iterations == 1
+
+    def test_torn_probability_zero_is_exact(self):
+        g = generators.erdos_renyi(128, 512, seed=4)
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(g, 0, prog.make_weights(g))
+        res = run(SSSP(source=0), g, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=0,
+                                      atomicity=AtomicityPolicy.NONE,
+                                      torn_probability=0.0))
+        assert np.array_equal(res.result(), truth)
+
+
+class TestStateReuseAndIsolation:
+    def test_runs_do_not_share_state(self, rmat_small):
+        """Two runs of the same program object get independent states."""
+        prog = WeaklyConnectedComponents()
+        a = run(prog, rmat_small, mode="deterministic")
+        b = run(prog, rmat_small, mode="deterministic")
+        assert a.state is not b.state
+        assert np.array_equal(a.result(), b.result())
+
+    def test_graph_not_mutated_by_runs(self, rmat_small):
+        before = (rmat_small.edge_src.copy(), rmat_small.edge_dst.copy())
+        run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+            threads=8, seed=0)
+        assert np.array_equal(rmat_small.edge_src, before[0])
+        assert np.array_equal(rmat_small.edge_dst, before[1])
+
+    def test_spmv_empty_graph(self):
+        g = DiGraph(0, [], [])
+        res = run(SpMV(), g, mode="deterministic")
+        assert res.converged

@@ -1,0 +1,132 @@
+"""Property-based tests of the engine-level theorems on random inputs.
+
+These are the library's strongest correctness evidence: for *arbitrary*
+small graphs and arbitrary engine configurations, the paper's claims
+must hold — WCC and SSSP reach their exact fixed points regardless of
+schedule, conflicts match the declared profiles, and runs are pure
+functions of their configuration.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import BFS, SSSP, WeaklyConnectedComponents, reference
+from repro.engine import EngineConfig, run
+from repro.graph import DiGraph
+
+
+@st.composite
+def graph_and_config(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    m = draw(st.integers(min_value=1, max_value=40))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    src = [u for u, _ in edges]
+    dst = [v for _, v in edges]
+    graph = DiGraph(n, src, dst)
+    config = EngineConfig(
+        threads=draw(st.integers(1, 6)),
+        delay=float(draw(st.integers(1, 4))),
+        jitter=draw(st.sampled_from([0.0, 0.3, 0.9])),
+        seed=draw(st.integers(0, 1_000)),
+    )
+    return graph, config
+
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_wcc_exact_on_arbitrary_graphs_and_schedules(data):
+    graph, config = data
+    truth = reference.wcc_reference(graph)
+    res = run(WeaklyConnectedComponents(), graph, mode="nondeterministic", config=config)
+    assert res.converged
+    assert np.array_equal(res.result(), truth)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_bfs_exact_on_arbitrary_graphs_and_schedules(data):
+    graph, config = data
+    truth = reference.bfs_reference(graph, 0)
+    res = run(BFS(source=0), graph, mode="nondeterministic", config=config)
+    assert res.converged
+    assert np.array_equal(res.result(), truth)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_sssp_exact_on_arbitrary_graphs_and_schedules(data):
+    graph, config = data
+    prog = SSSP(source=0)
+    truth = reference.sssp_reference(graph, 0, prog.make_weights(graph))
+    res = run(SSSP(source=0), graph, mode="nondeterministic", config=config)
+    assert res.converged
+    assert np.array_equal(res.result(), truth)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_sssp_conflict_profile_never_write_write(data):
+    graph, config = data
+    res = run(SSSP(source=0), graph, mode="nondeterministic", config=config)
+    assert res.conflicts.write_write == 0
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_runs_are_pure_functions_of_config(data):
+    graph, config = data
+    a = run(WeaklyConnectedComponents(), graph, mode="nondeterministic", config=config)
+    b = run(WeaklyConnectedComponents(), graph, mode="nondeterministic", config=config)
+    assert np.array_equal(a.result(), b.result())
+    assert a.conflicts.summary() == b.conflicts.summary()
+    assert [s.num_active for s in a.iterations] == [s.num_active for s in b.iterations]
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_deterministic_engine_ignores_schedule_knobs(data):
+    graph, config = data
+    a = run(WeaklyConnectedComponents(), graph, mode="deterministic", config=config)
+    b = run(WeaklyConnectedComponents(), graph, mode="deterministic",
+            config=EngineConfig())
+    assert np.array_equal(a.result(), b.result())
+    assert a.num_iterations == b.num_iterations
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_task_generation_rule_schedules_written_endpoints(data):
+    """Every vertex scheduled into S_{n+1} was the far endpoint of a
+    written edge in iteration n (the §II task-generation rule)."""
+    graph, config = data
+    schedules: list[set[int]] = []
+
+    def observer(iteration, state, next_schedule):
+        schedules.append(set(next_schedule))
+
+    run(WeaklyConnectedComponents(), graph, mode="nondeterministic",
+        config=config, observer=observer)
+    incident = [set() for _ in range(graph.num_vertices)]
+    for e, u, v in graph.iter_edges():
+        incident[u].add(v)
+        incident[v].add(u)
+    all_endpoints = set(range(graph.num_vertices))
+    for sched in schedules:
+        # scheduled vertices must at least be adjacent to something
+        for v in sched:
+            assert v in all_endpoints
+            assert incident[v], "an isolated vertex can never be re-scheduled"

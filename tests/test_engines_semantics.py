@@ -1,0 +1,309 @@
+"""Behavioural tests of the three executors' visibility semantics.
+
+Uses a tiny "relay" probe program on a directed path so that the exact
+values observed by each update expose which writes were visible: BSP
+must advance one hop per iteration, Gauss–Seidel must cascade a full
+sweep in one iteration, and the nondeterministic engine must sit in
+between exactly as Definitions 1–3 dictate for the dispatch at hand.
+"""
+
+from typing import Mapping
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AlgorithmTraits,
+    ConflictProfile,
+    EngineConfig,
+    FieldSpec,
+    UpdateContext,
+    VertexProgram,
+    run,
+)
+from repro.graph import DiGraph, generators
+
+
+class Relay(VertexProgram):
+    """Token count propagation along a directed path.
+
+    ``f(v)`` adopts the value on its in-edge and forwards ``value + 1``
+    on its out-edge if that increases the edge.  On the directed path
+    ``0 -> 1 -> ... -> n-1`` the converged vertex values are
+    ``0, 1, 2, ..., n-1``; the number of iterations needed reveals how
+    far values travelled within each iteration.
+    """
+
+    def __init__(self):
+        self.traits = AlgorithmTraits(
+            name="Relay",
+            conflict_profile=ConflictProfile.READ_WRITE,
+            converges_synchronously=True,
+            converges_async_deterministic=True,
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        return {"val": FieldSpec(np.float64, 0.0)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        return {"msg": FieldSpec(np.float64, -1.0)}
+
+    def update(self, ctx: UpdateContext) -> None:
+        best = float(ctx.get("val"))
+        for eid in ctx.in_edges()[1].tolist():
+            best = max(best, ctx.read_edge(eid, "msg"))
+        ctx.set("val", best)
+        for eid in ctx.out_edges()[1].tolist():
+            if ctx.read_edge(eid, "msg") < best + 1:
+                ctx.write_edge(eid, "msg", best + 1)
+
+
+def directed_path(n: int) -> DiGraph:
+    return generators.path_graph(n, undirected=False)
+
+
+def expected(n: int) -> list[float]:
+    return [float(i) for i in range(n)]
+
+
+class TestSynchronousSemantics:
+    def test_one_hop_per_iteration(self):
+        n = 10
+        res = run(Relay(), directed_path(n), mode="sync", threads=2)
+        assert res.converged
+        assert res.result().tolist() == expected(n)
+        # BSP: iteration k moves the token one hop; converging the whole
+        # path takes ~n iterations (plus the final empty check).
+        assert res.num_iterations >= n - 1
+
+    def test_reads_see_previous_iteration_only(self):
+        observed = []
+
+        class Spy(Relay):
+            def update(self, ctx):
+                if ctx.vid == 2:
+                    observed.append(ctx.read_edge(ctx.in_edges()[1][0], "msg"))
+                super().update(ctx)
+
+        run(Spy(), directed_path(4), mode="sync", threads=1)
+        # First iteration: vertex 2 must still see the initial value even
+        # though vertex 1 wrote the edge in the same iteration.
+        assert observed[0] == -1.0
+
+    def test_bit_reproducible(self):
+        a = run(Relay(), directed_path(8), mode="sync", threads=4)
+        b = run(Relay(), directed_path(8), mode="sync", threads=4)
+        assert np.array_equal(a.result(), b.result())
+        assert a.num_iterations == b.num_iterations
+
+
+class TestGaussSeidelSemantics:
+    def test_full_cascade_in_one_iteration(self):
+        n = 16
+        res = run(Relay(), directed_path(n), mode="deterministic")
+        assert res.converged
+        assert res.result().tolist() == expected(n)
+        # Ascending label order lets the whole path relax in iteration 0;
+        # iteration 1 generates no writes; done after 2.
+        assert res.num_iterations == 2
+
+    def test_no_conflicts_ever(self, rmat_small):
+        from repro.algorithms import WeaklyConnectedComponents
+
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="deterministic")
+        assert res.conflicts.total == 0
+
+    def test_descending_path_needs_many_iterations(self):
+        # Reverse the path: propagation now runs against label order, so
+        # even Gauss-Seidel needs ~n iterations.
+        n = 8
+        g = DiGraph(n, list(range(1, n)), list(range(0, n - 1)))  # i+1 -> i
+        res = run(Relay(), g, mode="deterministic")
+        assert res.converged
+        assert res.num_iterations >= n - 1
+
+
+class TestNondeterministicSemantics:
+    def test_single_thread_equals_gauss_seidel(self):
+        """P=1, no jitter: the racy engine degenerates to the GS sweep."""
+        g = directed_path(12)
+        gs = run(Relay(), g, mode="deterministic")
+        ne = run(
+            Relay(),
+            g,
+            mode="nondeterministic",
+            config=EngineConfig(threads=1, jitter=0.0, seed=0),
+        )
+        assert np.array_equal(gs.result(), ne.result())
+        assert gs.num_iterations == ne.num_iterations
+        assert ne.conflicts.total == 0
+
+    def test_block_boundaries_cost_iterations(self):
+        """With P blocks, each iteration cascades within blocks only."""
+        n, p = 16, 4
+        res = run(
+            Relay(),
+            directed_path(n),
+            mode="nondeterministic",
+            config=EngineConfig(threads=p, jitter=0.0, delay=2.0, seed=0),
+        )
+        assert res.converged
+        assert res.result().tolist() == expected(n)
+        # The value must hop across p-1 block boundaries, one per
+        # iteration, so at least p iterations (plus termination).
+        assert p <= res.num_iterations < n
+
+    def test_same_thread_write_visible_to_later_update(self):
+        observed = {}
+
+        class Spy(Relay):
+            def update(self, ctx):
+                if ctx.in_degree:
+                    observed[ctx.vid] = ctx.read_edge(ctx.in_edges()[1][0], "msg")
+                super().update(ctx)
+
+        # 2 threads over 4 vertices: thread 0 runs {0, 1}, thread 1 runs
+        # {2, 3}.  In iteration 0: f(1) must see f(0)'s write (same
+        # thread, earlier π); f(2) must NOT see f(1)'s write (different
+        # thread, |Δπ| < d); f(3) must not see f(2) either.
+        run(
+            Spy(),
+            directed_path(4),
+            mode="nondeterministic",
+            config=EngineConfig(threads=2, jitter=0.0, delay=2.0, max_iterations=1),
+        )
+        assert observed[1] == 1.0  # saw f(0)'s fresh write
+        assert observed[2] == -1.0  # concurrent with f(1): stale
+        assert observed[3] == 1.0  # same thread as f(2): fresh
+
+    def test_cross_thread_visible_after_delay(self):
+        observed = {}
+
+        class Spy(Relay):
+            def update(self, ctx):
+                if ctx.in_degree:
+                    observed[ctx.vid] = ctx.read_edge(ctx.in_edges()[1][0], "msg")
+                super().update(ctx)
+
+        # Edge from vertex 0 (thread 0, π=0) into vertex 5 (thread 1,
+        # π=1): π(5) − π(0) = 1 < d=1?  Use d=1 so the gap of 1 makes the
+        # write visible; with d=2 it would not be.
+        g = DiGraph(8, [0], [5])
+        for d, expect in ((1.0, 1.0), (2.0, -1.0)):
+            observed.clear()
+            run(
+                Spy(),
+                g,
+                mode="nondeterministic",
+                config=EngineConfig(threads=2, jitter=0.0, delay=d, max_iterations=1),
+            )
+            assert observed[5] == expect, f"d={d}"
+
+    def test_reproducible_from_seed(self, rmat_small):
+        from repro.algorithms import PageRank
+
+        cfg = EngineConfig(threads=8, seed=123)
+        a = run(PageRank(epsilon=1e-3), rmat_small, mode="nondeterministic", config=cfg)
+        b = run(PageRank(epsilon=1e-3), rmat_small, mode="nondeterministic", config=cfg)
+        assert np.array_equal(a.result(), b.result())
+        assert a.conflicts.summary() == b.conflicts.summary()
+        assert a.num_iterations == b.num_iterations
+
+    def test_different_seeds_vary_interleaving(self, rmat_small):
+        from repro.algorithms import PageRank
+
+        runs = [
+            run(
+                PageRank(epsilon=1e-3),
+                rmat_small,
+                mode="nondeterministic",
+                config=EngineConfig(threads=8, seed=s),
+            )
+            for s in range(4)
+        ]
+        summaries = {tuple(sorted(r.conflicts.summary().items())) for r in runs}
+        assert len(summaries) > 1  # jitter changed at least some schedule
+
+    def test_max_iterations_cap_reported(self):
+        from repro.algorithms import AntiParity
+
+        res = run(
+            AntiParity(),
+            generators.path_graph(6),
+            mode="nondeterministic",
+            config=EngineConfig(threads=2, seed=0, max_iterations=25),
+        )
+        assert not res.converged
+        assert res.num_iterations == 25
+
+    def test_commit_winner_has_max_timestamp(self):
+        """Two concurrent writers: the later effective timestamp commits."""
+        events = []
+
+        class TwoWriters(VertexProgram):
+            def __init__(self):
+                self.traits = AlgorithmTraits(
+                    name="tw",
+                    conflict_profile=ConflictProfile.WRITE_WRITE,
+                    converges_synchronously=True,
+                    converges_async_deterministic=True,
+                )
+
+            def vertex_fields(self):
+                return {"x": FieldSpec(np.float64, 0.0)}
+
+            def edge_fields(self):
+                return {"e": FieldSpec(np.float64, 0.0)}
+
+            def initial_frontier(self, graph):
+                return [0, 1]
+
+            def update(self, ctx):
+                if float(ctx.get("x")) == 0.0:  # write only on first visit
+                    ctx.set("x", 1.0)
+                    for eid in ctx.incident_eids().tolist():
+                        ctx.write_edge(eid, "e", float(ctx.vid) + 10.0)
+                        events.append(ctx.vid)
+
+        g = generators.two_vertex_conflict_graph()
+        res = run(
+            TwoWriters(),
+            g,
+            mode="nondeterministic",
+            config=EngineConfig(threads=2, jitter=0.5, delay=2.0, seed=9),
+        )
+        # Both wrote (10.0 and 11.0); exactly one value committed.
+        assert res.state.edge("e")[0] in (10.0, 11.0)
+        assert res.conflicts.write_write >= 1
+        assert res.conflicts.lost_writes >= 1
+
+
+class TestWorkAccounting:
+    def test_reads_writes_tallied(self, rmat_small):
+        from repro.algorithms import PageRank
+
+        res = run(
+            PageRank(epsilon=1e-3),
+            rmat_small,
+            mode="nondeterministic",
+            config=EngineConfig(threads=4, seed=0),
+        )
+        assert res.total_reads > 0
+        assert res.total_writes > 0
+        assert res.total_updates == sum(
+            sum(s.updates_per_thread) for s in res.iterations
+        )
+        # Per-thread vectors all sized P.
+        for stats in res.iterations:
+            assert len(stats.updates_per_thread) == 4
+            assert len(stats.reads_per_thread) == 4
+            assert len(stats.writes_per_thread) == 4
+
+    def test_summary_keys(self, rmat_small):
+        from repro.algorithms import BFS
+
+        res = run(BFS(source=0), rmat_small, mode="nondeterministic", threads=2)
+        s = res.summary()
+        for key in ("mode", "converged", "iterations", "updates", "edge_reads",
+                    "edge_writes", "read_write", "write_write"):
+            assert key in s

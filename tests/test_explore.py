@@ -1,0 +1,108 @@
+"""Tests for the exhaustive schedule explorer (model checking)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    AntiParity,
+    BFS,
+    EdgeIncrementCounter,
+    MaxLabelPropagation,
+    WeaklyConnectedComponents,
+    reference,
+)
+from repro.engine import run
+from repro.graph import DiGraph, generators
+from repro.theory import explore_schedules
+
+
+class TestTheorem2Exhaustively:
+    def test_fig2_all_schedules_converge_to_minimum(self):
+        """The paper's Fig. 2, verified over EVERY schedule, not a sample."""
+        g = generators.two_vertex_conflict_graph()
+        rep = explore_schedules(WeaklyConnectedComponents, g, threads=2)
+        assert rep.always_converges
+        assert rep.result_deterministic
+        assert rep.distinct_results()[0].tolist() == [0.0, 0.0]
+
+    def test_triangle_wcc(self):
+        g = generators.cycle_graph(3, undirected=True)
+        rep = explore_schedules(WeaklyConnectedComponents, g, threads=2)
+        assert rep.always_converges
+        assert rep.result_deterministic
+        assert rep.distinct_results()[0].tolist() == [0.0, 0.0, 0.0]
+
+    def test_path4_wcc_three_threads(self):
+        g = generators.path_graph(4)
+        rep = explore_schedules(WeaklyConnectedComponents, g, threads=3,
+                                max_states=200_000)
+        assert rep.always_converges
+        assert rep.result_deterministic
+
+    def test_maxlabel_exhaustive(self):
+        g = generators.two_vertex_conflict_graph()
+        rep = explore_schedules(MaxLabelPropagation, g, threads=2)
+        assert rep.always_converges
+        assert rep.distinct_results()[0].tolist() == [1.0, 1.0]
+
+
+class TestTheorem1Exhaustively:
+    def test_bfs_every_schedule_exact(self):
+        g = DiGraph(4, [0, 0, 1], [1, 2, 3])
+        truth = reference.bfs_reference(g, 0)
+        rep = explore_schedules(lambda: BFS(source=0), g, threads=2,
+                                max_states=200_000)
+        assert rep.always_converges
+        assert rep.result_deterministic
+        assert np.array_equal(rep.distinct_results()[0], truth)
+
+
+class TestNegativesExhaustively:
+    def test_antiparity_cycle_witnessed(self):
+        g = generators.two_vertex_conflict_graph()
+        rep = explore_schedules(AntiParity, g, threads=2, max_depth=10)
+        assert rep.cycle_found
+        assert not rep.always_converges
+
+    def test_counter_converges_but_wrong(self):
+        """Every schedule terminates (Theorem 2) yet every schedule's
+        tally overshoots the deterministic answer — eligibility for
+        convergence is not eligibility for result fidelity."""
+        g = generators.two_vertex_conflict_graph()
+        rep = explore_schedules(lambda: EdgeIncrementCounter(target=2), g, threads=2)
+        assert rep.always_converges
+        de = run(EdgeIncrementCounter(target=2), g, mode="deterministic")
+        de_total = int(de.result().sum())
+        for result in rep.distinct_results():
+            assert int(result.sum()) > de_total
+
+
+class TestExplorerMechanics:
+    def test_max_active_guard(self):
+        g = generators.star_graph(9)
+        with pytest.raises(ValueError, match="max_active"):
+            explore_schedules(WeaklyConnectedComponents, g, threads=2, max_active=4)
+
+    def test_max_states_guard(self):
+        g = generators.path_graph(5)
+        with pytest.raises(RuntimeError, match="max_states"):
+            explore_schedules(WeaklyConnectedComponents, g, threads=2, max_states=3)
+
+    def test_depth_bound_reported(self):
+        g = generators.two_vertex_conflict_graph()
+        rep = explore_schedules(AntiParity, g, threads=1, max_depth=4)
+        # single thread: deterministic oscillation — revisits a state
+        assert rep.cycle_found or rep.depth_exceeded
+
+    def test_terminal_depth_positive(self):
+        g = generators.two_vertex_conflict_graph()
+        rep = explore_schedules(WeaklyConnectedComponents, g, threads=2)
+        assert 1 <= rep.max_terminal_depth <= 5
+
+    def test_single_thread_single_path(self):
+        """P=1 admits exactly one schedule per state: the explored state
+        graph is a simple chain."""
+        g = generators.path_graph(3)
+        rep = explore_schedules(WeaklyConnectedComponents, g, threads=1)
+        assert rep.always_converges
+        assert len(rep.terminal_results) == 1

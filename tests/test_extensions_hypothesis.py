@@ -1,0 +1,104 @@
+"""Property-based sweeps over the extension executors.
+
+The same style as ``test_engine_hypothesis.py``: for arbitrary small
+graphs and schedules, the push-mode and pure-async executors must reach
+the exact fixed points their sufficient conditions promise.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PushBFS, PushMinReach, WeaklyConnectedComponents, reference
+from repro.algorithms.push_algorithms import min_reach_reference
+from repro.engine import DelayModel, EngineConfig, run, run_push
+from repro.graph import DiGraph
+
+
+@st.composite
+def graph_and_config(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    m = draw(st.integers(min_value=1, max_value=30))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    graph = DiGraph(n, [u for u, _ in edges], [v for _, v in edges])
+    config = EngineConfig(
+        threads=draw(st.integers(1, 5)),
+        delay=float(draw(st.integers(1, 4))),
+        jitter=draw(st.sampled_from([0.0, 0.5])),
+        seed=draw(st.integers(0, 500)),
+    )
+    return graph, config
+
+
+COMMON = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_push_bfs_exact_on_arbitrary_graphs(data):
+    graph, config = data
+    truth = reference.bfs_reference(graph, 0)
+    res = run_push(PushBFS(source=0), graph, config=config)
+    assert res.converged
+    assert np.array_equal(res.result(), truth)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_push_min_reach_exact_on_arbitrary_graphs(data):
+    graph, config = data
+    truth = min_reach_reference(graph)
+    res = run_push(PushMinReach(), graph, config=config)
+    assert res.converged
+    assert np.array_equal(res.result(), truth)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_pure_async_wcc_exact_on_arbitrary_graphs(data):
+    graph, config = data
+    truth = reference.wcc_reference(graph)
+    res = run(WeaklyConnectedComponents(), graph, mode="pure-async", config=config)
+    assert res.converged
+    assert np.array_equal(res.result(), truth)
+
+
+@given(graph_and_config(), st.integers(1, 3))
+@settings(**COMMON)
+def test_pure_async_exact_under_group_delays(data, group_size):
+    graph, config = data
+    model = DelayModel.distributed(group_size, intra=config.delay, network=16.0)
+    cfg = config.with_(delay_model=model)
+    truth = reference.wcc_reference(graph)
+    res = run(WeaklyConnectedComponents(), graph, mode="pure-async", config=cfg)
+    assert np.array_equal(res.result(), truth)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_chromatic_wcc_exact_on_arbitrary_graphs(data):
+    graph, config = data
+    truth = reference.wcc_reference(graph)
+    res = run(WeaklyConnectedComponents(), graph, mode="chromatic", config=config)
+    assert res.converged
+    assert np.array_equal(res.result(), truth)
+
+
+@given(graph_and_config())
+@settings(**COMMON)
+def test_push_engine_reproducible(data):
+    graph, config = data
+    a = run_push(PushBFS(source=0), graph, config=config)
+    b = run_push(PushBFS(source=0), graph, config=config)
+    assert np.array_equal(a.result(), b.result())
+    assert a.conflicts.summary() == b.conflicts.summary()

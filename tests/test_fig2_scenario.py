@@ -1,0 +1,95 @@
+"""The paper's Fig. 2 write–write corruption/recovery walkthrough, scripted.
+
+Fig. 2: vertices v and u share edge (v -> u); initial labels L_v < L_u,
+edge label infinite.  Under concurrent execution the first iteration can
+commit u's (larger, wrong) label to the edge; subsequent iterations must
+correct the edge to the minimum and converge u — with the engine's
+conflict log showing the write–write conflict and the lost write.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import WeaklyConnectedComponents
+from repro.engine import EngineConfig, run
+from repro.graph import generators
+
+
+def trace_run(seed: int, threads: int = 2):
+    graph = generators.two_vertex_conflict_graph()
+    snapshots = []
+
+    def observer(iteration, state, next_schedule):
+        snapshots.append(
+            (
+                iteration,
+                state.vertex("label").copy(),
+                float(state.edge("label")[0]),
+            )
+        )
+
+    result = run(
+        WeaklyConnectedComponents(),
+        graph,
+        mode="nondeterministic",
+        config=EngineConfig(threads=threads, delay=2.0, jitter=0.5, seed=seed),
+        observer=observer,
+    )
+    return result, snapshots
+
+
+class TestFig2:
+    def test_first_iteration_conflict(self):
+        result, _ = trace_run(seed=3)
+        assert result.conflicts.write_write >= 1
+
+    def test_corruption_occurs_for_some_seed(self):
+        """For at least one seed, u's write wins iteration 0: the edge
+        carries the *larger* label — the corrupted state of Fig. 2."""
+        corrupted_seen = False
+        for seed in range(20):
+            _, snaps = trace_run(seed)
+            _, _, edge_after_first = snaps[0]
+            if edge_after_first == 1.0:
+                corrupted_seen = True
+                break
+        assert corrupted_seen
+
+    def test_correct_write_can_also_win(self):
+        winner_values = set()
+        for seed in range(20):
+            _, snaps = trace_run(seed)
+            winner_values.add(snaps[0][2])
+        # Lemma 2: the committed value is one of the two written values —
+        # and across seeds both outcomes occur.
+        assert winner_values == {0.0, 1.0}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_recovery_always_completes(self, seed):
+        result, snaps = trace_run(seed)
+        assert result.converged
+        assert np.array_equal(result.result(), [0.0, 0.0])
+        # final edge label is the component minimum
+        assert snaps[-1][2] == 0.0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_recovery_within_three_iterations(self, seed):
+        """The paper's walkthrough: correction lands by the second
+        iteration and u truly converges by the third."""
+        result, _ = trace_run(seed)
+        assert result.num_iterations <= 4
+
+    def test_corrupted_run_takes_extra_iterations(self):
+        """When corruption happens, recovery costs at least one more
+        iteration than the conflict-free sequential execution."""
+        de = run(
+            WeaklyConnectedComponents(),
+            generators.two_vertex_conflict_graph(),
+            mode="deterministic",
+        )
+        for seed in range(20):
+            result, snaps = trace_run(seed)
+            if snaps[0][2] == 1.0:  # corrupted first iteration
+                assert result.num_iterations > de.num_iterations
+                return
+        pytest.fail("no corrupted schedule found in 20 seeds")

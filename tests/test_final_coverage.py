@@ -1,0 +1,103 @@
+"""Final coverage batch: cost-model chromatic path, CLI heavy commands,
+cross-engine agreement matrix, and result-container details."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, WeaklyConnectedComponents, reference
+from repro.cli import main
+from repro.engine import EngineConfig, run
+from repro.graph import generators, load_dataset
+from repro.perf import CostModel, CostParams
+
+
+class TestChromaticCostModel:
+    @pytest.fixture(scope="class")
+    def chromatic_run(self):
+        g = generators.rmat(7, 6.0, seed=2)
+        return run(WeaklyConnectedComponents(), g, mode="chromatic",
+                   config=EngineConfig(threads=8))
+
+    def test_positive_time(self, chromatic_run):
+        assert CostModel().chromatic_time(chromatic_run) > 0
+
+    def test_dispatches_via_time(self, chromatic_run):
+        m = CostModel()
+        assert m.time(chromatic_run) == m.chromatic_time(chromatic_run)
+
+    def test_per_color_barriers_charged(self, chromatic_run):
+        cheap = CostModel(CostParams(barrier_ns=0.0)).chromatic_time(chromatic_run)
+        costly = CostModel(CostParams(barrier_ns=1e6)).chromatic_time(chromatic_run)
+        colors = chromatic_run.extra["num_colors"]
+        expected = cheap + chromatic_run.num_iterations * colors * 1e-3
+        assert costly == pytest.approx(expected)
+
+    def test_coloring_charged_once(self, chromatic_run):
+        no_color = CostModel(CostParams(coloring_ns=0.0)).chromatic_time(chromatic_run)
+        with_color = CostModel(CostParams(coloring_ns=100.0)).chromatic_time(chromatic_run)
+        g = chromatic_run.state.graph
+        expected = no_color + (g.num_vertices + g.num_edges) * 100.0 * 1e-9
+        assert with_color == pytest.approx(expected)
+
+
+class TestCliHeavyCommands:
+    def test_figure3_small(self, capsys):
+        code = main(["figure3", "--scale", "7", "--threads", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "cache-line" in out
+
+    def test_ablations(self, capsys):
+        code = main(["ablations", "--scale", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "torn values" in out
+        assert "delay sweep" in out
+        assert "dispatch policy" in out
+
+    def test_table3(self, capsys):
+        code = main(["table3", "--scale", "7", "--runs", "2"])
+        assert code == 0
+        assert "DE vs. 4NE" in capsys.readouterr().out
+
+
+class TestCrossEngineAgreementMatrix:
+    """Every executor pair agrees on every absolute-convergence result."""
+
+    MODES = ["sync", "deterministic", "chromatic", "nondeterministic", "pure-async"]
+
+    def test_wcc_agreement(self):
+        g = load_dataset("web-google-mini", scale=8, seed=7)
+        truth = reference.wcc_reference(g)
+        for mode in self.MODES:
+            res = run(WeaklyConnectedComponents(), g, mode=mode,
+                      config=EngineConfig(threads=8, seed=3))
+            assert np.array_equal(res.result(), truth), mode
+
+    def test_bfs_agreement(self):
+        g = load_dataset("soc-livejournal1-mini", scale=8, seed=7)
+        truth = reference.bfs_reference(g, 0)
+        for mode in self.MODES:
+            res = run(BFS(source=0), g, mode=mode,
+                      config=EngineConfig(threads=4, seed=1))
+            assert np.array_equal(res.result(), truth), mode
+
+
+class TestRunResultDetails:
+    def test_extra_defaults_empty(self, path8):
+        res = run(WeaklyConnectedComponents(), path8, mode="deterministic")
+        assert res.extra == {}
+
+    def test_iteration_stats_totals(self, rmat_small):
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=4, seed=0))
+        for s in res.iterations:
+            assert s.total_reads == sum(s.reads_per_thread)
+            assert s.total_writes == sum(s.writes_per_thread)
+        assert res.num_iterations == len(res.iterations) or not res.converged
+
+    def test_conflict_log_per_iteration_sums(self, rmat_small):
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=0))
+        assert sum(res.conflicts.per_iteration.values()) == res.conflicts.total

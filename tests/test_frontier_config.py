@@ -1,0 +1,111 @@
+"""Tests for Frontier / initial_frontier and EngineConfig validation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, Frontier, initial_frontier
+from repro.algorithms import SSSP, WeaklyConnectedComponents
+from repro.graph import generators
+
+
+class TestFrontier:
+    def test_dedup(self):
+        f = Frontier([3, 3, 1, 1])
+        assert len(f) == 2
+
+    def test_sorted_vertices(self):
+        f = Frontier([5, 1, 3])
+        assert f.sorted_vertices().tolist() == [1, 3, 5]
+
+    def test_bool_and_contains(self):
+        f = Frontier()
+        assert not f
+        f.add(2)
+        assert f
+        assert 2 in f
+        assert 3 not in f
+
+    def test_as_set_is_copy(self):
+        f = Frontier([1])
+        s = f.as_set()
+        s.add(99)
+        assert 99 not in f
+
+    def test_empty_sorted(self):
+        assert Frontier().sorted_vertices().size == 0
+
+
+class TestInitialFrontier:
+    def test_all(self):
+        g = generators.path_graph(4)
+        f = initial_frontier(WeaklyConnectedComponents(), g)
+        assert len(f) == 4
+
+    def test_explicit_list(self):
+        class P(WeaklyConnectedComponents):
+            def initial_frontier(self, graph):
+                return [2, 0]
+
+        g = generators.path_graph(4)
+        f = initial_frontier(P(), g)
+        assert f.sorted_vertices().tolist() == [0, 2]
+
+    def test_out_of_range_rejected(self):
+        class P(WeaklyConnectedComponents):
+            def initial_frontier(self, graph):
+                return [99]
+
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError, match="out of range"):
+            initial_frontier(P(), g)
+
+    def test_unknown_string_rejected(self):
+        class P(WeaklyConnectedComponents):
+            def initial_frontier(self, graph):
+                return "everything"
+
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError, match="unknown frontier"):
+            initial_frontier(P(), g)
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        cfg = EngineConfig()
+        assert cfg.threads == 4
+        assert cfg.delay >= 1
+
+    def test_threads_validation(self):
+        with pytest.raises(ValueError, match="threads"):
+            EngineConfig(threads=0)
+
+    def test_delay_validation(self):
+        with pytest.raises(ValueError, match="delay"):
+            EngineConfig(delay=0.5)
+
+    def test_jitter_range(self):
+        with pytest.raises(ValueError, match="jitter"):
+            EngineConfig(jitter=1.0)
+        with pytest.raises(ValueError, match="jitter"):
+            EngineConfig(jitter=-0.1)
+        EngineConfig(jitter=0.0)  # boundary ok
+
+    def test_max_iterations_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_iterations=0)
+
+    def test_torn_probability_range(self):
+        with pytest.raises(ValueError):
+            EngineConfig(torn_probability=1.5)
+
+    def test_with_updates_functionally(self):
+        cfg = EngineConfig(threads=4)
+        cfg2 = cfg.with_(threads=8, seed=5)
+        assert cfg.threads == 4
+        assert cfg2.threads == 8
+        assert cfg2.seed == 5
+
+    def test_frozen(self):
+        cfg = EngineConfig()
+        with pytest.raises(AttributeError):
+            cfg.threads = 9

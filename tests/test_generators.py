@@ -1,0 +1,197 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators, is_weakly_connected
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = generators.erdos_renyi(50, 200, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 200
+
+    def test_no_self_loops_by_default(self):
+        g = generators.erdos_renyi(30, 100, seed=2)
+        assert not np.any(g.edge_src == g.edge_dst)
+
+    def test_self_loops_allowed(self):
+        g = generators.erdos_renyi(4, 16, seed=3, allow_self_loops=True)
+        assert g.num_edges == 16  # 16 = n*n requires loops
+
+    def test_deterministic_given_seed(self):
+        a = generators.erdos_renyi(40, 120, seed=7)
+        b = generators.erdos_renyi(40, 120, seed=7)
+        assert a == b
+
+    def test_different_seed_different_graph(self):
+        a = generators.erdos_renyi(40, 120, seed=7)
+        b = generators.erdos_renyi(40, 120, seed=8)
+        assert a != b
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            generators.erdos_renyi(3, 7, seed=0)
+
+    def test_nonpositive_n_rejected(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(0, 0)
+
+
+class TestRmat:
+    def test_size(self):
+        g = generators.rmat(8, 4.0, seed=5, dedup=False, drop_self_loops=False)
+        assert g.num_vertices == 256
+        assert g.num_edges == 1024
+
+    def test_dedup_shrinks(self):
+        g = generators.rmat(6, 8.0, seed=5)
+        assert g.num_edges <= 8 * 64
+
+    def test_deterministic(self):
+        assert generators.rmat(7, 5.0, seed=9) == generators.rmat(7, 5.0, seed=9)
+
+    def test_skewed_degrees(self):
+        # Graph500 parameters concentrate edges: the max degree should be
+        # far above the average.
+        g = generators.rmat(9, 8.0, seed=4)
+        avg = g.num_edges / g.num_vertices
+        assert g.out_degrees().max() > 4 * avg
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            generators.rmat(4, 2.0, a=0.8, b=0.3, c=0.2)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generators.rmat(-1, 2.0)
+
+    def test_scale_zero(self):
+        g = generators.rmat(0, 1.0, drop_self_loops=False)
+        assert g.num_vertices == 1
+
+
+class TestPreferentialAttachment:
+    def test_connectivity(self):
+        g = generators.preferential_attachment(100, 3, seed=1)
+        assert is_weakly_connected(g)
+
+    def test_edges_point_to_earlier_vertices(self):
+        g = generators.preferential_attachment(60, 2, seed=2)
+        assert np.all(g.edge_src > g.edge_dst)
+
+    def test_out_degree_bound(self):
+        g = generators.preferential_attachment(60, 4, seed=3)
+        assert g.out_degrees().max() <= 4
+
+    def test_heavy_tailed_in_degree(self):
+        g = generators.preferential_attachment(400, 5, seed=4)
+        assert g.in_degrees().max() > 3 * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(0, 1)
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(5, 0)
+
+
+class TestBanded:
+    def test_band_respected(self):
+        g = generators.banded(100, bandwidth=3, density=0.9, seed=1)
+        span = np.abs(g.edge_src - g.edge_dst)
+        assert span.max() <= 3
+        assert span.min() >= 1
+
+    def test_symmetric(self):
+        g = generators.banded(50, bandwidth=2, density=0.8, seed=2, symmetric=True)
+        for e in range(g.num_edges):
+            u, v = g.edge_endpoints(e)
+            assert g.has_edge(v, u)
+
+    def test_asymmetric_possible(self):
+        g = generators.banded(200, bandwidth=2, density=0.5, seed=3, symmetric=False)
+        asym = sum(
+            1 for e in range(g.num_edges)
+            if not g.has_edge(*reversed(g.edge_endpoints(e)))
+        )
+        assert asym > 0
+
+    def test_density_one_fills_band(self):
+        g = generators.banded(10, bandwidth=1, density=1.0, seed=0)
+        assert g.num_edges == 18  # 9 offsets * 2 directions
+
+    def test_density_zero_empty(self):
+        g = generators.banded(10, bandwidth=2, density=0.0, seed=0)
+        assert g.num_edges == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generators.banded(10, bandwidth=0, density=0.5)
+        with pytest.raises(ValueError):
+            generators.banded(10, bandwidth=2, density=1.5)
+
+
+class TestStructured:
+    def test_path_graph(self):
+        g = generators.path_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 8  # 4 undirected edges
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_path_graph_directed(self):
+        g = generators.path_graph(5, undirected=False)
+        assert g.num_edges == 4
+        assert not g.has_edge(1, 0)
+
+    def test_cycle_graph(self):
+        g = generators.cycle_graph(6)
+        assert g.num_edges == 6
+        assert g.has_edge(5, 0)
+
+    def test_cycle_graph_single_vertex(self):
+        g = generators.cycle_graph(1)
+        assert g.num_edges == 0
+
+    def test_star_graph(self):
+        g = generators.star_graph(5)
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 4
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(4)
+        assert g.num_edges == 12
+
+    def test_grid_graph(self):
+        g = generators.grid_graph(3, 4)
+        assert g.num_vertices == 12
+        # interior vertex degree: 4 undirected neighbours = 4 out-edges
+        assert g.out_degree(5) == 4
+        # corner: 2
+        assert g.out_degree(0) == 2
+
+    def test_random_tree_connected(self):
+        g = generators.random_tree(40, seed=3)
+        assert is_weakly_connected(g)
+        assert g.num_edges == 2 * 39
+
+    def test_two_vertex_conflict_graph(self):
+        g = generators.two_vertex_conflict_graph()
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+
+    def test_all_generated_graphs_validate(self):
+        for g in [
+            generators.path_graph(6),
+            generators.cycle_graph(6),
+            generators.star_graph(6),
+            generators.complete_graph(5),
+            generators.grid_graph(3, 3),
+            generators.random_tree(20, seed=1),
+            generators.banded(30, 3, 0.5, seed=1),
+            generators.rmat(6, 4.0, seed=1),
+            generators.preferential_attachment(30, 3, seed=1),
+            generators.erdos_renyi(30, 60, seed=1),
+        ]:
+            g.validate()

@@ -1,0 +1,168 @@
+"""Cross-module integration tests: theorems exercised end to end."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    SSSP,
+    MaxLabelPropagation,
+    PageRank,
+    SpMV,
+    WeaklyConnectedComponents,
+    reference,
+)
+from repro.engine import AtomicityPolicy, EngineConfig, run
+from repro.graph import generators
+from repro.theory import audit_run, check_program
+
+
+GRAPHS = {
+    "rmat": lambda: generators.rmat(7, 6.0, seed=2),
+    "er": lambda: generators.erdos_renyi(200, 900, seed=4),
+    "grid": lambda: generators.grid_graph(8, 8),
+    "tree": lambda: generators.random_tree(100, seed=6),
+    "star": lambda: generators.star_graph(40),
+}
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+@pytest.mark.parametrize("threads", [2, 8])
+class TestTheorem2EndToEnd:
+    """Traversal algorithms: exact results under racy execution."""
+
+    def test_wcc(self, graph_name, threads):
+        g = GRAPHS[graph_name]()
+        truth = reference.wcc_reference(g)
+        res = run(WeaklyConnectedComponents(), g, mode="nondeterministic",
+                  config=EngineConfig(threads=threads, seed=11))
+        assert res.converged
+        assert np.array_equal(res.result(), truth)
+        assert audit_run(res) == []
+
+    def test_maxlabel(self, graph_name, threads):
+        g = GRAPHS[graph_name]()
+        truth = reference.max_label_reference(g)
+        res = run(MaxLabelPropagation(), g, mode="nondeterministic",
+                  config=EngineConfig(threads=threads, seed=11))
+        assert np.array_equal(res.result(), truth)
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+class TestTheorem1EndToEnd:
+    """Fixed-point and single-writer traversal: RW conflicts only."""
+
+    def test_sssp_exact(self, graph_name):
+        g = GRAPHS[graph_name]()
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(g, 0, prog.make_weights(g))
+        res = run(SSSP(source=0), g, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=5))
+        assert np.array_equal(res.result(), truth)
+        assert res.conflicts.write_write == 0
+
+    def test_bfs_exact(self, graph_name):
+        g = GRAPHS[graph_name]()
+        res = run(BFS(source=0), g, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=5))
+        assert np.array_equal(res.result(), reference.bfs_reference(g, 0))
+
+    def test_pagerank_converges_near_reference(self, graph_name):
+        g = GRAPHS[graph_name]()
+        res = run(PageRank(epsilon=1e-4), g, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=5))
+        assert res.converged
+        ref = reference.pagerank_reference(g)
+        assert np.max(np.abs(res.result().astype(np.float64) - ref)) < 0.05
+
+
+class TestAtomicityPoliciesValueEquivalent:
+    """§III: all three atomicity methods produce identical values."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [AtomicityPolicy.LOCK, AtomicityPolicy.CACHE_LINE, AtomicityPolicy.ATOMIC_RELAXED],
+    )
+    def test_same_values_across_policies(self, rmat_small, policy):
+        base = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                   config=EngineConfig(threads=8, seed=7,
+                                       atomicity=AtomicityPolicy.CACHE_LINE))
+        other = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                    config=EngineConfig(threads=8, seed=7, atomicity=policy))
+        assert np.array_equal(base.result(), other.result())
+        assert base.num_iterations == other.num_iterations
+
+
+class TestEligibilityMatchesBehaviour:
+    """The checker's verdicts agree with what the engines actually do."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: PageRank(epsilon=1e-3),
+            lambda: SpMV(epsilon=1e-8),
+            WeaklyConnectedComponents,
+            MaxLabelPropagation,
+            lambda: SSSP(source=0),
+            lambda: BFS(source=0),
+        ],
+    )
+    def test_eligible_programs_converge(self, factory, er_medium):
+        program = factory()
+        assert check_program(program).verdict.eligible
+        res = run(factory(), er_medium, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=3))
+        assert res.converged
+
+    @pytest.mark.parametrize("factory", [WeaklyConnectedComponents, MaxLabelPropagation,
+                                         lambda: SSSP(source=0), lambda: BFS(source=0)])
+    def test_absolute_convergence_gives_identical_results(self, factory, er_medium):
+        program = factory()
+        report = check_program(program)
+        if not report.results_deterministic:
+            pytest.skip("approximate convergence")
+        de = run(factory(), er_medium, mode="deterministic")
+        for seed in (0, 1):
+            ne = run(factory(), er_medium, mode="nondeterministic",
+                     config=EngineConfig(threads=16, seed=seed))
+            assert np.array_equal(de.result(), ne.result())
+
+
+class TestIterationCountOrdering:
+    """Asynchrony reduces iterations: DE <= NE <= SYNC (on these inputs)."""
+
+    @pytest.mark.parametrize("factory", [WeaklyConnectedComponents,
+                                         lambda: BFS(source=0)])
+    def test_ordering(self, factory):
+        g = generators.grid_graph(10, 10)
+        de = run(factory(), g, mode="deterministic").num_iterations
+        ne = run(factory(), g, mode="nondeterministic",
+                 config=EngineConfig(threads=8, seed=0)).num_iterations
+        sync = run(factory(), g, mode="sync").num_iterations
+        assert de <= ne <= sync
+
+
+class TestTornValuesBreakTheorems:
+    def test_sssp_corrupted_without_atomicity(self):
+        g = generators.erdos_renyi(512, 2048, seed=3)
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(g, 0, prog.make_weights(g))
+        corrupted = 0
+        for seed in range(3):
+            res = run(SSSP(source=0), g, mode="nondeterministic",
+                      config=EngineConfig(threads=8, seed=seed,
+                                          atomicity=AtomicityPolicy.NONE,
+                                          torn_probability=1.0,
+                                          max_iterations=500))
+            if not res.converged or not np.array_equal(res.result(), truth):
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_atomicity_restores_correctness(self):
+        g = generators.erdos_renyi(512, 2048, seed=3)
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(g, 0, prog.make_weights(g))
+        res = run(SSSP(source=0), g, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=0,
+                                      atomicity=AtomicityPolicy.CACHE_LINE))
+        assert np.array_equal(res.result(), truth)

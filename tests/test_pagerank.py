@@ -1,0 +1,134 @@
+"""Tests for the PageRank program (Theorem 1 exemplar)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, reference
+from repro.engine import ConflictProfile, EngineConfig, run
+from repro.graph import DiGraph, generators
+
+
+class TestConstruction:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            PageRank(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PageRank(epsilon=-1e-3)
+
+    def test_damping_validation(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=0.0)
+        with pytest.raises(ValueError):
+            PageRank(damping=1.0)
+
+    def test_traits(self):
+        t = PageRank().traits
+        assert t.conflict_profile is ConflictProfile.READ_WRITE
+        assert t.converges_synchronously
+        assert not t.is_monotone
+
+    def test_edge_init_is_inverse_out_degree(self):
+        g = DiGraph(3, [0, 0, 1], [1, 2, 2])
+        state = PageRank().make_state(g)
+        vals = state.edge("value")
+        assert vals[0] == pytest.approx(0.5)  # 0 -> 1, outdeg(0) = 2
+        assert vals[2] == pytest.approx(1.0)  # 1 -> 2, outdeg(1) = 1
+
+    def test_rank_init_one(self):
+        g = generators.cycle_graph(4)
+        state = PageRank().make_state(g)
+        assert np.all(state.vertex("rank") == 1.0)
+
+    def test_float32_storage(self):
+        g = generators.cycle_graph(4)
+        state = PageRank().make_state(g)
+        assert state.vertex("rank").dtype == np.float32
+        assert state.edge("value").dtype == np.float32
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("mode", ["sync", "deterministic", "nondeterministic"])
+    def test_converges_all_modes(self, rmat_small, mode):
+        res = run(PageRank(epsilon=1e-3), rmat_small, mode=mode, threads=4)
+        assert res.converged
+
+    @pytest.mark.parametrize("mode", ["deterministic", "nondeterministic"])
+    def test_close_to_power_iteration(self, rmat_small, mode):
+        res = run(PageRank(epsilon=1e-4), rmat_small, mode=mode, threads=8)
+        ref = reference.pagerank_reference(rmat_small)
+        # local convergence with threshold eps bounds each vertex's error
+        # by O(eps / (1 - damping)) along propagation chains; allow slack.
+        assert np.max(np.abs(res.result().astype(np.float64) - ref)) < 0.05
+
+    def test_smaller_epsilon_more_accurate(self, rmat_small):
+        ref = reference.pagerank_reference(rmat_small)
+        errs = []
+        for eps in (1e-2, 1e-4):
+            res = run(PageRank(epsilon=eps), rmat_small, mode="deterministic")
+            errs.append(np.max(np.abs(res.result().astype(np.float64) - ref)))
+        assert errs[1] < errs[0]
+
+    def test_cycle_exact_fixed_point(self):
+        # On a directed cycle every vertex has rank exactly 1.
+        g = generators.cycle_graph(8)
+        res = run(PageRank(epsilon=1e-6), g, mode="deterministic")
+        assert np.allclose(res.result(), 1.0, atol=1e-4)
+
+    def test_dangling_vertex_no_scatter_crash(self):
+        # Vertex 2 has no out-edges: update must not divide by zero.
+        g = DiGraph(3, [0, 1], [1, 2])
+        res = run(PageRank(epsilon=1e-5), g, mode="deterministic")
+        assert res.converged
+        assert np.all(np.isfinite(res.result()))
+
+    def test_isolated_vertices_keep_base_rank(self):
+        g = DiGraph(4, [0], [1])
+        res = run(PageRank(epsilon=1e-6, damping=0.85), g, mode="deterministic")
+        # vertices 2, 3 have no in-edges: rank = 1 - damping = 0.15.
+        assert res.result()[2] == pytest.approx(0.15, abs=1e-5)
+        assert res.result()[3] == pytest.approx(0.15, abs=1e-5)
+
+
+class TestNondeterministicBehaviour:
+    def test_only_read_write_conflicts(self, rmat_small):
+        res = run(
+            PageRank(epsilon=1e-3),
+            rmat_small,
+            mode="nondeterministic",
+            config=EngineConfig(threads=8, seed=0),
+        )
+        assert res.conflicts.read_write > 0
+        assert res.conflicts.write_write == 0
+
+    def test_results_vary_across_seeds(self, er_medium):
+        results = []
+        for seed in range(3):
+            res = run(
+                PageRank(epsilon=1e-3),
+                er_medium,
+                mode="nondeterministic",
+                config=EngineConfig(threads=8, seed=seed),
+            )
+            results.append(res.result().copy())
+        pairwise_equal = [
+            np.array_equal(results[i], results[j])
+            for i in range(3)
+            for j in range(i + 1, 3)
+        ]
+        assert not all(pairwise_equal)
+
+    def test_deterministic_runs_identical_without_fp_noise(self, rmat_small):
+        a = run(PageRank(epsilon=1e-3), rmat_small, mode="deterministic",
+                config=EngineConfig(seed=1))
+        b = run(PageRank(epsilon=1e-3), rmat_small, mode="deterministic",
+                config=EngineConfig(seed=2))
+        assert np.array_equal(a.result(), b.result())
+
+    def test_fp_noise_varies_deterministic_runs(self, er_medium):
+        results = []
+        for seed in (1, 2, 3):
+            res = run(PageRank(epsilon=1e-3), er_medium, mode="deterministic",
+                      config=EngineConfig(seed=seed, fp_noise=True))
+            results.append(res.result().copy())
+        assert not (np.array_equal(results[0], results[1])
+                    and np.array_equal(results[1], results[2]))

@@ -1,0 +1,214 @@
+"""Tests for autonomous priority scheduling, partitioning, and k-core."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    KCoreDecomposition,
+    PrioritizedPageRank,
+    PrioritizedSSSP,
+    SSSP,
+    kcore_reference,
+    reference,
+)
+from repro.engine import EngineConfig, run
+from repro.graph import (
+    DiGraph,
+    apply_partition,
+    bfs_partition,
+    contiguous_partition,
+    generators,
+    partition_quality,
+    random_partition,
+)
+
+
+class TestPrioritizedPrograms:
+    def test_prioritized_sssp_exact(self, er_medium):
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(er_medium, 0, prog.make_weights(er_medium))
+        res = run(PrioritizedSSSP(source=0), er_medium, mode="pure-async",
+                  config=EngineConfig(threads=4, seed=0))
+        assert res.converged
+        assert np.array_equal(res.result(), truth)
+
+    def test_prioritized_pagerank_converges(self, rmat_small):
+        res = run(PrioritizedPageRank(epsilon=1e-3), rmat_small, mode="pure-async",
+                  config=EngineConfig(threads=4, seed=0))
+        assert res.converged
+        ref = reference.pagerank_reference(rmat_small)
+        # pure-async local convergence is looser than barriered: residual
+        # truncation compounds along whichever order priority induces.
+        assert np.max(np.abs(res.result().astype(np.float64) - ref)) < 0.15
+
+    def test_priority_order_honored(self):
+        """Among simultaneously runnable tasks of one thread, the
+        smallest priority value executes first."""
+        order: list[int] = []
+
+        class Spy(PrioritizedSSSP):
+            def update(self, ctx):
+                order.append(ctx.vid)
+                super().update(ctx)
+
+            def priority(self, vid, state):
+                return -float(vid)  # force descending-vid execution
+
+        g = DiGraph(6, [], [])  # no edges: all tasks runnable at t=0
+        run(Spy(source=0), g, mode="pure-async",
+            config=EngineConfig(threads=1, seed=0))
+        assert order == [5, 4, 3, 2, 1, 0]
+
+    def test_priority_ignored_by_barriered_engines(self, rmat_small):
+        """Coordinated scheduling runs small-label-first regardless."""
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(rmat_small, 0, prog.make_weights(rmat_small))
+        res = run(PrioritizedSSSP(source=0), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=4, seed=0))
+        assert np.array_equal(res.result(), truth)
+
+
+class TestPartition:
+    def test_random_balanced(self, er_medium):
+        parts = random_partition(er_medium, 4, seed=1)
+        q = partition_quality(er_medium, parts, 4)
+        assert q.imbalance <= 1.01
+        assert 0.0 < q.cut_fraction <= 1.0
+
+    def test_contiguous_covers_all(self, er_medium):
+        parts = contiguous_partition(er_medium, 3)
+        assert parts.min() == 0 and parts.max() == 2
+        # contiguous ranges
+        assert np.all(np.diff(parts) >= 0)
+
+    def test_bfs_beats_random_on_grid(self):
+        g = generators.grid_graph(16, 16)
+        rand_q = partition_quality(g, random_partition(g, 4, seed=1), 4)
+        bfs_q = partition_quality(g, bfs_partition(g, 4, seed=1), 4)
+        assert bfs_q.cut_edges < rand_q.cut_edges
+
+    def test_bfs_partition_assigns_everything(self, rmat_small):
+        parts = bfs_partition(rmat_small, 5, seed=3)
+        assert np.all(parts >= 0)
+        assert parts.max() < 5
+
+    def test_apply_partition_preserves_structure(self, rmat_small):
+        parts = bfs_partition(rmat_small, 4, seed=1)
+        relabeled, mapping = apply_partition(rmat_small, parts, 4)
+        assert relabeled.num_edges == rmat_small.num_edges
+        # adjacency preserved through the relabeling
+        for e in range(0, rmat_small.num_edges, 7):
+            u, v = rmat_small.edge_endpoints(e)
+            assert relabeled.has_edge(int(mapping[u]), int(mapping[v]))
+
+    def test_apply_partition_makes_parts_contiguous(self, rmat_small):
+        parts = random_partition(rmat_small, 4, seed=2)
+        relabeled, mapping = apply_partition(rmat_small, parts, 4)
+        # new label order sorted by part: part of new label i is nondecreasing
+        new_parts = np.empty_like(parts)
+        new_parts[mapping] = parts
+        assert np.all(np.diff(new_parts) >= 0)
+
+    def test_validation(self, rmat_small):
+        with pytest.raises(ValueError):
+            partition_quality(rmat_small, np.zeros(3), 2)
+        with pytest.raises(ValueError):
+            partition_quality(rmat_small, np.full(rmat_small.num_vertices, 9), 2)
+        with pytest.raises(ValueError):
+            random_partition(rmat_small, 0)
+
+    def test_partition_plus_delaymodel_end_to_end(self, rmat_small):
+        """The distributed recipe: partition, relabel, run with a cluster
+        delay model — results stay exact."""
+        from repro.algorithms import WeaklyConnectedComponents
+        from repro.engine import DelayModel
+
+        parts = bfs_partition(rmat_small, 4, seed=1)
+        relabeled, _ = apply_partition(rmat_small, parts, 4)
+        truth = reference.wcc_reference(relabeled)
+        res = run(WeaklyConnectedComponents(), relabeled, mode="nondeterministic",
+                  config=EngineConfig(threads=8,
+                                      delay_model=DelayModel.distributed(2, network=32.0),
+                                      seed=0))
+        assert np.array_equal(res.result(), truth)
+
+
+class TestKCore:
+    def to_nx(self, g):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        nxg.add_edges_from(
+            (u, v) for u, v in zip(g.edge_src.tolist(), g.edge_dst.tolist()) if u != v
+        )
+        return nxg
+
+    @pytest.mark.parametrize("builder", [
+        lambda: generators.grid_graph(6, 6),
+        lambda: generators.rmat(7, 5.0, seed=3),
+        lambda: generators.random_tree(50, seed=2),
+        lambda: generators.complete_graph(6),
+    ], ids=["grid", "rmat", "tree", "complete"])
+    def test_reference_matches_networkx(self, builder):
+        g = builder()
+        mine = kcore_reference(g)
+        truth = nx.core_number(self.to_nx(g))
+        assert all(mine[v] == truth[v] for v in range(g.num_vertices))
+
+    @staticmethod
+    def symmetric_rmat():
+        from repro.graph import GraphBuilder
+
+        base = generators.rmat(7, 5.0, seed=3)
+        b = GraphBuilder(num_vertices=base.num_vertices)
+        for e in range(base.num_edges):
+            u, v = base.edge_endpoints(e)
+            if u != v:
+                b.add_undirected_edge(u, v)
+        return b.build(dedup=True)
+
+    @pytest.mark.parametrize("mode", ["sync", "deterministic", "nondeterministic"])
+    def test_engine_matches_reference(self, mode):
+        g = self.symmetric_rmat()
+        truth = kcore_reference(g)
+        res = run(KCoreDecomposition(), g, mode=mode, threads=4, seed=1)
+        assert res.converged
+        assert np.array_equal(res.result(), truth)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_schedule_independent(self, seed):
+        g = generators.grid_graph(7, 7)
+        truth = kcore_reference(g)
+        res = run(KCoreDecomposition(), g, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=seed))
+        assert np.array_equal(res.result(), truth)
+
+    def test_asymmetric_graph_rejected(self):
+        g = DiGraph(3, [0, 1], [1, 2])
+        with pytest.raises(ValueError, match="symmetric"):
+            run(KCoreDecomposition(), g, mode="deterministic")
+
+    def test_read_write_only(self):
+        g = self.symmetric_rmat()
+        res = run(KCoreDecomposition(), g, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=0))
+        assert res.conflicts.write_write == 0
+
+    def test_tree_core_is_one(self):
+        g = generators.random_tree(30, seed=1)
+        res = run(KCoreDecomposition(), g, mode="deterministic")
+        assert np.all(res.result() == 1.0)
+
+    def test_complete_graph_core(self):
+        g = generators.complete_graph(5)
+        res = run(KCoreDecomposition(), g, mode="deterministic")
+        assert np.all(res.result() == 4.0)
+
+    def test_h_index_function(self):
+        from repro.algorithms.kcore import h_index
+
+        assert h_index([]) == 0
+        assert h_index([0, 0]) == 0
+        assert h_index([1, 1, 1]) == 1
+        assert h_index([3, 3, 3]) == 3
+        assert h_index([5, 4, 3, 2, 1]) == 3

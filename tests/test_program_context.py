@@ -1,0 +1,192 @@
+"""Unit tests for UpdateContext: the scope rule and task generation."""
+
+import numpy as np
+import pytest
+
+from repro.engine import FieldSpec, State, UpdateContext
+from repro.graph import DiGraph
+
+
+class RecordingStore:
+    """EdgeStore stub that records accesses and serves a constant."""
+
+    def __init__(self, value: float = 1.0):
+        self.value = value
+        self.reads: list[tuple[int, int, str]] = []
+        self.writes: list[tuple[int, int, str, float]] = []
+
+    def read(self, vid, eid, field):
+        self.reads.append((vid, eid, field))
+        return self.value
+
+    def write(self, vid, eid, field, value):
+        self.writes.append((vid, eid, field, value))
+
+
+def make_ctx(vid=1, rng=None):
+    g = DiGraph(3, [0, 1, 2], [1, 2, 0])
+    state = State(g, {"x": FieldSpec(np.float64, 5.0)}, {"e": FieldSpec(np.float64, 0.0)})
+    store = RecordingStore()
+    schedule: set[int] = set()
+    ctx = UpdateContext(vid, g, state, store, schedule, gather_rng=rng)
+    return ctx, g, state, store, schedule
+
+
+class TestTopology:
+    def test_degrees(self):
+        ctx, g, *_ = make_ctx()
+        assert ctx.in_degree == 1
+        assert ctx.out_degree == 1
+        assert ctx.num_vertices == 3
+        assert ctx.graph is g
+
+    def test_in_out_edges(self):
+        ctx, g, *_ = make_ctx()
+        srcs, in_eids = ctx.in_edges()
+        dsts, out_eids = ctx.out_edges()
+        assert srcs.tolist() == [0]
+        assert dsts.tolist() == [2]
+        assert g.edge_endpoints(int(in_eids[0])) == (0, 1)
+        assert g.edge_endpoints(int(out_eids[0])) == (1, 2)
+
+    def test_incident_eids(self):
+        ctx, *_ = make_ctx()
+        assert len(ctx.incident_eids()) == 2
+
+
+class TestEdgeAccess:
+    def test_read_counts_and_delegates(self):
+        ctx, _, _, store, _ = make_ctx()
+        val = ctx.read_edge(0, "e")
+        assert val == 1.0
+        assert ctx.n_edge_reads == 1
+        assert store.reads == [(1, 0, "e")]
+
+    def test_write_counts_and_delegates(self):
+        ctx, _, _, store, _ = make_ctx()
+        ctx.write_edge(1, "e", 9.0)
+        assert ctx.n_edge_writes == 1
+        assert store.writes == [(1, 1, "e", 9.0)]
+
+    def test_write_schedules_other_endpoint(self):
+        # Edge 1 is (1 -> 2): writing it from vertex 1 must schedule 2.
+        ctx, _, _, _, schedule = make_ctx(vid=1)
+        ctx.write_edge(1, "e", 9.0)
+        assert schedule == {2}
+
+    def test_write_in_edge_schedules_source(self):
+        # Edge 0 is (0 -> 1): writing it from vertex 1 must schedule 0.
+        ctx, _, _, _, schedule = make_ctx(vid=1)
+        ctx.write_edge(0, "e", 9.0)
+        assert schedule == {0}
+
+    def test_multiple_writes_accumulate_schedule(self):
+        ctx, _, _, _, schedule = make_ctx(vid=1)
+        ctx.write_edge(0, "e", 1.0)
+        ctx.write_edge(1, "e", 2.0)
+        assert schedule == {0, 2}
+
+
+class TestVertexData:
+    def test_get_set_own_vertex(self):
+        ctx, _, state, _, _ = make_ctx(vid=1)
+        assert ctx.get("x") == 5.0
+        ctx.set("x", 7.5)
+        assert state.vertex("x")[1] == 7.5
+        # other vertices untouched
+        assert state.vertex("x")[0] == 5.0
+
+
+class TestGatherOrder:
+    def test_identity_without_rng(self):
+        ctx, *_ = make_ctx()
+        eids = np.array([3, 1, 2])
+        assert ctx.gather_order(eids).tolist() == [3, 1, 2]
+
+    def test_permutation_with_rng(self):
+        rng = np.random.default_rng(0)
+        ctx, *_ = make_ctx(rng=rng)
+        eids = np.arange(20)
+        out = ctx.gather_order(eids)
+        assert sorted(out.tolist()) == list(range(20))
+        assert out.tolist() != list(range(20))  # overwhelmingly likely
+
+    def test_single_element_unpermuted(self):
+        rng = np.random.default_rng(0)
+        ctx, *_ = make_ctx(rng=rng)
+        assert ctx.gather_order([5]).tolist() == [5]
+
+
+class TestFpRound:
+    def test_identity_without_rng(self):
+        ctx, *_ = make_ctx()
+        assert ctx.fp_round(1.2345) == 1.2345
+
+    def test_within_one_ulp_with_rng(self):
+        rng = np.random.default_rng(1)
+        ctx, *_ = make_ctx(rng=rng)
+        x = np.float32(1.2345)
+        results = {ctx.fp_round(float(x)) for _ in range(100)}
+        lo = float(np.nextafter(x, np.float32(-np.inf)))
+        hi = float(np.nextafter(x, np.float32(np.inf)))
+        assert results <= {lo, float(x), hi}
+        assert len(results) == 3  # all three outcomes occur over 100 draws
+
+
+class TestScopeRule:
+    """§II scope enforcement (EngineConfig.validate_scope)."""
+
+    def make_strict_ctx(self, vid=1):
+        g = DiGraph(4, [0, 1, 2], [1, 2, 3])
+        state = State(g, {"x": FieldSpec(np.float64, 0.0)}, {"e": FieldSpec(np.float64, 0.0)})
+        store = RecordingStore()
+        return UpdateContext(vid, g, state, store, set(), strict_scope=True), g
+
+    def test_incident_access_allowed(self):
+        ctx, g = self.make_strict_ctx(vid=1)
+        # edges (0->1) and (1->2) are incident to vertex 1
+        ctx.read_edge(g.edge_id(0, 1), "e")
+        ctx.write_edge(g.edge_id(1, 2), "e", 1.0)
+
+    def test_non_incident_read_rejected(self):
+        ctx, g = self.make_strict_ctx(vid=1)
+        with pytest.raises(PermissionError, match="scope violation"):
+            ctx.read_edge(g.edge_id(2, 3), "e")
+
+    def test_non_incident_write_rejected(self):
+        ctx, g = self.make_strict_ctx(vid=0)
+        with pytest.raises(PermissionError, match="scope violation"):
+            ctx.write_edge(g.edge_id(1, 2), "e", 5.0)
+
+    def test_lax_by_default(self):
+        ctx, g, state, store, _ = make_ctx(vid=1)
+        ctx.read_edge(2, "e")  # edge (2 -> 0): not incident, but unchecked
+
+    def test_engines_honor_validate_scope(self):
+        """A scope-violating program is caught by every barriered engine."""
+        from repro.algorithms import WeaklyConnectedComponents
+        from repro.engine import EngineConfig, run
+        from repro.graph import generators
+
+        class Rogue(WeaklyConnectedComponents):
+            def update(self, ctx):
+                ctx.read_edge((int(ctx.incident_eids()[0]) + 1) % ctx.graph.num_edges
+                              if ctx.graph.num_edges else 0, "label")
+
+        g = generators.path_graph(6)
+        cfg = EngineConfig(validate_scope=True, max_iterations=3)
+        for mode in ("sync", "deterministic", "nondeterministic", "chromatic"):
+            with pytest.raises(PermissionError):
+                run(Rogue(), g, mode=mode, config=cfg)
+
+    def test_honest_programs_pass_strict_mode(self):
+        from repro.algorithms import PageRank, WeaklyConnectedComponents, SSSP
+        from repro.engine import EngineConfig, run
+        from repro.graph import generators
+
+        g = generators.rmat(6, 4.0, seed=1)
+        cfg = EngineConfig(validate_scope=True, threads=4, seed=0)
+        for factory in (WeaklyConnectedComponents, lambda: PageRank(epsilon=1e-2),
+                        lambda: SSSP(source=0)):
+            res = run(factory(), g, mode="nondeterministic", config=cfg)
+            assert res.converged

@@ -1,0 +1,134 @@
+"""Reference graph computations validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DiGraph,
+    bfs_levels,
+    dijkstra_distances,
+    generators,
+    graph_stats,
+    is_weakly_connected,
+    num_weakly_connected_components,
+    weakly_connected_components,
+)
+
+
+def to_nx(g: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(g.num_vertices))
+    nxg.add_edges_from(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+    return nxg
+
+
+class TestStats:
+    def test_triangle(self):
+        g = DiGraph(3, [0, 1, 2], [1, 2, 0])
+        s = graph_stats(g)
+        assert s.num_vertices == 3
+        assert s.num_edges == 3
+        assert s.avg_degree == 1.0
+        assert s.max_out_degree == 1
+        assert s.num_self_loops == 0
+        assert s.num_components == 1
+
+    def test_self_loops_counted(self):
+        g = DiGraph(2, [0, 1], [0, 1])
+        assert graph_stats(g).num_self_loops == 2
+
+    def test_empty(self):
+        s = graph_stats(DiGraph(0, [], []))
+        assert s.num_vertices == 0
+        assert s.avg_degree == 0.0
+        assert s.num_components == 0
+
+    def test_as_row_keys(self):
+        row = graph_stats(DiGraph(2, [0], [1])).as_row()
+        assert set(row) == {"V", "E", "E/V", "max_out", "max_in", "self_loops", "WCC"}
+
+
+class TestWCC:
+    def test_matches_networkx(self):
+        g = generators.rmat(7, 4.0, seed=6)
+        mine = weakly_connected_components(g)
+        nxg = to_nx(g)
+        for comp in nx.weakly_connected_components(nxg):
+            labels = {int(mine[v]) for v in comp}
+            assert labels == {min(comp)}
+
+    def test_labels_are_component_minima(self, disconnected):
+        labels = weakly_connected_components(disconnected)
+        assert labels.tolist() == [0, 0, 0, 0, 4, 4, 4]
+
+    def test_num_components(self, disconnected):
+        assert num_weakly_connected_components(disconnected) == 2
+
+    def test_isolated_vertices_are_own_components(self):
+        g = DiGraph(4, [0], [1])
+        assert num_weakly_connected_components(g) == 3
+
+    def test_is_weakly_connected(self, path8):
+        assert is_weakly_connected(path8)
+
+    def test_empty_graph_zero_components(self):
+        assert num_weakly_connected_components(DiGraph(0, [], [])) == 0
+
+
+class TestBFS:
+    def test_matches_networkx(self):
+        g = generators.erdos_renyi(80, 240, seed=8)
+        mine = bfs_levels(g, 0)
+        lengths = nx.single_source_shortest_path_length(to_nx(g), 0)
+        for v in range(g.num_vertices):
+            if v in lengths:
+                assert mine[v] == lengths[v]
+            else:
+                assert mine[v] == np.inf
+
+    def test_source_zero_distance(self, path8):
+        assert bfs_levels(path8, 3)[3] == 0.0
+
+    def test_directed_unreachable(self):
+        g = DiGraph(3, [0], [1])
+        levels = bfs_levels(g, 1)
+        assert levels[0] == np.inf
+        assert levels[2] == np.inf
+
+    def test_empty_graph(self):
+        assert bfs_levels(DiGraph(0, [], []), 0).size == 0
+
+
+class TestDijkstra:
+    def test_matches_networkx(self):
+        g = generators.erdos_renyi(60, 200, seed=12)
+        rng = np.random.default_rng(0)
+        w = rng.uniform(1, 10, g.num_edges)
+        mine = dijkstra_distances(g, 0, w)
+        nxg = to_nx(g)
+        for e in range(g.num_edges):
+            u, v = g.edge_endpoints(e)
+            # parallel edges collapse to min weight in networkx
+            if nxg.has_edge(u, v):
+                nxg[u][v]["weight"] = min(nxg[u][v].get("weight", np.inf), w[e])
+        lengths = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v in range(g.num_vertices):
+            if v in lengths:
+                assert mine[v] == pytest.approx(lengths[v])
+            else:
+                assert mine[v] == np.inf
+
+    def test_weight_length_mismatch(self):
+        g = DiGraph(2, [0], [1])
+        with pytest.raises(ValueError, match="one entry per edge"):
+            dijkstra_distances(g, 0, np.ones(3))
+
+    def test_negative_weight_rejected(self):
+        g = DiGraph(2, [0], [1])
+        with pytest.raises(ValueError, match="non-negative"):
+            dijkstra_distances(g, 0, np.array([-1.0]))
+
+    def test_unit_weights_equal_bfs(self, path8):
+        w = np.ones(path8.num_edges)
+        assert np.array_equal(dijkstra_distances(path8, 0, w), bfs_levels(path8, 0))

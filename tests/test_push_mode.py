@@ -1,0 +1,185 @@
+"""Tests for push-mode execution and its sufficient condition."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    PushBFS,
+    PushMinReach,
+    PushPageRankDelta,
+    min_reach_reference,
+    reference,
+)
+from repro.engine import AtomicityPolicy, CombineOp, EngineConfig, run_push
+from repro.engine.push import AccumulatorSpec
+from repro.graph import DiGraph, generators
+from repro.theory import Verdict, check_push_program
+
+
+class TestCombineOp:
+    def test_min_fold(self):
+        assert CombineOp.MIN.fold(3.0, 5.0) == 3.0
+        assert CombineOp.MIN.identity == np.inf
+
+    def test_max_fold(self):
+        assert CombineOp.MAX.fold(3.0, 5.0) == 5.0
+        assert CombineOp.MAX.identity == -np.inf
+
+    def test_add_fold(self):
+        assert CombineOp.ADD.fold(3.0, 5.0) == 8.0
+        assert CombineOp.ADD.identity == 0.0
+
+    def test_idempotence_classification(self):
+        assert CombineOp.MIN.idempotent
+        assert CombineOp.MAX.idempotent
+        assert not CombineOp.ADD.idempotent
+
+    def test_all_commutative_associative(self):
+        for op in CombineOp:
+            assert op.commutative_associative
+
+
+class TestPushBFS:
+    @pytest.mark.parametrize("mode", ["deterministic", "nondeterministic"])
+    def test_exact_levels(self, er_medium, mode):
+        res = run_push(PushBFS(source=0), er_medium, mode=mode, threads=8, seed=1)
+        assert res.converged
+        assert np.array_equal(res.result(), reference.bfs_reference(er_medium, 0))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_schedule_independent(self, rmat_small, seed):
+        res = run_push(PushBFS(source=0), rmat_small, threads=16, seed=seed)
+        assert np.array_equal(res.result(), reference.bfs_reference(rmat_small, 0))
+
+    def test_unreachable_stay_infinite(self):
+        g = DiGraph(4, [0], [1])
+        res = run_push(PushBFS(source=0), g, threads=2, seed=0)
+        assert res.result()[2] == np.inf
+
+    def test_accumulator_contention_logged(self, rmat_small):
+        res = run_push(PushBFS(source=0), rmat_small, threads=8, seed=0)
+        # vertices with several in-neighbours on different threads race
+        assert res.conflicts.write_write > 0
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            PushBFS(source=-1)
+        g = DiGraph(2, [0], [1])
+        with pytest.raises(ValueError, match="out of range"):
+            PushBFS(source=5).make_state(g)
+
+
+class TestPushPageRank:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PushPageRankDelta(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PushPageRankDelta(damping=1.0)
+
+    def test_matches_pull_fixed_point(self, rmat_small):
+        res = run_push(PushPageRankDelta(epsilon=1e-7), rmat_small,
+                       threads=8, seed=1)
+        assert res.converged
+        ref = reference.pagerank_reference(rmat_small)
+        assert np.max(np.abs(res.result() - ref)) < 1e-3
+
+    def test_deterministic_mode_matches_too(self, rmat_small):
+        res = run_push(PushPageRankDelta(epsilon=1e-7), rmat_small,
+                       mode="deterministic")
+        ref = reference.pagerank_reference(rmat_small)
+        assert np.max(np.abs(res.result() - ref)) < 1e-3
+
+    def test_lost_updates_corrupt_fixed_point(self, rmat_small):
+        """The push-mode condition's warning, demonstrated: without the
+        atomic combine, lost ADD contributions wreck the ranks."""
+        ref = reference.pagerank_reference(rmat_small)
+        res = run_push(PushPageRankDelta(epsilon=1e-7), rmat_small,
+                       threads=8, seed=1,
+                       atomicity=AtomicityPolicy.NONE, torn_probability=0.5)
+        assert res.conflicts.lost_writes > 0
+        assert np.max(np.abs(res.result() - ref)) > 0.01
+
+    def test_min_combine_survives_lost_updates(self, rmat_small):
+        """Idempotent MIN re-pushes recover lost contributions: BFS stays
+        exact even with the racy combine, as long as runs converge."""
+        truth = reference.bfs_reference(rmat_small, 0)
+        res = run_push(PushBFS(source=0), rmat_small, threads=8, seed=1,
+                       atomicity=AtomicityPolicy.NONE, torn_probability=0.3,
+                       max_iterations=500)
+        if res.converged:
+            # a lost push may prune an entire propagation subtree; but any
+            # *finite* distance must still be a valid path length >= truth
+            finite = np.isfinite(res.result())
+            assert np.all(res.result()[finite] >= truth[finite])
+
+
+class TestPushMinReach:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_reference(self, rmat_small, seed):
+        res = run_push(PushMinReach(), rmat_small, threads=8, seed=seed)
+        assert res.converged
+        assert np.array_equal(res.result(), min_reach_reference(rmat_small))
+
+    def test_on_dag(self):
+        g = DiGraph(5, [0, 1, 2, 3], [1, 2, 3, 4])  # chain 0->1->2->3->4
+        res = run_push(PushMinReach(), g, threads=2, seed=0)
+        assert res.result().tolist() == [0, 0, 0, 0, 0]
+
+    def test_directional(self):
+        g = DiGraph(3, [2], [1])  # only 2 -> 1
+        res = run_push(PushMinReach(), g, threads=2, seed=0)
+        # vertex 1's ancestors = {1, 2}: min is 1; vertex 0 isolated.
+        assert res.result().tolist() == [0, 1, 2]
+
+
+class TestPushEligibility:
+    def test_push_bfs_eligible(self):
+        report = check_push_program(PushBFS(source=0))
+        assert report.verdict is Verdict.ELIGIBLE_PUSH
+        assert report.results_deterministic
+
+    def test_push_pagerank_eligible_with_warning(self):
+        report = check_push_program(PushPageRankDelta())
+        assert report.verdict is Verdict.ELIGIBLE_PUSH
+        assert any("exactly once" in w for w in report.warnings)
+        assert not report.results_deterministic
+
+    def test_nonconvergent_push_not_established(self):
+        prog = PushBFS(source=0)
+        from repro.engine import AlgorithmTraits, ConflictProfile
+
+        prog.traits = AlgorithmTraits(
+            name="x",
+            conflict_profile=ConflictProfile.WRITE_WRITE,
+            converges_synchronously=False,
+            converges_async_deterministic=False,
+        )
+        assert check_push_program(prog).verdict is Verdict.NOT_ESTABLISHED
+
+
+class TestRunPushApi:
+    def test_bad_mode(self, path8):
+        with pytest.raises(ValueError, match="unknown push mode"):
+            run_push(PushBFS(source=0), path8, mode="sync")
+
+    def test_config_kwargs_exclusive(self, path8):
+        with pytest.raises(ValueError, match="not both"):
+            run_push(PushBFS(source=0), path8, config=EngineConfig(), threads=2)
+
+    def test_deterministic_forces_single_thread(self, path8):
+        res = run_push(PushBFS(source=0), path8, mode="deterministic",
+                       config=EngineConfig(threads=8, jitter=0.5))
+        assert res.config.threads == 1
+        assert res.config.jitter == 0.0
+
+    def test_observer_called(self, path8):
+        calls = []
+        run_push(PushBFS(source=0), path8, threads=2, seed=0,
+                 observer=lambda it, state, sched: calls.append(it))
+        assert calls == sorted(calls)
+        assert calls
+
+    def test_reproducible(self, rmat_small):
+        a = run_push(PushPageRankDelta(epsilon=1e-5), rmat_small, threads=8, seed=3)
+        b = run_push(PushPageRankDelta(epsilon=1e-5), rmat_small, threads=8, seed=3)
+        assert np.array_equal(a.result(), b.result())

@@ -1,0 +1,131 @@
+"""Tests for convergence-speed and error analysis (future-work modules)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, PageRank, WeaklyConnectedComponents, reference
+from repro.analysis import epsilon_error_study, error_report
+from repro.engine import ConflictProfile
+from repro.graph import generators
+from repro.theory import measure_convergence_speed
+
+
+class TestSpeedReport:
+    @pytest.fixture(scope="class")
+    def bfs_report(self):
+        g = generators.erdos_renyi(300, 1100, seed=5)
+        return measure_convergence_speed(
+            lambda: BFS(source=0), g, threads_list=(2, 4), delays=(1.0, 4.0),
+            seeds=(0, 1),
+        )
+
+    def test_baselines_present(self, bfs_report):
+        assert bfs_report.deterministic_iterations >= 1
+        assert bfs_report.synchronous_iterations >= bfs_report.deterministic_iterations
+
+    def test_chain_bound_holds_for_rw(self, bfs_report):
+        """Theorem 1's chain argument: NE <= SYNC + 1 for RW-only."""
+        assert bfs_report.conflict_profile is ConflictProfile.READ_WRITE
+        assert bfs_report.check_chain_bound()
+
+    def test_points_cover_grid(self, bfs_report):
+        assert len(bfs_report.points) == 2 * 2 * 2
+        assert {p.threads for p in bfs_report.points} == {2, 4}
+
+    def test_rows_include_baselines(self, bfs_report):
+        rows = bfs_report.rows()
+        assert rows[0]["threads"] == "DE"
+        assert rows[1]["threads"] == "SYNC"
+        assert len(rows) == 2 + len(bfs_report.points)
+
+    def test_ww_bound_vacuous_but_ratio_reported(self, rmat_small):
+        rep = measure_convergence_speed(
+            WeaklyConnectedComponents, rmat_small,
+            threads_list=(8,), delays=(1.0,), seeds=(0,),
+        )
+        assert rep.conflict_profile is ConflictProfile.WRITE_WRITE
+        assert rep.check_chain_bound()  # vacuously true
+        assert rep.recovery_ratio() > 0
+
+    def test_nonconvergent_baseline_raises(self, path8):
+        from repro.algorithms import AntiParity
+        from repro.engine import EngineConfig
+
+        with pytest.raises(RuntimeError, match="did not converge"):
+            measure_convergence_speed(
+                AntiParity, path8, threads_list=(2,), delays=(1.0,), seeds=(0,),
+                max_iterations=10,
+            )
+
+
+class TestErrorReport:
+    def test_zero_error_on_identical(self):
+        v = np.array([3.0, 1.0, 2.0])
+        rep = error_report(v, v.copy())
+        assert rep.max_abs == 0.0
+        assert rep.top_k_agreement == 1.0
+        assert rep.footrule_top_k == 0.0
+
+    def test_known_errors(self):
+        ref = np.array([1.0, 2.0, 3.0, 4.0])
+        val = ref + np.array([0.0, 0.1, -0.2, 0.0])
+        rep = error_report(val, ref)
+        assert rep.max_abs == pytest.approx(0.2)
+        assert rep.mean_abs == pytest.approx(0.075)
+        assert rep.q50 <= rep.q90 <= rep.q99 <= rep.max_abs
+
+    def test_rank_displacement_detected(self):
+        ref = np.array([4.0, 3.0, 2.0, 1.0])
+        val = np.array([3.0, 4.0, 2.0, 1.0])  # swap top two
+        rep = error_report(val, ref, top_k=2)
+        assert rep.top_k_agreement == 1.0  # same *set*
+        assert rep.footrule_top_k == 1.0  # each moved one place
+
+    def test_top_k_set_change(self):
+        ref = np.array([4.0, 3.0, 2.0, 1.0])
+        val = np.array([4.0, 0.0, 2.0, 3.5])  # vertex 3 replaces vertex 1
+        rep = error_report(val, ref, top_k=2)
+        assert rep.top_k_agreement == 0.5
+
+    def test_infinite_entries_must_match(self):
+        ref = np.array([0.0, np.inf])
+        ok = error_report(np.array([0.0, np.inf]), ref)
+        assert ok.max_abs == 0.0
+        with pytest.raises(ValueError, match="finite"):
+            error_report(np.array([0.0, 5.0]), ref)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            error_report(np.zeros(3), np.zeros(4))
+
+    def test_relative_error_floor(self):
+        rep = error_report(np.array([1e-15]), np.array([0.0]), rel_floor=1e-12)
+        assert np.isfinite(rep.max_rel)
+
+    def test_as_dict_keys(self):
+        rep = error_report(np.array([1.0]), np.array([1.0]), top_k=1)
+        d = rep.as_dict()
+        assert "max_abs" in d and "top1_agreement" in d
+
+
+class TestEpsilonErrorStudy:
+    def test_error_scales_with_epsilon(self, er_medium):
+        ref = reference.pagerank_reference(er_medium)
+        rows = epsilon_error_study(
+            lambda e: PageRank(epsilon=e), er_medium, ref,
+            epsilons=(1e-1, 1e-3), seeds=(0, 1),
+        )
+        by = {(r["config"], r["epsilon"]): r for r in rows}
+        for config in ("DE", "8NE"):
+            loose = by[(config, 1e-1)]["worst max_abs"]
+            tight = by[(config, 1e-3)]["worst max_abs"]
+            assert tight < loose
+
+    def test_top_ranks_stable_at_tight_epsilon(self, er_medium):
+        ref = reference.pagerank_reference(er_medium)
+        rows = epsilon_error_study(
+            lambda e: PageRank(epsilon=e), er_medium, ref,
+            epsilons=(1e-3,), seeds=(0,), top_k=10,
+        )
+        for row in rows:
+            assert row["mean top-k agreement"] >= 0.9

@@ -1,0 +1,114 @@
+"""Tests for SpMV and the two counterexample programs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import AntiParity, EdgeIncrementCounter, SpMV
+from repro.engine import EngineConfig, run
+from repro.graph import generators
+
+
+class TestSpMV:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpMV(epsilon=0.0)
+        with pytest.raises(ValueError):
+            SpMV(contraction=1.0)
+        with pytest.raises(ValueError):
+            SpMV(contraction=0.0)
+
+    @pytest.mark.parametrize("mode", ["sync", "deterministic", "nondeterministic"])
+    def test_matches_direct_solve(self, rmat_small, mode):
+        prog = SpMV(epsilon=1e-10)
+        res = run(SpMV(epsilon=1e-10), rmat_small, mode=mode, threads=4)
+        assert res.converged
+        expected = prog.reference_solution(rmat_small)
+        assert np.max(np.abs(res.result() - expected)) < 1e-6
+
+    def test_row_sums_below_contraction(self, rmat_small):
+        prog = SpMV(contraction=0.8)
+        a = prog.coefficients(rmat_small)
+        sums = np.zeros(rmat_small.num_vertices)
+        np.add.at(sums, rmat_small.edge_dst, a)
+        assert np.all(sums <= 0.8 + 1e-12)
+
+    def test_nondet_close_across_seeds(self, rmat_small):
+        prog = SpMV(epsilon=1e-9)
+        expected = prog.reference_solution(rmat_small)
+        for seed in range(3):
+            res = run(SpMV(epsilon=1e-9), rmat_small, mode="nondeterministic",
+                      config=EngineConfig(threads=8, seed=seed))
+            assert np.max(np.abs(res.result() - expected)) < 1e-5
+
+    def test_isolated_vertex_gets_b(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph(3, [0], [1])
+        res = run(SpMV(epsilon=1e-12, b=2.0), g, mode="deterministic")
+        assert res.result()[2] == pytest.approx(2.0)
+
+
+class TestEdgeIncrementCounter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeIncrementCounter(target=0)
+
+    def test_deterministic_total_is_exact(self, rmat_small):
+        target = 4
+        res = run(EdgeIncrementCounter(target=target), rmat_small, mode="deterministic")
+        assert res.converged
+        assert np.all(res.state.edge("count") == target)
+        assert int(res.result().sum()) == target * rmat_small.num_edges
+
+    def test_counts_always_reach_target(self, rmat_small):
+        res = run(EdgeIncrementCounter(target=3), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=1))
+        assert res.converged
+        assert np.all(res.state.edge("count") == 3)
+
+    def test_nondeterministic_overshoots_tally(self, rmat_small):
+        """Lost increments mean more operations executed than the target:
+        convergence is guaranteed (Theorem 2) but the semantic result is
+        corrupted — the library's cautionary example."""
+        target = 3
+        exact = target * rmat_small.num_edges
+        overshoots = []
+        for seed in range(3):
+            res = run(EdgeIncrementCounter(target=target), rmat_small,
+                      mode="nondeterministic", config=EngineConfig(threads=16, seed=seed))
+            assert res.converged
+            total = int(res.result().sum())
+            assert total >= exact
+            overshoots.append(total - exact)
+        assert any(o > 0 for o in overshoots)
+        # Overshoot must track the observed lost writes (each lost
+        # increment inflates the tally by exactly one).
+
+    def test_overshoot_equals_lost_writes(self, star6):
+        res = run(EdgeIncrementCounter(target=5), star6, mode="nondeterministic",
+                  config=EngineConfig(threads=6, seed=2))
+        exact = 5 * star6.num_edges
+        total = int(res.result().sum())
+        assert total - exact == res.conflicts.lost_writes
+
+
+class TestAntiParity:
+    @pytest.mark.parametrize("mode", ["sync", "deterministic", "nondeterministic"])
+    def test_never_converges(self, path8, mode):
+        res = run(AntiParity(), path8, mode=mode,
+                  config=EngineConfig(threads=2, seed=0, max_iterations=40))
+        assert not res.converged
+        assert res.num_iterations == 40
+
+    def test_verdict_not_established(self):
+        from repro.theory import check_program, Verdict
+
+        assert check_program(AntiParity()).verdict is Verdict.NOT_ESTABLISHED
+
+    def test_isolated_vertices_no_crash(self):
+        from repro.graph import DiGraph
+
+        g = DiGraph(3, [], [])
+        res = run(AntiParity(), g, mode="deterministic",
+                  config=EngineConfig(max_iterations=5))
+        assert res.converged  # no edges: everyone converges immediately

@@ -1,0 +1,102 @@
+"""Unit tests for FieldSpec and State."""
+
+import numpy as np
+import pytest
+
+from repro.engine import INF, FieldSpec, State
+from repro.graph import DiGraph
+
+
+def triangle():
+    return DiGraph(3, [0, 1, 2], [1, 2, 0])
+
+
+class TestFieldSpec:
+    def test_scalar_init(self):
+        g = triangle()
+        arr = FieldSpec(np.float64, 2.5).materialize(g, 3)
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [2.5, 2.5, 2.5]
+
+    def test_inf_init(self):
+        g = triangle()
+        arr = FieldSpec(np.float64, INF).materialize(g, 3)
+        assert np.all(np.isinf(arr))
+
+    def test_callable_init(self):
+        g = triangle()
+        spec = FieldSpec(np.float64, lambda graph: np.arange(graph.num_vertices) * 2.0)
+        assert spec.materialize(g, 3).tolist() == [0.0, 2.0, 4.0]
+
+    def test_callable_wrong_shape_rejected(self):
+        g = triangle()
+        spec = FieldSpec(np.float64, lambda graph: np.zeros(5))
+        with pytest.raises(ValueError, match="shape"):
+            spec.materialize(g, 3)
+
+    def test_integer_dtype(self):
+        g = triangle()
+        arr = FieldSpec(np.int64, 7).materialize(g, 3)
+        assert arr.dtype == np.int64
+
+    def test_callable_result_copied(self):
+        g = triangle()
+        shared = np.zeros(3)
+        spec = FieldSpec(np.float64, lambda graph: shared)
+        arr = spec.materialize(g, 3)
+        arr[0] = 9.0
+        assert shared[0] == 0.0
+
+
+class TestState:
+    def make_state(self):
+        g = triangle()
+        return State(
+            g,
+            {"rank": FieldSpec(np.float32, 1.0)},
+            {"value": FieldSpec(np.float64, 0.0), "weight": FieldSpec(np.float64, 3.0)},
+        )
+
+    def test_field_names(self):
+        s = self.make_state()
+        assert s.vertex_field_names == ("rank",)
+        assert set(s.edge_field_names) == {"value", "weight"}
+
+    def test_vertex_array_shape(self):
+        s = self.make_state()
+        assert s.vertex("rank").shape == (3,)
+
+    def test_edge_array_shape(self):
+        s = self.make_state()
+        assert s.edge("weight").shape == (3,)
+        assert s.edge("weight")[0] == 3.0
+
+    def test_unknown_vertex_field(self):
+        s = self.make_state()
+        with pytest.raises(KeyError, match="unknown vertex field"):
+            s.vertex("nope")
+
+    def test_unknown_edge_field(self):
+        s = self.make_state()
+        with pytest.raises(KeyError, match="unknown edge field"):
+            s.edge("nope")
+
+    def test_snapshot_is_a_copy(self):
+        s = self.make_state()
+        snap = s.snapshot_edges()
+        s.edge("value")[0] = 42.0
+        assert snap["value"][0] == 0.0
+
+    def test_commit_edges(self):
+        s = self.make_state()
+        s.commit_edges({"value": {1: 7.0, 2: 8.0}})
+        assert s.edge("value").tolist() == [0.0, 7.0, 8.0]
+
+    def test_copy_independent(self):
+        s = self.make_state()
+        c = s.copy()
+        s.vertex("rank")[0] = 99.0
+        s.edge("value")[0] = 99.0
+        assert c.vertex("rank")[0] == 1.0
+        assert c.edge("value")[0] == 0.0
+        assert c.graph is s.graph

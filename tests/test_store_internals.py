@@ -1,0 +1,174 @@
+"""White-box tests of the engines' store internals.
+
+These pin down behaviours the black-box suites only exercise
+indirectly: the pure-async version-history compaction, the push
+engine's visible-fold/consume semantics, and the racy store's
+latest-visible-write selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AtomicityPolicy,
+    ConflictLog,
+    DelayModel,
+    EngineConfig,
+    FieldSpec,
+    State,
+    TaskSlot,
+)
+from repro.engine.nondet_engine import _RacyStore
+from repro.engine.pure_async import _VersionedStore
+from repro.engine.push import AccumulatorSpec, CombineOp, PushEngine
+from repro.graph import DiGraph
+
+
+def edge_state(n_edges=4, init=0.0):
+    g = DiGraph(n_edges + 1, list(range(n_edges)), [n_edges] * n_edges)
+    return State(g, {}, {"e": FieldSpec(np.float64, init)})
+
+
+class TestRacyStoreSelection:
+    def make(self, state, delay=2.0):
+        committed = {f: state.edge(f) for f in state.edge_field_names}
+        return _RacyStore(
+            committed, DelayModel.uniform(delay), AtomicityPolicy.CACHE_LINE, 0.0, None
+        )
+
+    def test_latest_visible_write_wins(self):
+        state = edge_state()
+        store = self.make(state)
+        store.current = TaskSlot(vid=1, thread=0, pi=0, time=0.0)
+        store.write(1, 0, "e", 10.0)
+        store.current = TaskSlot(vid=2, thread=0, pi=1, time=1.0)
+        store.write(2, 0, "e", 20.0)
+        store.current = TaskSlot(vid=3, thread=0, pi=2, time=2.0)
+        assert store.read(3, 0, "e") == 20.0
+
+    def test_invisible_concurrent_write_returns_committed(self):
+        state = edge_state(init=-1.0)
+        store = self.make(state, delay=2.0)
+        store.current = TaskSlot(vid=1, thread=0, pi=0, time=0.0)
+        store.write(1, 0, "e", 10.0)
+        # reader on another thread within the window: sees committed -1
+        store.current = TaskSlot(vid=2, thread=1, pi=1, time=1.0)
+        assert store.read(2, 0, "e") == -1.0
+        assert store.stale_reads == 1
+
+    def test_commit_applies_max_timestamp(self):
+        state = edge_state()
+        store = self.make(state)
+        store.current = TaskSlot(vid=1, thread=0, pi=0, time=0.0)
+        store.write(1, 0, "e", 10.0)
+        store.current = TaskSlot(vid=2, thread=1, pi=0, time=0.4)
+        store.write(2, 0, "e", 20.0)
+        log = ConflictLog()
+        store.commit(state, 0, log)
+        assert state.edge("e")[0] == 20.0
+        assert log.write_write == 1
+        assert log.lost_writes == 1
+
+
+class TestVersionedStoreCompaction:
+    def make(self, state):
+        return _VersionedStore(
+            state, DelayModel.uniform(2.0), AtomicityPolicy.CACHE_LINE, 0.0, None
+        )
+
+    def test_history_pruned_beyond_threshold(self):
+        state = edge_state()
+        store = self.make(state)
+        n_writes = store.PRUNE_THRESHOLD * 3
+        for i in range(n_writes):
+            store.current_thread = 0
+            store.current_time = float(i)
+            store.write(1, 0, "e", float(i))
+        hist = store._history[("e", 0)]
+        assert len(hist) <= store.PRUNE_THRESHOLD + 1
+        # the newest fully-propagated value moved into the base
+        assert ("e", 0) in store._base
+
+    def test_reads_correct_after_compaction(self):
+        state = edge_state()
+        store = self.make(state)
+        for i in range(64):
+            store.current_thread = 0
+            store.current_time = float(i)
+            store.write(1, 0, "e", float(i))
+        # a reader far in the future sees the newest value
+        store.current_thread = 1
+        store.current_time = 100.0
+        assert store.read(2, 0, "e") == 63.0
+
+    def test_finalize_uses_base_when_tail_empty(self):
+        state = edge_state()
+        store = self.make(state)
+        for i in range(40):
+            store.current_thread = 0
+            store.current_time = float(i)
+            store.write(1, 0, "e", float(i))
+        # force one more compaction pass far in the future
+        store.current_time = 1000.0
+        store._compact(("e", 0), store._history[("e", 0)])
+        log = ConflictLog()
+        store.finalize(log)
+        assert state.edge("e")[0] == 39.0
+
+
+class TestPushEngineFold:
+    def make_engine(self, op=CombineOp.ADD):
+        engine = PushEngine()
+        engine._acc_specs = {"acc": AccumulatorSpec(op)}
+        engine._pending = {"acc": {}}
+        engine._delay_model = DelayModel.uniform(2.0)
+        engine._lost_rng = None
+        engine.log = ConflictLog()
+        return engine
+
+    def slot(self, thread, pi, time=None):
+        return TaskSlot(vid=0, thread=thread, pi=pi,
+                        time=float(pi if time is None else time))
+
+    def test_fold_consumes_visible_only(self):
+        engine = self.make_engine()
+        engine._current_slot = self.slot(0, 0)
+        engine.deliver(9, 5, "acc", 1.0)  # push at t=0 by thread 0
+        engine._current_slot = self.slot(1, 1)  # t=1, other thread: invisible
+        assert engine.fold_visible(5, "acc", consume=True) == 0.0
+        # the in-flight push survived the consume
+        assert len(engine._pending["acc"][5]) == 1
+        engine._current_slot = self.slot(1, 4)  # t=4: propagated
+        assert engine.fold_visible(5, "acc", consume=True) == 1.0
+        assert 5 not in engine._pending["acc"]
+
+    def test_min_combine_folds(self):
+        engine = self.make_engine(CombineOp.MIN)
+        engine._current_slot = self.slot(0, 0)
+        engine.deliver(1, 5, "acc", 7.0)
+        engine._current_slot = self.slot(0, 1)
+        engine.deliver(2, 5, "acc", 3.0)
+        engine._current_slot = self.slot(0, 5)
+        assert engine.fold_visible(5, "acc", consume=False) == 3.0
+        # peek did not consume
+        assert len(engine._pending["acc"][5]) == 2
+
+    def test_racing_combines_counted(self):
+        engine = self.make_engine()
+        engine._current_slot = self.slot(0, 0)
+        engine.deliver(1, 5, "acc", 1.0)
+        engine._current_slot = self.slot(1, 0)  # concurrent other thread
+        engine.deliver(2, 5, "acc", 1.0)
+        assert engine.log.write_write == 1
+        assert engine.log.lost_writes == 0  # atomic: nothing lost
+
+    def test_lost_update_injection(self):
+        engine = self.make_engine()
+        engine._lost_rng = np.random.default_rng(0)
+        engine._lost_p = 1.0
+        engine._current_slot = self.slot(0, 0)
+        engine.deliver(1, 5, "acc", 1.0)
+        engine._current_slot = self.slot(1, 0)
+        engine.deliver(2, 5, "acc", 1.0)
+        assert engine.log.lost_writes == 1
+        assert len(engine._pending["acc"][5]) == 1

@@ -1,0 +1,225 @@
+"""Tests for the executable theory: eligibility, monotonicity, chains."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    SSSP,
+    AntiParity,
+    EdgeIncrementCounter,
+    MaxLabelPropagation,
+    PageRank,
+    SpMV,
+    WeaklyConnectedComponents,
+)
+from repro.engine import (
+    AlgorithmTraits,
+    ConflictProfile,
+    ConvergenceKind,
+    EngineConfig,
+    Monotonicity,
+    run,
+)
+from repro.graph import generators
+from repro.theory import (
+    Verdict,
+    audit_run,
+    check_program,
+    check_traits,
+    probe_monotonicity,
+    trace_chain,
+)
+
+
+def traits(profile, sync, async_det, mono=Monotonicity.NONE, kind=ConvergenceKind.ABSOLUTE):
+    return AlgorithmTraits(
+        name="t",
+        conflict_profile=profile,
+        converges_synchronously=sync,
+        converges_async_deterministic=async_det,
+        monotonicity=mono,
+        convergence_kind=kind,
+    )
+
+
+class TestCheckTraits:
+    def test_theorem1_basic(self):
+        r = check_traits(traits(ConflictProfile.READ_WRITE, True, True))
+        assert r.verdict is Verdict.ELIGIBLE_THEOREM_1
+
+    def test_theorem1_conflict_free(self):
+        r = check_traits(traits(ConflictProfile.NONE, True, False))
+        assert r.verdict is Verdict.ELIGIBLE_THEOREM_1
+
+    def test_theorem1_extension_async_only(self):
+        r = check_traits(traits(ConflictProfile.READ_WRITE, False, True))
+        assert r.verdict is Verdict.ELIGIBLE_THEOREM_1
+        assert any("extended" in s for s in r.reasons)
+
+    def test_theorem2_monotone_ww(self):
+        r = check_traits(
+            traits(ConflictProfile.WRITE_WRITE, False, True, Monotonicity.DECREASING)
+        )
+        assert r.verdict is Verdict.ELIGIBLE_THEOREM_2
+
+    def test_theorem2_increasing_also_ok(self):
+        r = check_traits(
+            traits(ConflictProfile.WRITE_WRITE, True, True, Monotonicity.INCREASING)
+        )
+        assert r.verdict is Verdict.ELIGIBLE_THEOREM_2
+
+    def test_ww_non_monotone_not_established(self):
+        r = check_traits(traits(ConflictProfile.WRITE_WRITE, True, True))
+        assert r.verdict is Verdict.NOT_ESTABLISHED
+        assert any("not monotone" in s for s in r.reasons)
+
+    def test_ww_monotone_but_no_async_convergence(self):
+        r = check_traits(
+            traits(ConflictProfile.WRITE_WRITE, False, False, Monotonicity.DECREASING)
+        )
+        assert r.verdict is Verdict.NOT_ESTABLISHED
+
+    def test_rw_no_convergence_anywhere(self):
+        r = check_traits(traits(ConflictProfile.READ_WRITE, False, False))
+        assert r.verdict is Verdict.NOT_ESTABLISHED
+
+    def test_results_deterministic_flag(self):
+        absolute = check_traits(
+            traits(ConflictProfile.WRITE_WRITE, True, True, Monotonicity.DECREASING,
+                   ConvergenceKind.ABSOLUTE)
+        )
+        approx = check_traits(
+            traits(ConflictProfile.READ_WRITE, True, True,
+                   kind=ConvergenceKind.APPROXIMATE)
+        )
+        assert absolute.results_deterministic
+        assert not approx.results_deterministic
+        assert any("variation" in w for w in approx.warnings)
+
+    def test_render_contains_verdict(self):
+        text = check_traits(traits(ConflictProfile.READ_WRITE, True, True)).render()
+        assert "Theorem 1" in text
+
+
+class TestBuiltinsVerdicts:
+    @pytest.mark.parametrize(
+        "program,expected",
+        [
+            (PageRank(), Verdict.ELIGIBLE_THEOREM_1),
+            (SpMV(), Verdict.ELIGIBLE_THEOREM_1),
+            (SSSP(source=0), Verdict.ELIGIBLE_THEOREM_1),
+            (BFS(source=0), Verdict.ELIGIBLE_THEOREM_1),
+            (WeaklyConnectedComponents(), Verdict.ELIGIBLE_THEOREM_2),
+            (MaxLabelPropagation(), Verdict.ELIGIBLE_THEOREM_2),
+            (EdgeIncrementCounter(), Verdict.ELIGIBLE_THEOREM_2),
+            (AntiParity(), Verdict.NOT_ESTABLISHED),
+        ],
+    )
+    def test_verdicts(self, program, expected):
+        assert check_program(program).verdict is expected
+
+    def test_eligible_property(self):
+        assert Verdict.ELIGIBLE_THEOREM_1.eligible
+        assert Verdict.ELIGIBLE_THEOREM_2.eligible
+        assert not Verdict.NOT_ESTABLISHED.eligible
+
+
+class TestAuditRun:
+    def test_clean_on_honest_run(self, rmat_small):
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=0))
+        assert audit_run(res) == []
+
+    def test_flags_undeclared_write_write(self, rmat_small):
+        class Liar(WeaklyConnectedComponents):
+            def __init__(self):
+                super().__init__()
+                self.traits = AlgorithmTraits(
+                    name="liar",
+                    conflict_profile=ConflictProfile.READ_WRITE,  # false claim
+                    converges_synchronously=True,
+                    converges_async_deterministic=True,
+                    monotonicity=Monotonicity.DECREASING,
+                )
+
+        res = run(Liar(), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=0))
+        issues = audit_run(res)
+        assert any("write-write" in s for s in issues)
+
+    def test_flags_eligible_but_nonconverged(self, path8):
+        class Stubborn(AntiParity):
+            def __init__(self):
+                super().__init__()
+                self.traits = AlgorithmTraits(
+                    name="stubborn",
+                    conflict_profile=ConflictProfile.WRITE_WRITE,
+                    converges_synchronously=True,
+                    converges_async_deterministic=True,
+                    monotonicity=Monotonicity.DECREASING,  # false claim
+                )
+
+        res = run(Stubborn(), path8, mode="nondeterministic",
+                  config=EngineConfig(threads=2, seed=0, max_iterations=20))
+        issues = audit_run(res)
+        assert any("did not converge" in s for s in issues)
+
+    def test_deterministic_run_with_conflicts_flagged(self, path8):
+        res = run(WeaklyConnectedComponents(), path8, mode="deterministic")
+        res.conflicts.read_write = 5  # simulate engine invariant breakage
+        issues = audit_run(res)
+        assert any("invariant" in s for s in issues)
+
+
+class TestMonotonicityProbe:
+    def test_wcc_decreasing(self, rmat_small):
+        p = probe_monotonicity(WeaklyConnectedComponents(), rmat_small)
+        assert p.observed is Monotonicity.DECREASING
+        assert p.consistent_with(Monotonicity.DECREASING)
+        assert not p.consistent_with(Monotonicity.INCREASING)
+
+    def test_maxlabel_increasing(self, rmat_small):
+        p = probe_monotonicity(MaxLabelPropagation(), rmat_small)
+        assert p.observed is Monotonicity.INCREASING
+
+    def test_pagerank_not_monotone(self, rmat_small):
+        p = probe_monotonicity(PageRank(), rmat_small)
+        assert p.increased and p.decreased
+        assert p.observed is Monotonicity.NONE
+        assert p.consistent_with(Monotonicity.NONE)
+
+    def test_probe_respects_iteration_cap(self, path8):
+        p = probe_monotonicity(AntiParity(), path8, max_iterations=10)
+        assert p.iterations_observed <= 11  # initial snapshot + 10
+
+
+class TestTraceChain:
+    def test_chain_on_path(self):
+        g = generators.path_graph(6)
+        chain = trace_chain(BFS(source=0), g, target=5)
+        assert chain.vertices[-1] == 5
+        assert chain.length >= 2
+        # each consecutive pair must actually be adjacent
+        for a, b in zip(chain.vertices, chain.vertices[1:]):
+            assert g.has_edge(a, b) or g.has_edge(b, a)
+
+    def test_change_iterations_increasing(self):
+        g = generators.path_graph(6)
+        chain = trace_chain(BFS(source=0), g, target=5)
+        assert list(chain.change_iterations) == sorted(chain.change_iterations)
+
+    def test_source_trivial_chain(self):
+        g = generators.path_graph(4)
+        chain = trace_chain(BFS(source=0), g, target=0)
+        assert chain.vertices == (0,)
+
+    def test_invalid_target(self):
+        g = generators.path_graph(4)
+        with pytest.raises(ValueError, match="out of range"):
+            trace_chain(BFS(source=0), g, target=9)
+
+    def test_render_readable(self):
+        g = generators.path_graph(4)
+        text = trace_chain(BFS(source=0), g, target=3).render()
+        assert "vertex 3" in text

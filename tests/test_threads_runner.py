@@ -1,0 +1,100 @@
+"""Tests for the real-thread backend and the unified runner."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP, PageRank, WeaklyConnectedComponents, reference
+from repro.engine import AtomicityPolicy, EngineConfig, run
+from repro.engine.runner import ENGINES
+
+
+class TestThreadsEngine:
+    def test_wcc_exact_under_real_races(self, rmat_small):
+        truth = reference.wcc_reference(rmat_small)
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="threads",
+                  config=EngineConfig(threads=4))
+        assert res.converged
+        assert np.array_equal(res.result(), truth)
+
+    def test_sssp_exact_under_real_races(self, rmat_small):
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(rmat_small, 0, prog.make_weights(rmat_small))
+        res = run(SSSP(source=0), rmat_small, mode="threads",
+                  config=EngineConfig(threads=4))
+        assert np.array_equal(res.result(), truth)
+
+    def test_bfs_exact(self, path8):
+        res = run(BFS(source=0), path8, mode="threads", config=EngineConfig(threads=3))
+        assert res.result().tolist() == [float(i) for i in range(8)]
+
+    def test_lock_policy_accepted(self, rmat_small):
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="threads",
+                  config=EngineConfig(threads=4, atomicity=AtomicityPolicy.LOCK))
+        assert res.converged
+
+    def test_none_policy_rejected(self, rmat_small):
+        with pytest.raises(ValueError, match="cannot forgo atomicity"):
+            run(WeaklyConnectedComponents(), rmat_small, mode="threads",
+                config=EngineConfig(threads=2, atomicity=AtomicityPolicy.NONE))
+
+    def test_pagerank_converges(self, rmat_small):
+        res = run(PageRank(epsilon=1e-3), rmat_small, mode="threads",
+                  config=EngineConfig(threads=4))
+        assert res.converged
+        ref = reference.pagerank_reference(rmat_small)
+        assert np.max(np.abs(res.result().astype(np.float64) - ref)) < 0.05
+
+    def test_work_accounting_present(self, rmat_small):
+        res = run(BFS(source=0), rmat_small, mode="threads",
+                  config=EngineConfig(threads=4))
+        assert res.total_updates > 0
+        assert res.total_reads > 0
+
+
+class TestRunner:
+    def test_all_modes_registered(self):
+        assert set(ENGINES) == {
+            "sync", "deterministic", "chromatic", "nondeterministic",
+            "pure-async", "threads",
+        }
+
+    def test_unknown_mode(self, path8):
+        with pytest.raises(ValueError, match="unknown mode"):
+            run(WeaklyConnectedComponents(), path8, mode="magic")
+
+    def test_config_and_kwargs_exclusive(self, path8):
+        with pytest.raises(ValueError, match="not both"):
+            run(WeaklyConnectedComponents(), path8,
+                config=EngineConfig(), threads=4)
+
+    def test_kwargs_build_config(self, path8):
+        res = run(WeaklyConnectedComponents(), path8,
+                  mode="nondeterministic", threads=2, seed=9, delay=3.0)
+        assert res.config.threads == 2
+        assert res.config.seed == 9
+        assert res.config.delay == 3.0
+
+    def test_observer_rejected_for_threads(self, path8):
+        with pytest.raises(ValueError, match="observer"):
+            run(WeaklyConnectedComponents(), path8, mode="threads",
+                observer=lambda *a: None)
+
+    def test_observer_called_each_iteration(self, path8):
+        calls = []
+        res = run(WeaklyConnectedComponents(), path8, mode="deterministic",
+                  observer=lambda it, state, sched: calls.append(it))
+        assert calls == list(range(res.num_iterations))
+
+    def test_resume_from_state(self, path8):
+        prog = WeaklyConnectedComponents()
+        state = prog.make_state(path8)
+        state.vertex("label")[:] = 0.0  # pre-converged labels
+        state.edge("label")[:] = 0.0
+        res = run(prog, path8, mode="deterministic", state=state)
+        assert res.converged
+        assert res.num_iterations <= 2
+
+    def test_mode_recorded_in_result(self, path8):
+        for mode in ("sync", "deterministic", "nondeterministic"):
+            res = run(WeaklyConnectedComponents(), path8, mode=mode)
+            assert res.mode == mode

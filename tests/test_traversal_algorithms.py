@@ -1,0 +1,157 @@
+"""Tests for WCC, MaxLabel, SSSP, BFS (the traversal family)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP, MaxLabelPropagation, WeaklyConnectedComponents, reference
+from repro.engine import ConflictProfile, EngineConfig, Monotonicity, run
+from repro.graph import DiGraph, generators
+
+
+ALL_MODES = ["sync", "deterministic", "nondeterministic"]
+
+
+class TestWCC:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_exact_labels(self, rmat_small, mode):
+        res = run(WeaklyConnectedComponents(), rmat_small, mode=mode, threads=4)
+        assert res.converged
+        assert np.array_equal(res.result(), reference.wcc_reference(rmat_small))
+
+    def test_multiple_components(self, disconnected):
+        res = run(WeaklyConnectedComponents(), disconnected, mode="nondeterministic",
+                  threads=4, seed=2)
+        assert res.result().tolist() == [0, 0, 0, 0, 4, 4, 4]
+
+    def test_edges_converge_to_component_min(self, path8):
+        res = run(WeaklyConnectedComponents(), path8, mode="nondeterministic",
+                  threads=4, seed=1)
+        assert np.all(res.state.edge("label") == 0.0)
+
+    def test_write_write_conflicts_occur(self, rmat_small):
+        res = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=0))
+        assert res.conflicts.write_write > 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_nondet_identical_to_deterministic_across_seeds(self, rmat_small, seed):
+        """Theorem 2 + absolute convergence: results never vary."""
+        de = run(WeaklyConnectedComponents(), rmat_small, mode="deterministic")
+        ne = run(WeaklyConnectedComponents(), rmat_small, mode="nondeterministic",
+                 config=EngineConfig(threads=16, seed=seed))
+        assert np.array_equal(de.result(), ne.result())
+
+    def test_traits(self):
+        t = WeaklyConnectedComponents().traits
+        assert t.conflict_profile is ConflictProfile.WRITE_WRITE
+        assert t.monotonicity is Monotonicity.DECREASING
+
+    def test_star_contention(self, star6):
+        res = run(WeaklyConnectedComponents(), star6, mode="nondeterministic",
+                  threads=6, seed=3)
+        assert np.all(res.result() == 0.0)
+
+
+class TestMaxLabel:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_exact_labels(self, rmat_small, mode):
+        res = run(MaxLabelPropagation(), rmat_small, mode=mode, threads=4)
+        assert res.converged
+        assert np.array_equal(res.result(), reference.max_label_reference(rmat_small))
+
+    def test_multiple_components(self, disconnected):
+        res = run(MaxLabelPropagation(), disconnected, mode="nondeterministic",
+                  threads=4, seed=5)
+        assert res.result().tolist() == [3, 3, 3, 3, 6, 6, 6]
+
+    def test_monotone_increasing_trait(self):
+        assert MaxLabelPropagation().traits.monotonicity is Monotonicity.INCREASING
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_exact_distances(self, er_medium, mode):
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(er_medium, 0, prog.make_weights(er_medium))
+        res = run(SSSP(source=0), er_medium, mode=mode, threads=4)
+        assert res.converged
+        assert np.array_equal(res.result(), truth)
+
+    def test_unreachable_vertices_stay_infinite(self):
+        g = DiGraph(4, [0], [1])  # vertices 2, 3 unreachable
+        res = run(SSSP(source=0), g, mode="nondeterministic", threads=2, seed=0)
+        assert res.result()[2] == np.inf
+        assert res.result()[3] == np.inf
+
+    def test_source_distance_zero(self, er_medium):
+        res = run(SSSP(source=5), er_medium, mode="deterministic")
+        assert res.result()[5] == 0.0
+
+    def test_explicit_weights(self):
+        g = DiGraph(3, [0, 0, 1], [1, 2, 2])
+        # edge order: (0,1), (0,2), (1,2)
+        w = np.array([1.0, 10.0, 1.0])
+        res = run(SSSP(source=0, weights=w), g, mode="deterministic")
+        assert res.result().tolist() == [0.0, 1.0, 2.0]
+
+    def test_wrong_weight_length_rejected(self):
+        g = DiGraph(3, [0], [1])
+        prog = SSSP(source=0, weights=np.ones(5))
+        with pytest.raises(ValueError, match="one entry per edge"):
+            prog.make_state(g)
+
+    def test_source_out_of_range_rejected(self):
+        g = DiGraph(3, [0], [1])
+        with pytest.raises(ValueError, match="out of range"):
+            SSSP(source=7).make_state(g)
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(ValueError):
+            SSSP(source=-1)
+
+    def test_bad_weight_range_rejected(self):
+        with pytest.raises(ValueError):
+            SSSP(source=0, weight_low=0.0)
+        with pytest.raises(ValueError):
+            SSSP(source=0, weight_low=5.0, weight_high=1.0)
+
+    def test_weights_deterministic_per_seed(self, rmat_small):
+        a = SSSP(source=0, weight_seed=9).make_weights(rmat_small)
+        b = SSSP(source=0, weight_seed=9).make_weights(rmat_small)
+        assert np.array_equal(a, b)
+
+    def test_read_write_conflicts_only(self, er_medium):
+        res = run(SSSP(source=0), er_medium, mode="nondeterministic",
+                  config=EngineConfig(threads=8, seed=1))
+        assert res.conflicts.write_write == 0
+        assert res.conflicts.read_write > 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_results_schedule_independent(self, rmat_small, seed):
+        prog = SSSP(source=0)
+        truth = reference.sssp_reference(rmat_small, 0, prog.make_weights(rmat_small))
+        res = run(SSSP(source=0), rmat_small, mode="nondeterministic",
+                  config=EngineConfig(threads=16, seed=seed))
+        assert np.array_equal(res.result(), truth)
+
+
+class TestBFS:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_matches_bfs_levels(self, er_medium, mode):
+        res = run(BFS(source=0), er_medium, mode=mode, threads=4)
+        assert np.array_equal(res.result(), reference.bfs_reference(er_medium, 0))
+
+    def test_unit_weights(self, rmat_small):
+        w = BFS(source=0).make_weights(rmat_small)
+        assert np.all(w == 1.0)
+
+    def test_path_distances(self, path8):
+        res = run(BFS(source=0), path8, mode="nondeterministic", threads=4, seed=0)
+        assert res.result().tolist() == [float(i) for i in range(8)]
+
+    def test_traits_name(self):
+        assert BFS().traits.name == "BFS"
+
+    def test_bfs_from_nonzero_source(self, path8):
+        res = run(BFS(source=4), path8, mode="deterministic")
+        assert res.result().tolist() == [4.0, 3.0, 2.0, 1.0, 0.0, 1.0, 2.0, 3.0]
