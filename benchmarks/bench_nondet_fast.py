@@ -1,0 +1,141 @@
+"""Perf trajectory of the vectorized nondeterministic fast path.
+
+Two entry points:
+
+* ``python benchmarks/bench_nondet_fast.py`` — measures the object
+  engine against the vectorized engine for every paper algorithm at
+  rmat scales 8/10/12 and writes ``BENCH_nondet.json`` at the repo
+  root (wall times, updates/s, speedups).  The object engine is skipped
+  above ``--object-max-scale`` (default 10) except for one PageRank
+  reference point, because it is the very cost the fast path removes.
+* ``pytest benchmarks/bench_nondet_fast.py -m perfsmoke`` — tier-2
+  smoke floor: the fast path must hold ≥5× over the object engine at
+  scale 10 (the JSON artifact targets ≥10×; the floor is deliberately
+  looser so CI noise does not flake it).
+
+Both paths benchmark *identical work*: the engines are bit-for-bit
+equivalent (see tests/test_nondet_vectorized.py), so a speedup here is
+pure execution-strategy gain, not a semantics change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.algorithms import BFS, SSSP, PageRank, SpMV, WeaklyConnectedComponents
+from repro.engine import EngineConfig, run
+from repro.graph import generators
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_nondet.json"
+
+ALGORITHMS = {
+    "wcc": WeaklyConnectedComponents,
+    "pagerank": lambda: PageRank(epsilon=1e-3),
+    "sssp": lambda: SSSP(source=0),
+    "bfs": lambda: BFS(source=0),
+    "spmv": SpMV,
+}
+
+SCALES = (8, 10, 12)
+CONFIG = dict(threads=8, seed=0, jitter=0.5)
+
+
+def _timed(factory, graph, *, vectorized):
+    t0 = time.perf_counter()
+    res = run(
+        factory(),
+        graph,
+        mode="nondeterministic",
+        config=EngineConfig(**CONFIG),
+        vectorized="require" if vectorized else False,
+    )
+    elapsed = time.perf_counter() - t0
+    updates = sum(s.num_active for s in res.iterations)
+    return {
+        "seconds": elapsed,
+        "iterations": res.num_iterations,
+        "updates": updates,
+        "updates_per_s": updates / elapsed if elapsed > 0 else float("inf"),
+        "converged": res.converged,
+    }
+
+
+def measure(scale: int, *, object_engine: bool = True) -> dict:
+    graph = generators.rmat(scale, 8.0, seed=3)
+    row: dict = {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "algorithms": {},
+    }
+    for name, factory in ALGORITHMS.items():
+        cell = {"vectorized": _timed(factory, graph, vectorized=True)}
+        if object_engine:
+            cell["object"] = _timed(factory, graph, vectorized=False)
+            cell["speedup"] = (
+                cell["object"]["seconds"] / cell["vectorized"]["seconds"]
+            )
+        row["algorithms"][name] = cell
+    return row
+
+
+def main(object_max_scale: int = 10) -> dict:
+    payload = {
+        "config": CONFIG,
+        "graph": "rmat(scale, 8.0, seed=3)",
+        "scales": {},
+    }
+    for scale in SCALES:
+        print(f"scale {scale} ...", flush=True)
+        payload["scales"][str(scale)] = measure(
+            scale, object_engine=scale <= object_max_scale
+        )
+    # One object-engine reference point at the largest scale (PageRank
+    # only): documents the gap the fast path closes.
+    top = payload["scales"][str(SCALES[-1])]
+    if "object" not in top["algorithms"]["pagerank"]:
+        graph = generators.rmat(SCALES[-1], 8.0, seed=3)
+        cell = top["algorithms"]["pagerank"]
+        cell["object"] = _timed(ALGORITHMS["pagerank"], graph, vectorized=False)
+        cell["speedup"] = cell["object"]["seconds"] / cell["vectorized"]["seconds"]
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    for scale, row in payload["scales"].items():
+        for name, cell in row["algorithms"].items():
+            spd = cell.get("speedup")
+            spd_txt = f"{spd:8.1f}x" if spd is not None else "       -"
+            print(
+                f"  scale {scale} {name:9s} vec {cell['vectorized']['seconds']:7.3f}s"
+                f"  obj {cell.get('object', {}).get('seconds', float('nan')):8.3f}s"
+                f"  {spd_txt}"
+            )
+    return payload
+
+
+@pytest.mark.perfsmoke
+def test_vectorized_speedup_floor_scale10():
+    """Tier-2 floor: ≥5× over the object engine at rmat scale 10."""
+    row = measure(10)
+    for name, cell in row["algorithms"].items():
+        assert cell["vectorized"]["converged"]
+        assert cell["speedup"] >= 5.0, (
+            f"{name}: vectorized fast path only "
+            f"{cell['speedup']:.1f}x over the object engine"
+        )
+
+
+@pytest.mark.perfsmoke
+def test_scale12_pagerank_completes_in_seconds():
+    """The headline capability: scale-12 PageRank in seconds, not minutes."""
+    graph = generators.rmat(12, 8.0, seed=3)
+    cell = _timed(ALGORITHMS["pagerank"], graph, vectorized=True)
+    assert cell["converged"]
+    assert cell["seconds"] < 30.0
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,13 @@ edge activates its far endpoint).  The traversal algorithms therefore
 match the object BSP engine *bit for bit*, iteration for iteration;
 PageRank matches its float32 arithmetic by accumulating with
 ``np.add.at`` in the same CSC gather order the scalar loop uses.
+
+The second half of the module holds the :class:`NondetKernel`
+implementations behind the *nondeterministic* fast path
+(:mod:`repro.engine.nondet_vectorized`): one whole-graph racy
+gather/compute/scatter pass per paper algorithm, reading the engine's
+per-edge *seen* arrays instead of a barrier snapshot.  Registering them
+here keeps each kernel next to the vectorized program it mirrors.
 """
 
 from __future__ import annotations
@@ -17,8 +24,17 @@ from typing import Mapping
 import numpy as np
 
 from ..graph import DiGraph
+from ..engine.nondet_vectorized import (
+    NondetKernel,
+    NondetPassContext,
+    register_nondet_kernel,
+)
 from ..engine.state import INF, FieldSpec, State
 from ..engine.vectorized import VectorizedProgram
+from .pagerank import PageRank
+from .spmv import SpMV
+from .sssp import SSSP
+from .wcc import WeaklyConnectedComponents
 
 __all__ = ["VWCC", "VSSSP", "VBFS", "VPageRank"]
 
@@ -224,3 +240,142 @@ class VPageRank(VectorizedProgram):
 
     def result(self, state: State) -> np.ndarray:
         return state.vertex("rank")
+
+
+# ----------------------------------------------------------------------
+# Nondeterministic fast-path kernels (repro.engine.nondet_vectorized)
+# ----------------------------------------------------------------------
+
+
+class _WCCNondetKernel(NondetKernel):
+    """Racy min-label pass for WeaklyConnectedComponents."""
+
+    written_fields = ("label",)
+
+    def __init__(self, program: WeaklyConnectedComponents):
+        del program  # stateless: everything lives in the arrays
+
+    def run_pass(self, ctx: NondetPassContext, sub: np.ndarray) -> None:
+        src, dst = ctx.src, ctx.dst
+        sub_s, sub_d = sub[src], sub[dst]
+        seen_s, seen_d = ctx.seen_s["label"], ctx.seen_d["label"]
+        # Gather: minimum of the own pre-iteration label and every seen
+        # incident edge label (min is order-independent — exact).
+        mn = ctx.v0["label"].copy()
+        np.minimum.at(mn, dst[sub_d], seen_d[sub_d])
+        np.minimum.at(mn, src[sub_s], seen_s[sub_s])
+        ctx.vout["label"][sub] = mn[sub]
+        # Each incident edge is read once per side (a self-loop twice).
+        ctx.rd["label"][sub_d] = 1
+        ctx.rs["label"][sub_s] = 1
+        # Scatter criterion: the edge carried a larger observed label.
+        ctx.ws["label"][sub_s] = (seen_s > mn[src])[sub_s]
+        ctx.wvs["label"][sub_s] = mn[src[sub_s]]
+        # A self-loop is read from both sides but written once (the
+        # object update dedups observations by eid) — attribute it to src.
+        ctx.wd["label"][sub_d] = ((seen_d > mn[dst]) & ~ctx.selfloop)[sub_d]
+        ctx.wvd["label"][sub_d] = mn[dst[sub_d]]
+
+
+class _PageRankNondetKernel(NondetKernel):
+    """Racy float32 PageRank pass with local convergence."""
+
+    written_fields = ("value",)
+
+    def __init__(self, program: PageRank):
+        self.epsilon = program.epsilon
+        self.damping = program.damping
+        self.base = program.base
+
+    def run_pass(self, ctx: NondetPassContext, sub: np.ndarray) -> None:
+        src, dst = ctx.src, ctx.dst
+        sub_s, sub_d = sub[src], sub[dst]
+        seen_d = ctx.seen_d["value"]
+        # Accumulate float32 in CSC order with np.add.at — sequential,
+        # unbuffered adds in exactly the scalar gather loop's order.
+        order = ctx.in_order
+        sel = order[sub[dst[order]]]
+        total = np.zeros(ctx.n, dtype=np.float32)
+        np.add.at(total, dst[sel], seen_d[sel])
+        new_rank = (self.base + self.damping * total).astype(np.float32)
+        ctx.vout["rank"][sub] = new_rank[sub]
+        ctx.rd["value"][sub_d] = 1
+        writers = (
+            sub
+            & (np.abs(new_rank - ctx.v0["rank"]) >= self.epsilon)
+            & (ctx.out_degrees > 0)
+        )
+        quotient = (
+            new_rank / np.maximum(ctx.out_degrees, 1).astype(np.float32)
+        ).astype(np.float32)
+        ctx.ws["value"][sub_s] = writers[src[sub_s]]
+        ctx.wvs["value"][sub_s] = quotient[src[sub_s]]
+        ctx.wd["value"][sub_d] = False  # pull mode: only the source writes
+
+
+class _SSSPNondetKernel(NondetKernel):
+    """Racy relaxation pass for SSSP (and BFS, its unit-weight subclass)."""
+
+    written_fields = ("dist",)
+
+    def __init__(self, program: SSSP):
+        del program  # weights are data: already materialized in the state
+
+    def run_pass(self, ctx: NondetPassContext, sub: np.ndarray) -> None:
+        src, dst = ctx.src, ctx.dst
+        sub_s, sub_d = sub[src], sub[dst]
+        seen_in = ctx.seen_d["dist"]
+        weight = ctx.committed["weight"]
+        # Gather: every in-edge dist is read; the weight only when the
+        # seen dist is finite (the scalar loop `continue`s on INF).
+        relax = sub_d & np.isfinite(seen_in)
+        best = ctx.v0["dist"].copy()
+        np.minimum.at(best, dst[relax], seen_in[relax] + weight[relax])
+        ctx.vout["dist"][sub] = best[sub]
+        ctx.rd["dist"][sub_d] = 1
+        ctx.rd["weight"][sub_d] = relax[sub_d]
+        # Scatter: reached vertices read each out-edge dist and write
+        # their own when the edge carries a larger value.
+        scat = sub_s & np.isfinite(best)[src]
+        seen_out = ctx.seen_s["dist"]
+        ctx.rs["dist"][sub_s] = scat[sub_s]
+        ctx.ws["dist"][sub_s] = (scat & (seen_out > best[src]))[sub_s]
+        ctx.wvs["dist"][sub_s] = best[src[sub_s]]
+        ctx.wd["dist"][sub_d] = False  # only the source endpoint writes
+
+
+class _SpMVNondetKernel(NondetKernel):
+    """Racy Jacobi pass for the SpMV fixed point."""
+
+    written_fields = ("term",)
+
+    def __init__(self, program: SpMV):
+        self.epsilon = program.epsilon
+        self.b = program.b
+
+    def run_pass(self, ctx: NondetPassContext, sub: np.ndarray) -> None:
+        src, dst = ctx.src, ctx.dst
+        sub_s, sub_d = sub[src], sub[dst]
+        seen_term = ctx.seen_d["term"]
+        # Sequential float64 accumulation in CSC order, like the scalar
+        # `total += read` loop.
+        order = ctx.in_order
+        sel = order[sub[dst[order]]]
+        total = np.zeros(ctx.n, dtype=np.float64)
+        np.add.at(total, dst[sel], seen_term[sel])
+        new_x = self.b + total
+        ctx.vout["x"][sub] = new_x[sub]
+        ctx.rd["term"][sub_d] = 1
+        writers = sub & (np.abs(new_x - ctx.v0["x"]) >= self.epsilon)
+        crit = writers[src]
+        # The scatter reads the (never-written) coefficient before each write.
+        ctx.rs["a"][sub_s] = crit[sub_s]
+        ctx.ws["term"][sub_s] = crit[sub_s]
+        ctx.wvs["term"][sub_s] = (ctx.committed["a"] * new_x[src])[sub_s]
+        ctx.wd["term"][sub_d] = False  # only the source endpoint writes
+
+
+register_nondet_kernel(WeaklyConnectedComponents, _WCCNondetKernel)
+register_nondet_kernel(PageRank, _PageRankNondetKernel)
+register_nondet_kernel(SSSP, _SSSPNondetKernel)  # BFS inherits SSSP.update
+register_nondet_kernel(SpMV, _SpMVNondetKernel)

@@ -52,12 +52,17 @@ def collect_rankings(
     base_seed: int = 100,
     fp_noise: bool = False,
     max_iterations: int = 100_000,
+    vectorized: bool | str = False,
 ) -> ConfigurationRuns:
     """Execute ``runs`` independent runs and rank their results.
 
     Each run gets a distinct seed (``base_seed + i``): for DE with
     ``fp_noise`` that varies the summation orders; for NE it varies the
     environmental jitter, i.e. the execution interleaving.
+
+    ``vectorized`` opts nondeterministic runs into the whole-graph fast
+    path (bit-identical rankings); it is ignored for other modes, where
+    the flag does not apply.
     """
     rankings: list[np.ndarray] = []
     for i in range(runs):
@@ -67,7 +72,13 @@ def collect_rankings(
             fp_noise=fp_noise,
             max_iterations=max_iterations,
         )
-        res = run(program_factory(), graph, mode=mode, config=cfg)
+        res = run(
+            program_factory(),
+            graph,
+            mode=mode,
+            config=cfg,
+            vectorized=vectorized if mode == "nondeterministic" else False,
+        )
         if not res.converged:
             raise RuntimeError(
                 f"{label} run {i} did not converge within {max_iterations} iterations"

@@ -2,13 +2,27 @@
 
 from .atomicity import AtomicityPolicy, guarantees_atomicity, tear
 from .config import EngineConfig
-from .conflicts import AccessRecord, ConflictEvent, ConflictLog, classify_accesses
-from .dispatch import DispatchPlan, DispatchPolicy, make_plan
+from .conflicts import (
+    AccessRecord,
+    ConflictEvent,
+    ConflictLog,
+    classify_access_counts,
+    classify_accesses,
+)
+from .dispatch import DispatchPlan, DispatchPolicy, make_plan, plan_arrays
 from .frontier import Frontier, initial_frontier
 from .chromatic import ChromaticEngine
 from .gauss_seidel import DeterministicEngine
 from .delaymodel import DelayModel
 from .nondet_engine import NondeterministicEngine
+from .nondet_vectorized import (
+    NondetKernel,
+    NondetPassContext,
+    VectorizedNondetEngine,
+    fallback_reasons,
+    register_nondet_kernel,
+    resolve_nondet_kernel,
+)
 from .pure_async import PureAsyncEngine
 from .push import (
     AccumulatorSpec,
@@ -42,15 +56,23 @@ __all__ = [
     "ConflictEvent",
     "ConflictLog",
     "classify_accesses",
+    "classify_access_counts",
     "DispatchPlan",
     "DispatchPolicy",
     "make_plan",
+    "plan_arrays",
     "Frontier",
     "initial_frontier",
     "ChromaticEngine",
     "DeterministicEngine",
     "DelayModel",
     "NondeterministicEngine",
+    "NondetKernel",
+    "NondetPassContext",
+    "VectorizedNondetEngine",
+    "fallback_reasons",
+    "register_nondet_kernel",
+    "resolve_nondet_kernel",
     "PureAsyncEngine",
     "AccumulatorSpec",
     "CombineOp",

@@ -20,8 +20,15 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Mapping
 
-__all__ = ["ConflictEvent", "ConflictLog", "AccessRecord", "classify_accesses"]
+__all__ = [
+    "ConflictEvent",
+    "ConflictLog",
+    "AccessRecord",
+    "classify_accesses",
+    "classify_access_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -154,4 +161,53 @@ def classify_accesses(
             1
             for w in writes
             if w.vid != winner_vid and w.thread != winner_thread
+        )
+
+
+def classify_access_counts(
+    log: ConflictLog,
+    iteration: int,
+    eid: int,
+    fieldname: str,
+    write_records: list[tuple[int, int]],
+    reader_counts: Mapping[int, list[int]],
+    winner_vid: int | None,
+) -> None:
+    """Counter-only sibling of :func:`classify_accesses`.
+
+    Consumes ``write_records`` as ``(vid, thread)`` pairs in issue order
+    and ``reader_counts`` as ``{vid: [thread, n_reads]}`` — the compact
+    access summary the racy store keeps when individual
+    :class:`ConflictEvent` records are not wanted — and bumps exactly the
+    aggregate counters :func:`classify_accesses` would, without
+    materializing a single event or per-access record.
+    """
+    if not write_records:
+        return
+    writer_by_vid: dict[int, int] = {}
+    for w_vid, w_thread in write_records:
+        writer_by_vid.setdefault(w_vid, w_thread)
+    read_write = 0
+    write_write = 0
+    for r_vid, (r_thread, n_reads) in reader_counts.items():
+        for w_vid, w_thread in writer_by_vid.items():
+            if w_vid != r_vid and w_thread != r_thread:
+                read_write += n_reads
+    distinct = sorted(writer_by_vid)
+    for i in range(len(distinct)):
+        for j in range(i + 1, len(distinct)):
+            if writer_by_vid[distinct[i]] != writer_by_vid[distinct[j]]:
+                write_write += 1
+    log.read_write += read_write
+    log.write_write += write_write
+    total = read_write + write_write
+    if total:
+        log.per_iteration[iteration] += total
+        log.contended_edges += 1
+    if winner_vid is not None and winner_vid in writer_by_vid:
+        winner_thread = writer_by_vid[winner_vid]
+        log.lost_writes += sum(
+            1
+            for w_vid, w_thread in write_records
+            if w_vid != winner_vid and w_thread != winner_thread
         )

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["DelayModel"]
 
 
@@ -92,6 +94,21 @@ class DelayModel:
         if self.group_size == 0 or self.group(thread_a) == self.group(thread_b):
             return self.intra
         return self.inter
+
+    def delays(self, thread_a: np.ndarray, thread_b: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`delay` over aligned thread-id arrays."""
+        thread_a = np.asarray(thread_a)
+        if self.group_size == 0:
+            return np.full(thread_a.shape, self.intra)
+        same_group = (thread_a // self.group_size) == (
+            np.asarray(thread_b) // self.group_size
+        )
+        return np.where(same_group, self.intra, self.inter)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every thread pair shares one delay constant."""
+        return self.group_size == 0 or self.intra == self.inter
 
     @property
     def max_delay(self) -> float:

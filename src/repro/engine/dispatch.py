@@ -19,7 +19,7 @@ import numpy as np
 
 from .ordering import TaskSlot
 
-__all__ = ["DispatchPolicy", "DispatchPlan", "make_plan"]
+__all__ = ["DispatchPolicy", "DispatchPlan", "make_plan", "plan_arrays"]
 
 
 class DispatchPolicy(enum.Enum):
@@ -111,3 +111,50 @@ def make_plan(
         raise ValueError(f"unknown policy {policy}")
 
     return DispatchPlan(num_threads=num_threads, slots=slots, per_thread=per_thread)
+
+
+def plan_arrays(
+    active_sorted: np.ndarray | list[int],
+    num_threads: int,
+    *,
+    policy: DispatchPolicy = DispatchPolicy.BLOCK,
+    jitter: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Array form of :func:`make_plan`: ``(thread, pi, time)`` per active vertex.
+
+    Returns, aligned with ``active_sorted``, the thread id, per-thread
+    position π, and effective timestamp ``π + U(0, jitter)`` of every
+    task.  Draws the jitter noise from ``rng`` in ascending-label order —
+    the same stream positions :func:`make_plan` consumes — so a run that
+    mixes the two (e.g. the vectorized engine falling back mid-sweep)
+    stays on the identical schedule sample.
+    """
+    active = np.asarray(active_sorted, dtype=np.int64)
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    if jitter < 0:
+        raise ValueError("jitter must be >= 0")
+    if jitter > 0 and rng is None:
+        raise ValueError("jitter > 0 requires an rng")
+    k = int(active.size)
+    idx = np.arange(k, dtype=np.int64)
+    if policy is DispatchPolicy.BLOCK:
+        base = k // num_threads
+        extra = k % num_threads
+        sizes = np.full(num_threads, base, dtype=np.int64)
+        sizes[:extra] += 1
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        thread = np.repeat(np.arange(num_threads, dtype=np.int64), sizes)
+        pi = idx - starts[thread]
+    elif policy is DispatchPolicy.ROUND_ROBIN:
+        thread = idx % num_threads
+        pi = idx // num_threads
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown policy {policy}")
+    if jitter > 0:
+        # One bulk draw == k scalar draws from the same Generator stream.
+        time = pi + rng.uniform(0.0, jitter, size=k)
+    else:
+        time = pi.astype(np.float64)
+    return thread, pi, time

@@ -40,7 +40,12 @@ import numpy as np
 from ..graph import DiGraph
 from .atomicity import AtomicityPolicy, tear
 from .config import EngineConfig
-from .conflicts import AccessRecord, ConflictLog, classify_accesses
+from .conflicts import (
+    AccessRecord,
+    ConflictLog,
+    classify_access_counts,
+    classify_accesses,
+)
 from .dispatch import make_plan
 from .frontier import Frontier, initial_frontier
 from .ordering import TaskSlot
@@ -60,16 +65,26 @@ class _RacyStore:
     One instance lives for one iteration.  ``current`` is set by the
     engine to the executing update's :class:`TaskSlot` before each call
     into the program.
+
+    With ``keep_access_log=True`` every read is recorded as an individual
+    tuple so the barrier can materialize :class:`AccessRecord` streams
+    (needed for :class:`~repro.engine.conflicts.ConflictEvent` capture);
+    by default only per-reader counters are kept, which yields identical
+    aggregate conflict totals at a fraction of the allocation cost.
     """
 
     __slots__ = (
         "_committed",
         "_delay",
+        "_max_delay",
         "_torn",
         "_torn_p",
         "_torn_rng",
+        "_keep_log",
+        "_settled",
         "writes",
         "reads",
+        "read_counts",
         "stale_reads",
         "torn_reads",
         "current",
@@ -82,15 +97,30 @@ class _RacyStore:
         atomicity: AtomicityPolicy,
         torn_probability: float,
         torn_rng: np.random.Generator | None,
+        *,
+        keep_access_log: bool = True,
     ):
         self._committed = committed
         self._delay = delay_model  # DelayModel: pairwise propagation delays
+        self._max_delay = delay_model.max_delay
         self._torn = atomicity is AtomicityPolicy.NONE
         self._torn_p = torn_probability
         self._torn_rng = torn_rng
-        # field -> eid -> list of write records / read records.
+        self._keep_log = keep_access_log
+        # field -> eid -> list of write records.
         self.writes: dict[str, dict[int, list[tuple]]] = {f: {} for f in committed}
+        # Detailed read records (keep_access_log): field -> eid -> [(t, thread, vid)].
         self.reads: dict[str, dict[int, list[tuple]]] = {f: {} for f in committed}
+        # Compact read summary (default): field -> eid -> vid -> [thread, count].
+        self.read_counts: dict[str, dict[int, dict[int, list[int]]]] = {
+            f: {} for f in committed
+        }
+        # Settled-prefix cache: field -> eid -> [n_settled, best_key, best_val].
+        # The first n_settled write records of an edge's history are old
+        # enough (t_r - t_w >= max_delay) to be visible to *every* future
+        # reader — global execution time is nondecreasing — so they are
+        # folded into one running Lemma-2 maximum instead of rescanned.
+        self._settled: dict[str, dict[int, list]] = {f: {} for f in committed}
         self.stale_reads = 0
         self.torn_reads = 0
         self.current: TaskSlot | None = None
@@ -98,17 +128,44 @@ class _RacyStore:
     def read(self, vid: int, eid: int, field: str) -> float:
         slot = self.current
         t_r, thread_r = slot.time, slot.thread
-        rlog = self.reads[field].setdefault(eid, [])
-        rlog.append((t_r, thread_r, vid))
+        if self._keep_log:
+            self.reads[field].setdefault(eid, []).append((t_r, thread_r, vid))
+        else:
+            counts = self.read_counts[field].setdefault(eid, {})
+            entry = counts.get(vid)
+            if entry is None:
+                counts[vid] = [thread_r, 1]
+            else:
+                entry[1] += 1
 
         wlist = self.writes[field].get(eid)
         value = self._committed[field][eid]
         racing_value = None
         if wlist:
-            best_key = None
+            cache = self._settled[field].get(eid)
+            if cache is None:
+                cache = self._settled[field][eid] = [0, None, None]
+            n_settled, best_key, best_val = cache
+            n_writes = len(wlist)
+            # Advance the settled prefix: writes arrive in nondecreasing
+            # time order, and a write with t_r - t_w >= max_delay is
+            # visible under both the same-thread rule (t_w < t_r) and any
+            # cross-thread pairwise delay — now and for every later read.
+            while n_settled < n_writes and (
+                t_r - wlist[n_settled][_T]
+            ) >= self._max_delay:
+                w = wlist[n_settled]
+                key = (w[_T], w[_VID])
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_val = w[_VAL]
+                n_settled += 1
+            cache[0], cache[1], cache[2] = n_settled, best_key, best_val
+            if best_key is not None:
+                value = best_val
             stale = False
-            for w in wlist:
-                t_w, thread_w, vid_w, val_w = w
+            for i in range(n_settled, n_writes):
+                t_w, thread_w, vid_w, val_w = wlist[i]
                 if thread_w == thread_r:
                     visible = t_w < t_r
                 else:
@@ -151,6 +208,7 @@ class _RacyStore:
         for field, per_edge in self.writes.items():
             arr = state.edge(field)
             read_map = self.reads[field]
+            count_map = self.read_counts[field]
             for eid, wlist in per_edge.items():
                 winner = max(wlist, key=lambda w: (w[_T], w[_VID]))
                 final = winner[_VAL]
@@ -169,15 +227,26 @@ class _RacyStore:
                         loser = max(racing, key=lambda w: (w[_T], w[_VID]))
                         final = tear(loser[_VAL], final, self._torn_rng)
                 arr[eid] = final
-                accesses = [
-                    AccessRecord(vid=w[_VID], thread=w[_TH], time=w[_T], is_write=True, value=w[_VAL])
-                    for w in wlist
-                ]
-                accesses.extend(
-                    AccessRecord(vid=r[2], thread=r[1], time=r[0], is_write=False)
-                    for r in read_map.get(eid, ())
-                )
-                classify_accesses(log, iteration, eid, field, accesses, winner[_VID])
+                if self._keep_log:
+                    accesses = [
+                        AccessRecord(vid=w[_VID], thread=w[_TH], time=w[_T], is_write=True, value=w[_VAL])
+                        for w in wlist
+                    ]
+                    accesses.extend(
+                        AccessRecord(vid=r[2], thread=r[1], time=r[0], is_write=False)
+                        for r in read_map.get(eid, ())
+                    )
+                    classify_accesses(log, iteration, eid, field, accesses, winner[_VID])
+                else:
+                    classify_access_counts(
+                        log,
+                        iteration,
+                        eid,
+                        field,
+                        [(w[_VID], w[_TH]) for w in wlist],
+                        count_map.get(eid, {}),
+                        winner[_VID],
+                    )
         log.stale_reads += self.stale_reads
 
 
@@ -197,14 +266,19 @@ class NondeterministicEngine:
         iteration: int = 0,
         log: ConflictLog | None = None,
         torn_rng: np.random.Generator | None = None,
+        gather_rng: np.random.Generator | None = None,
+        stats: list[IterationStats] | None = None,
     ) -> set[int]:
         """Execute one racy iteration under an explicit dispatch plan.
 
         Mutates ``state`` (the barrier commit) and returns ``S_{n+1}``.
-        This is the engine's iteration body factored out so external
-        drivers — notably the exhaustive schedule explorer in
-        :mod:`repro.theory.explore` — can steer the schedule directly
-        instead of sampling it through seeds.
+        This is the engine's *only* iteration body — :meth:`run` loops it —
+        factored out so external drivers, notably the exhaustive schedule
+        explorer in :mod:`repro.theory.explore`, can steer the schedule
+        directly instead of sampling it through seeds.  ``gather_rng``
+        carries the fp-noise stream; when ``stats`` is given, an
+        :class:`IterationStats` row with the per-thread work profile is
+        appended to it.
         """
         log = log if log is not None else ConflictLog()
         delay_model = config.effective_delay_model()
@@ -215,13 +289,35 @@ class NondeterministicEngine:
             config.atomicity,
             config.torn_probability,
             torn_rng,
+            keep_access_log=config.keep_conflict_events,
         )
         next_schedule: set[int] = set()
+        p = config.threads
+        upd = [0] * p
+        reads = [0] * p
+        writes = [0] * p
         for vid in plan.execution_order():
-            store.current = plan.slots[vid]
-            ctx = UpdateContext(vid, graph, state, store, next_schedule)
+            slot = plan.slots[vid]
+            store.current = slot
+            ctx = UpdateContext(
+                vid, graph, state, store, next_schedule, gather_rng=gather_rng,
+                strict_scope=config.validate_scope,
+            )
             program.update(ctx)
+            upd[slot.thread] += 1
+            reads[slot.thread] += ctx.n_edge_reads
+            writes[slot.thread] += ctx.n_edge_writes
         store.commit(state, iteration, log)
+        if stats is not None:
+            stats.append(
+                IterationStats(
+                    iteration=iteration,
+                    num_active=len(plan.slots),
+                    updates_per_thread=upd,
+                    reads_per_thread=reads,
+                    writes_per_thread=writes,
+                )
+            )
         return next_schedule
 
     def run(
@@ -254,12 +350,10 @@ class NondeterministicEngine:
             else None
         )
 
-        delay_model = config.effective_delay_model()
         log = ConflictLog(keep_events=config.keep_conflict_events)
         stats: list[IterationStats] = []
         iteration = 0
         converged = False
-        p = config.threads
         while iteration < config.max_iterations:
             if not frontier:
                 converged = True
@@ -267,43 +361,22 @@ class NondeterministicEngine:
             active = frontier.sorted_vertices()
             plan = make_plan(
                 active,
-                p,
+                config.threads,
                 policy=config.dispatch,
                 jitter=config.jitter,
                 rng=jitter_rng,
             )
-            committed = {f: state.edge(f) for f in state.edge_field_names}
-            store = _RacyStore(
-                committed,
-                delay_model,
-                config.atomicity,
-                config.torn_probability,
-                torn_rng,
-            )
-            next_schedule: set[int] = set()
-            upd = [0] * p
-            reads = [0] * p
-            writes = [0] * p
-            for vid in plan.execution_order():
-                slot = plan.slots[vid]
-                store.current = slot
-                ctx = UpdateContext(
-                    vid, graph, state, store, next_schedule, gather_rng=fp_rng,
-                    strict_scope=config.validate_scope,
-                )
-                program.update(ctx)
-                upd[slot.thread] += 1
-                reads[slot.thread] += ctx.n_edge_reads
-                writes[slot.thread] += ctx.n_edge_writes
-            store.commit(state, iteration, log)
-            stats.append(
-                IterationStats(
-                    iteration=iteration,
-                    num_active=int(active.size),
-                    updates_per_thread=upd,
-                    reads_per_thread=reads,
-                    writes_per_thread=writes,
-                )
+            next_schedule = self.step_iteration(
+                program,
+                graph,
+                state,
+                plan,
+                config,
+                iteration=iteration,
+                log=log,
+                torn_rng=torn_rng,
+                gather_rng=fp_rng,
+                stats=stats,
             )
             if observer is not None:
                 observer(iteration, state, next_schedule)

@@ -40,6 +40,7 @@ def run(
     config: EngineConfig | None = None,
     state: State | None = None,
     observer=None,
+    vectorized: bool | str = False,
     **config_kwargs,
 ) -> RunResult:
     """Execute ``program`` on ``graph`` under the chosen execution model.
@@ -67,6 +68,14 @@ def run(
         Optional callback ``observer(iteration, state, next_schedule)``
         invoked at every iteration barrier (not supported by the
         real-thread backend).
+    vectorized:
+        Nondeterministic mode only.  ``True`` takes the whole-graph NumPy
+        fast path (:class:`~repro.engine.nondet_vectorized.VectorizedNondetEngine`)
+        when the program has a registered kernel and the configuration is
+        eligible, silently falling back to the object engine otherwise —
+        both produce bit-identical results.  ``"require"`` raises instead
+        of falling back, listing the reasons.  Default ``False`` always
+        uses the object engine.
 
     Examples
     --------
@@ -86,6 +95,29 @@ def run(
         engine_cls = ENGINES[mode]
     except KeyError:
         raise ValueError(f"unknown mode {mode!r}; choose from {sorted(ENGINES)}") from None
+    if isinstance(vectorized, str) and vectorized != "require":
+        raise ValueError(
+            f"vectorized={vectorized!r} not understood: use True, False or 'require'"
+        )
+    if vectorized:
+        if mode != "nondeterministic":
+            raise ValueError(
+                "vectorized= applies to mode='nondeterministic' only "
+                "(use run_vectorized for the BSP fast path)"
+            )
+        # Imported lazily: the fast path pulls in the kernel registry.
+        from .nondet_vectorized import VectorizedNondetEngine, fallback_reasons
+
+        reasons = fallback_reasons(program, config)
+        if not reasons:
+            return VectorizedNondetEngine().run(
+                program, graph, config, state=state, observer=observer
+            )
+        if vectorized == "require":
+            raise ValueError(
+                "vectorized='require' but the fast path is not eligible: "
+                + "; ".join(reasons)
+            )
     if mode == "threads":
         if observer is not None:
             raise ValueError("the real-thread backend does not support observers")

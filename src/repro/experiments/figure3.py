@@ -84,6 +84,7 @@ def run_figure3(
     algorithms: Mapping[str, Callable] | None = None,
     graphs: Mapping[str, DiGraph] | None = None,
     cost_params: CostParams | None = None,
+    vectorized: bool | str = False,
 ) -> Figure3Result:
     """Execute the full grid and price every cell.
 
@@ -98,6 +99,10 @@ def run_figure3(
         ``name -> program factory``; defaults to the paper's four.
     graphs:
         ``name -> graph``; defaults to the four Table I stand-ins.
+    vectorized:
+        Take the vectorized nondeterministic fast path for the NE cells
+        (bit-identical results, much faster at large scales); the DE
+        baseline is unaffected.
     """
     algorithms = dict(algorithms or PAPER_ALGORITHMS)
     if graphs is None:
@@ -131,6 +136,7 @@ def run_figure3(
                     graph,
                     mode="nondeterministic",
                     config=EngineConfig(threads=threads, seed=run_seed),
+                    vectorized=vectorized,
                 )
                 for policy in NE_POLICIES:
                     out.rows.append(

@@ -83,6 +83,7 @@ def build_study(
     runs: int = 5,
     base_seed: int = 100,
     configs: dict[str, tuple[str, int, bool]] | None = None,
+    vectorized: bool | str = False,
 ) -> VariationStudy:
     """Run every configuration ``runs`` times at one ε."""
     configs = configs or PAPER_CONFIGS
@@ -98,6 +99,7 @@ def build_study(
                 runs=runs,
                 base_seed=base_seed,
                 fp_noise=fp_noise,
+                vectorized=vectorized,
             )
         )
     return VariationStudy(collected)
@@ -110,8 +112,12 @@ def run_table2(
     epsilons: Sequence[float] = PAPER_EPSILONS,
     runs: int = 5,
     graph: DiGraph | None = None,
+    vectorized: bool | str = False,
 ) -> VarianceResult:
     """Reproduce Table II on the web-Google stand-in."""
     graph = graph if graph is not None else load_dataset("web-google-mini", scale=scale, seed=seed)
-    studies = {eps: build_study(graph, eps, runs=runs) for eps in epsilons}
+    studies = {
+        eps: build_study(graph, eps, runs=runs, vectorized=vectorized)
+        for eps in epsilons
+    }
     return VarianceResult(studies=studies, kind="same")

@@ -26,8 +26,12 @@ def run_table3(
     epsilons: Sequence[float] = PAPER_EPSILONS,
     runs: int = 5,
     graph: DiGraph | None = None,
+    vectorized: bool | str = False,
 ) -> VarianceResult:
     """Reproduce Table III on the web-Google stand-in."""
     graph = graph if graph is not None else load_dataset("web-google-mini", scale=scale, seed=seed)
-    studies = {eps: build_study(graph, eps, runs=runs) for eps in epsilons}
+    studies = {
+        eps: build_study(graph, eps, runs=runs, vectorized=vectorized)
+        for eps in epsilons
+    }
     return VarianceResult(studies=studies, kind="cross")
