@@ -54,6 +54,7 @@ from .algorithms import (
 )
 from .analysis import difference_degree, ranking
 from .graph import DiGraph, GraphBuilder, load_dataset
+from .obs import Telemetry, read_trace, stats_from_trace
 from .perf import CostModel, CostParams, estimate_time
 from .theory import Verdict, check_program, check_traits, probe_monotonicity, trace_chain
 
@@ -98,6 +99,10 @@ __all__ = [
     # analysis
     "ranking",
     "difference_degree",
+    # observability
+    "Telemetry",
+    "read_trace",
+    "stats_from_trace",
     # perf
     "CostModel",
     "CostParams",

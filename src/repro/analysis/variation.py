@@ -15,6 +15,7 @@ of the same physical effect.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -24,6 +25,7 @@ from ..graph import DiGraph
 from ..engine.config import EngineConfig
 from ..engine.program import VertexProgram
 from ..engine.runner import run
+from ..obs import Telemetry
 from .difference import average_difference_degree, cross_difference_degree, ranking
 
 __all__ = ["ConfigurationRuns", "collect_rankings", "VariationStudy"]
@@ -35,6 +37,8 @@ class ConfigurationRuns:
 
     label: str  #: e.g. "DE", "4NE", "8NE", "16NE"
     rankings: tuple[np.ndarray, ...]
+    #: Per-run iteration counts, sourced from each run's telemetry trace.
+    iteration_counts: tuple[int, ...] = ()
 
     def self_average(self) -> float:
         """Table II cell: average degree over all C(n,2) pairs."""
@@ -53,6 +57,7 @@ def collect_rankings(
     fp_noise: bool = False,
     max_iterations: int = 100_000,
     vectorized: bool | str = False,
+    trace_dir: str | None = None,
 ) -> ConfigurationRuns:
     """Execute ``runs`` independent runs and rank their results.
 
@@ -63,8 +68,17 @@ def collect_rankings(
     ``vectorized`` opts nondeterministic runs into the whole-graph fast
     path (bit-identical rankings); it is ignored for other modes, where
     the flag does not apply.
+
+    Every run executes under a :class:`~repro.obs.Telemetry` sink, and
+    the convergence verdict and iteration counts the study reports are
+    read back from the telemetry — the variation tables and the traces
+    agree by construction.  With ``trace_dir`` set (created if missing),
+    each run's JSONL trace is kept as ``<label>_run<i>.jsonl``.
     """
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     rankings: list[np.ndarray] = []
+    iteration_counts: list[int] = []
     for i in range(runs):
         cfg = EngineConfig(
             threads=threads,
@@ -72,19 +86,31 @@ def collect_rankings(
             fp_noise=fp_noise,
             max_iterations=max_iterations,
         )
+        sink = Telemetry(
+            trace_path=os.path.join(trace_dir, f"{label}_run{i}.jsonl")
+            if trace_dir is not None
+            else None
+        )
         res = run(
             program_factory(),
             graph,
             mode=mode,
             config=cfg,
             vectorized=vectorized if mode == "nondeterministic" else False,
+            telemetry=sink,
         )
-        if not res.converged:
+        summary = sink.run_summary
+        if not summary["converged"]:
             raise RuntimeError(
                 f"{label} run {i} did not converge within {max_iterations} iterations"
             )
+        iteration_counts.append(int(summary["iterations"]))
         rankings.append(ranking(res.result()))
-    return ConfigurationRuns(label=label, rankings=tuple(rankings))
+    return ConfigurationRuns(
+        label=label,
+        rankings=tuple(rankings),
+        iteration_counts=tuple(iteration_counts),
+    )
 
 
 @dataclass

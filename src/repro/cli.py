@@ -121,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-iterations", type=int, default=100_000)
     p.add_argument("--audit", action="store_true",
                    help="cross-check conflicts against declared traits")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="stream a JSONL telemetry trace of the run to PATH")
+    p.add_argument("--telemetry", action="store_true",
+                   help="print the per-iteration telemetry table after the run")
 
     p = sub.add_parser("report", help="regenerate the full evaluation as markdown")
     add_scale(p)
@@ -172,10 +176,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.run_seed,
             max_iterations=args.max_iterations,
         )
+        sink = None
+        if args.trace or args.telemetry:
+            from .obs import Telemetry
+
+            sink = Telemetry(trace_path=args.trace)
         result = run(ALGORITHMS[args.algorithm](), graph, mode=args.mode,
-                     config=config)
+                     config=config, telemetry=sink)
         print(format_table([{"dataset": args.dataset, **result.summary()}],
                            title=f"{args.algorithm} on {args.dataset}"))
+        if args.telemetry:
+            print()
+            print(sink.summary())
+        if args.trace:
+            print(f"trace written to {args.trace}", file=sys.stderr)
         if args.audit:
             issues = audit_run(result)
             print("audit:", "CLEAN" if not issues else "; ".join(issues))

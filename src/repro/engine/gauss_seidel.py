@@ -16,6 +16,8 @@ asserts.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..graph import DiGraph
@@ -56,8 +58,12 @@ class DeterministicEngine:
         *,
         state: State | None = None,
         observer=None,
+        telemetry=None,
     ) -> RunResult:
         config = config or EngineConfig()
+        sink = telemetry
+        if sink is not None:
+            sink.begin_engine_run(self.mode, program, config)
         state = state if state is not None else program.make_state(graph)
         store = _DirectStore(state)
         frontier = initial_frontier(program, graph)
@@ -75,6 +81,7 @@ class DeterministicEngine:
             if not frontier:
                 converged = True
                 break
+            t0 = time.perf_counter() if sink is not None else 0.0
             active = frontier.sorted_vertices()
             next_schedule: set[int] = set()
             reads = writes = 0
@@ -95,6 +102,18 @@ class DeterministicEngine:
                     writes_per_thread=[writes],
                 )
             )
+            if sink is not None:
+                # Sequential execution: a single update runs at a time,
+                # so no conflicts can occur — both classes are zero.
+                sink.iteration(
+                    iteration=iteration,
+                    num_active=int(active.size),
+                    updates_per_thread=[int(active.size)],
+                    reads_per_thread=[reads],
+                    writes_per_thread=[writes],
+                    frontier_size=len(next_schedule),
+                    wall_time_s=time.perf_counter() - t0,
+                )
             if observer is not None:
                 observer(iteration, state, next_schedule)
             frontier = Frontier(next_schedule)
@@ -102,7 +121,7 @@ class DeterministicEngine:
         else:
             converged = not frontier
 
-        return RunResult(
+        result = RunResult(
             program=program,
             state=state,
             mode=self.mode,
@@ -111,3 +130,6 @@ class DeterministicEngine:
             iterations=stats,
             config=config,
         )
+        if sink is not None:
+            sink.end_run(result)
+        return result

@@ -35,6 +35,8 @@ a precondition for everything else.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..graph import DiGraph
@@ -328,8 +330,12 @@ class NondeterministicEngine:
         *,
         state: State | None = None,
         observer=None,
+        telemetry=None,
     ) -> RunResult:
         config = config or EngineConfig()
+        sink = telemetry
+        if sink is not None:
+            sink.begin_engine_run(self.mode, program, config)
         state = state if state is not None else program.make_state(graph)
         frontier = initial_frontier(program, graph)
 
@@ -358,6 +364,8 @@ class NondeterministicEngine:
             if not frontier:
                 converged = True
                 break
+            t0 = time.perf_counter() if sink is not None else 0.0
+            rw0, ww0 = log.read_write, log.write_write
             active = frontier.sorted_vertices()
             plan = make_plan(
                 active,
@@ -378,6 +386,19 @@ class NondeterministicEngine:
                 gather_rng=fp_rng,
                 stats=stats,
             )
+            if sink is not None:
+                it = stats[-1]
+                sink.iteration(
+                    iteration=iteration,
+                    num_active=it.num_active,
+                    updates_per_thread=it.updates_per_thread,
+                    reads_per_thread=it.reads_per_thread,
+                    writes_per_thread=it.writes_per_thread,
+                    frontier_size=len(next_schedule),
+                    wall_time_s=time.perf_counter() - t0,
+                    read_write=log.read_write - rw0,
+                    write_write=log.write_write - ww0,
+                )
             if observer is not None:
                 observer(iteration, state, next_schedule)
             frontier = Frontier(next_schedule)
@@ -385,7 +406,7 @@ class NondeterministicEngine:
         else:
             converged = not frontier
 
-        return RunResult(
+        result = RunResult(
             program=program,
             state=state,
             mode=self.mode,
@@ -395,3 +416,6 @@ class NondeterministicEngine:
             conflicts=log,
             config=config,
         )
+        if sink is not None:
+            sink.end_run(result)
+        return result

@@ -52,6 +52,7 @@ engine for them.
 from __future__ import annotations
 
 import abc
+import time
 
 import numpy as np
 
@@ -254,14 +255,18 @@ class VectorizedNondetEngine:
         *,
         state: State | None = None,
         observer=None,
+        telemetry=None,
     ) -> RunResult:
         config = config or EngineConfig()
+        sink = telemetry
         reasons = fallback_reasons(program, config)
         if reasons:
             raise ValueError(
                 "program/config not eligible for the vectorized nondeterministic "
                 "fast path: " + "; ".join(reasons)
             )
+        if sink is not None:
+            sink.begin_engine_run(self.mode, program, config)
         kernel = resolve_nondet_kernel(program)(program)
         state = state if state is not None else program.make_state(graph)
 
@@ -288,6 +293,9 @@ class VectorizedNondetEngine:
             if frontier_ids.size == 0:
                 converged = True
                 break
+            t0 = time.perf_counter() if sink is not None else 0.0
+            rw0, ww0 = log.read_write, log.write_write
+            passes0 = total_passes
             active_ids = frontier_ids
             thr_a, pi_a, time_a = plan_arrays(
                 active_ids,
@@ -439,6 +447,20 @@ class VectorizedNondetEngine:
                 state.vertex(f)[active_ids] = ctx.vout[f][active_ids]
 
             next_ids = np.flatnonzero(next_mask).astype(np.int64)
+            if sink is not None:
+                it = stats[-1]
+                sink.iteration(
+                    iteration=iteration,
+                    num_active=it.num_active,
+                    updates_per_thread=it.updates_per_thread,
+                    reads_per_thread=it.reads_per_thread,
+                    writes_per_thread=it.writes_per_thread,
+                    frontier_size=int(next_ids.size),
+                    wall_time_s=time.perf_counter() - t0,
+                    read_write=log.read_write - rw0,
+                    write_write=log.write_write - ww0,
+                    fixpoint_passes=total_passes - passes0,
+                )
             if observer is not None:
                 observer(iteration, state, {int(v) for v in next_ids})
             frontier_ids = next_ids
@@ -446,7 +468,7 @@ class VectorizedNondetEngine:
         else:
             converged = frontier_ids.size == 0
 
-        return RunResult(
+        result = RunResult(
             program=program,
             state=state,
             mode=self.mode,
@@ -457,3 +479,6 @@ class VectorizedNondetEngine:
             config=config,
             extra={"vectorized": True, "fixpoint_passes": total_passes},
         )
+        if sink is not None:
+            sink.end_run(result)
+        return result

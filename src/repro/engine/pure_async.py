@@ -41,6 +41,7 @@ progress measure) with per-thread work recorded for the cost model.
 from __future__ import annotations
 
 import heapq
+import time
 
 import numpy as np
 
@@ -197,8 +198,13 @@ class PureAsyncEngine:
         *,
         state: State | None = None,
         observer=None,
+        telemetry=None,
     ) -> RunResult:
         config = config or EngineConfig()
+        sink = telemetry
+        if sink is not None:
+            sink.begin_engine_run(self.mode, program, config)
+        t0 = time.perf_counter() if sink is not None else 0.0
         state = state if state is not None else program.make_state(graph)
         p = config.threads
         delay_model = config.effective_delay_model()
@@ -328,9 +334,24 @@ class PureAsyncEngine:
                 writes_per_thread=writes_per_thread,
             )
         ]
+        if sink is not None:
+            # Barrier-free: the whole run is one span ("iterations" are
+            # redefined as executed tasks / thread count, see module doc).
+            sink.iteration(
+                iteration=0,
+                num_active=tasks_executed,
+                updates_per_thread=updates_per_thread,
+                reads_per_thread=reads_per_thread,
+                writes_per_thread=writes_per_thread,
+                frontier_size=0,
+                wall_time_s=time.perf_counter() - t0,
+                read_write=log.read_write,
+                write_write=log.write_write,
+                tasks_executed=tasks_executed,
+            )
         if observer is not None:
             observer(0, state, set())
-        return RunResult(
+        result = RunResult(
             program=program,
             state=state,
             mode=self.mode,
@@ -340,3 +361,6 @@ class PureAsyncEngine:
             conflicts=log,
             config=config,
         )
+        if sink is not None:
+            sink.end_run(result)
+        return result

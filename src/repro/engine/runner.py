@@ -41,6 +41,7 @@ def run(
     state: State | None = None,
     observer=None,
     vectorized: bool | str = False,
+    telemetry=None,
     **config_kwargs,
 ) -> RunResult:
     """Execute ``program`` on ``graph`` under the chosen execution model.
@@ -67,7 +68,12 @@ def run(
     observer:
         Optional callback ``observer(iteration, state, next_schedule)``
         invoked at every iteration barrier (not supported by the
-        real-thread backend).
+        real-thread backend).  Observers compose with ``vectorized=``:
+        the fast path invokes the callback at its barriers with the
+        identical iteration/schedule trajectory the object engine would
+        produce, so enabling the fast path never changes what an
+        observer sees.  For pure observability prefer ``telemetry=`` —
+        unlike an observer it also works for ``mode="threads"``.
     vectorized:
         Nondeterministic mode only.  ``True`` takes the whole-graph NumPy
         fast path (:class:`~repro.engine.nondet_vectorized.VectorizedNondetEngine`)
@@ -75,7 +81,18 @@ def run(
         eligible, silently falling back to the object engine otherwise —
         both produce bit-identical results.  ``"require"`` raises instead
         of falling back, listing the reasons.  Default ``False`` always
-        uses the object engine.
+        uses the object engine.  The value is normalized once on entry:
+        the empty string is accepted as ``False`` (falsy pass-through,
+        e.g. from CLI/env plumbing) and, like ``False``, is valid for
+        every mode; any other string except ``"require"`` is rejected.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` sink.  Every engine
+        (including the real-thread backend and the vectorized fast path)
+        records one span per iteration — per-thread work profile,
+        conflict classes, frontier size, wall time — plus run metadata;
+        when the vectorized dispatch falls back, the reasons are
+        recorded as a ``vectorized_fallback`` event.  ``None`` (the
+        default) costs one pointer check per iteration.
 
     Examples
     --------
@@ -87,6 +104,17 @@ def run(
     >>> res.converged
     True
     """
+    # Normalize vectorized= once, up front: booleans pass through, the
+    # empty string is a falsy pass-through equivalent to False (and so
+    # must be valid for every mode), and the only meaningful string is
+    # "require".  Everything downstream sees only False/True/"require".
+    if isinstance(vectorized, str):
+        if vectorized == "":
+            vectorized = False
+        elif vectorized != "require":
+            raise ValueError(
+                f"vectorized={vectorized!r} not understood: use True, False or 'require'"
+            )
     if config is not None and config_kwargs:
         raise ValueError("pass either config= or individual config kwargs, not both")
     if config is None:
@@ -95,10 +123,6 @@ def run(
         engine_cls = ENGINES[mode]
     except KeyError:
         raise ValueError(f"unknown mode {mode!r}; choose from {sorted(ENGINES)}") from None
-    if isinstance(vectorized, str) and vectorized != "require":
-        raise ValueError(
-            f"vectorized={vectorized!r} not understood: use True, False or 'require'"
-        )
     if vectorized:
         if mode != "nondeterministic":
             raise ValueError(
@@ -111,15 +135,20 @@ def run(
         reasons = fallback_reasons(program, config)
         if not reasons:
             return VectorizedNondetEngine().run(
-                program, graph, config, state=state, observer=observer
+                program, graph, config, state=state, observer=observer,
+                telemetry=telemetry,
             )
         if vectorized == "require":
             raise ValueError(
                 "vectorized='require' but the fast path is not eligible: "
                 + "; ".join(reasons)
             )
+        if telemetry is not None:
+            telemetry.event("vectorized_fallback", reasons=reasons)
     if mode == "threads":
         if observer is not None:
             raise ValueError("the real-thread backend does not support observers")
-        return engine_cls().run(program, graph, config, state=state)
-    return engine_cls().run(program, graph, config, state=state, observer=observer)
+        return engine_cls().run(program, graph, config, state=state,
+                                telemetry=telemetry)
+    return engine_cls().run(program, graph, config, state=state, observer=observer,
+                            telemetry=telemetry)

@@ -16,6 +16,8 @@ bit-reproducible.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..graph import DiGraph
@@ -60,8 +62,12 @@ class SynchronousEngine:
         *,
         state: State | None = None,
         observer=None,
+        telemetry=None,
     ) -> RunResult:
         config = config or EngineConfig()
+        sink = telemetry
+        if sink is not None:
+            sink.begin_engine_run(self.mode, program, config)
         state = state if state is not None else program.make_state(graph)
         frontier = initial_frontier(program, graph)
         fp_rng = (
@@ -77,6 +83,7 @@ class SynchronousEngine:
             if not frontier:
                 converged = True
                 break
+            t0 = time.perf_counter() if sink is not None else 0.0
             active = frontier.sorted_vertices()
             # Dispatch is used only for work accounting: BSP has no
             # intra-iteration dependences, so placement can't change values.
@@ -107,6 +114,16 @@ class SynchronousEngine:
                     writes_per_thread=writes,
                 )
             )
+            if sink is not None:
+                sink.iteration(
+                    iteration=iteration,
+                    num_active=int(active.size),
+                    updates_per_thread=upd,
+                    reads_per_thread=reads,
+                    writes_per_thread=writes,
+                    frontier_size=len(next_schedule),
+                    wall_time_s=time.perf_counter() - t0,
+                )
             if observer is not None:
                 observer(iteration, state, next_schedule)
             frontier = Frontier(next_schedule)
@@ -114,7 +131,7 @@ class SynchronousEngine:
         else:
             converged = not frontier
 
-        return RunResult(
+        result = RunResult(
             program=program,
             state=state,
             mode=self.mode,
@@ -123,3 +140,6 @@ class SynchronousEngine:
             iterations=stats,
             config=config,
         )
+        if sink is not None:
+            sink.end_run(result)
+        return result

@@ -17,12 +17,22 @@ Two honest caveats, both documented in DESIGN.md:
   With ``atomicity=LOCK`` it takes a real per-edge lock around each
   access, mimicking the paper's explicit locking method.
 
+Failure semantics: an exception raised by ``program.update`` inside a
+worker is captured per thread and re-raised in the caller after the
+iteration barrier (all surviving workers finish their chunk first, so
+no thread is abandoned mid-write).  The lowest-numbered failing
+worker's exception is re-raised with its original type and traceback;
+further same-iteration failures are attached as exception notes.
+Because the iteration's writes are in-place and shared, the state is
+left partially updated — the run is **not** transactional.
+
 Runs are *not* reproducible from the seed — that is the point.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 from ..graph import DiGraph
 from .atomicity import AtomicityPolicy
@@ -50,12 +60,17 @@ class _SharedStore:
         self._guard = threading.Lock() if use_locks else None
 
     def _lock_for(self, eid: int) -> threading.Lock:
-        locks = self._locks
-        lock = locks.get(eid)
-        if lock is None:
-            with self._guard:
-                lock = locks.setdefault(eid, threading.Lock())
-        return lock
+        # The whole lookup happens under the guard: a bare dict read
+        # concurrent with another thread's first-touch insert is only
+        # safe by CPython GIL accident, and LOCK mode exists precisely
+        # to be correct by construction.  First-touch and steady-state
+        # reads take the same short critical section.
+        with self._guard:
+            locks = self._locks
+            lock = locks.get(eid)
+            if lock is None:
+                lock = locks[eid] = threading.Lock()
+            return lock
 
     def read(self, vid: int, eid: int, field: str) -> float:
         if self._locks is not None:
@@ -83,14 +98,18 @@ class ThreadsEngine:
         config: EngineConfig | None = None,
         *,
         state: State | None = None,
+        telemetry=None,
     ) -> RunResult:
         config = config or EngineConfig()
+        sink = telemetry
         if config.atomicity is AtomicityPolicy.NONE:
             raise ValueError(
                 "the real-thread backend cannot forgo atomicity: the GIL "
                 "always provides it; use NondeterministicEngine for the "
                 "torn-value ablation"
             )
+        if sink is not None:
+            sink.begin_engine_run(self.mode, program, config)
         state = state if state is not None else program.make_state(graph)
         store = _SharedStore(state, use_locks=config.atomicity is AtomicityPolicy.LOCK)
         frontier = initial_frontier(program, graph)
@@ -103,6 +122,7 @@ class ThreadsEngine:
             if not frontier:
                 converged = True
                 break
+            t0 = time.perf_counter() if sink is not None else 0.0
             active = frontier.sorted_vertices()
             plan = make_plan(active, p, policy=config.dispatch)
             next_schedule: set[int] = set()
@@ -110,21 +130,29 @@ class ThreadsEngine:
             upd = [0] * p
             reads = [0] * p
             writes = [0] * p
+            errors: list[BaseException | None] = [None] * p
 
             def worker(tid: int) -> None:
-                local_sched: set[int] = set()
-                r = w = 0
-                for vid in plan.per_thread[tid]:
-                    ctx = UpdateContext(vid, graph, state, store, local_sched,
-                                        strict_scope=config.validate_scope)
-                    program.update(ctx)
-                    r += ctx.n_edge_reads
-                    w += ctx.n_edge_writes
-                with sched_lock:
-                    next_schedule.update(local_sched)
-                upd[tid] = len(plan.per_thread[tid])
-                reads[tid] = r
-                writes[tid] = w
+                # Any exception is captured, not swallowed: a bare raise
+                # would kill only this thread, join() would still
+                # succeed, and the run would report converged results
+                # with zeroed work counters for the dead thread.
+                try:
+                    local_sched: set[int] = set()
+                    r = w = 0
+                    for vid in plan.per_thread[tid]:
+                        ctx = UpdateContext(vid, graph, state, store, local_sched,
+                                            strict_scope=config.validate_scope)
+                        program.update(ctx)
+                        r += ctx.n_edge_reads
+                        w += ctx.n_edge_writes
+                    with sched_lock:
+                        next_schedule.update(local_sched)
+                    upd[tid] = len(plan.per_thread[tid])
+                    reads[tid] = r
+                    writes[tid] = w
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors[tid] = exc
 
             threads = [
                 threading.Thread(target=worker, args=(t,), daemon=True)
@@ -135,6 +163,24 @@ class ThreadsEngine:
             for th in threads:  # the iteration barrier
                 th.join()
 
+            failed = [t for t, e in enumerate(errors) if e is not None]
+            if failed:
+                first = errors[failed[0]]
+                if sink is not None:
+                    sink.event(
+                        "worker_failure",
+                        iteration=iteration,
+                        threads=failed,
+                        error=repr(first),
+                    )
+                    sink.close()
+                if len(failed) > 1 and hasattr(first, "add_note"):
+                    first.add_note(
+                        f"{len(failed) - 1} other worker thread(s) of iteration "
+                        f"{iteration} also failed: {failed[1:]}"
+                    )
+                raise first
+
             stats.append(
                 IterationStats(
                     iteration=iteration,
@@ -144,12 +190,25 @@ class ThreadsEngine:
                     writes_per_thread=writes,
                 )
             )
+            if sink is not None:
+                # Real races are unobservable (watching them would change
+                # them): the conflict classes are honestly absent, not 0.
+                sink.iteration(
+                    iteration=iteration,
+                    num_active=int(active.size),
+                    updates_per_thread=upd,
+                    reads_per_thread=reads,
+                    writes_per_thread=writes,
+                    frontier_size=len(next_schedule),
+                    wall_time_s=time.perf_counter() - t0,
+                    conflicts_observable=False,
+                )
             frontier = Frontier(next_schedule)
             iteration += 1
         else:
             converged = not frontier
 
-        return RunResult(
+        result = RunResult(
             program=program,
             state=state,
             mode=self.mode,
@@ -158,3 +217,6 @@ class ThreadsEngine:
             iterations=stats,
             config=config,
         )
+        if sink is not None:
+            sink.end_run(result)
+        return result

@@ -17,12 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+import os
+
 from ..algorithms import PAPER_ALGORITHMS
 from ..engine.atomicity import AtomicityPolicy
 from ..engine.config import EngineConfig
 from ..engine.runner import run
 from ..graph import DiGraph
 from ..graph.datasets import PAPER_DATASETS
+from ..obs import Telemetry
 from ..perf import CostParams, TimingRow, price_run
 from .common import DEFAULT_SCALE, DEFAULT_SEED, PAPER_THREADS, format_table
 
@@ -85,8 +88,14 @@ def run_figure3(
     graphs: Mapping[str, DiGraph] | None = None,
     cost_params: CostParams | None = None,
     vectorized: bool | str = False,
+    trace_dir: str | None = None,
 ) -> Figure3Result:
     """Execute the full grid and price every cell.
+
+    Every engine run executes under a :class:`~repro.obs.Telemetry`
+    sink, and the cost model prices the *recorded spans* — the figure
+    and its traces cannot disagree.  With ``trace_dir`` set, each
+    cell's JSONL trace is kept as ``<algo>_<graph>_<mode><threads>.jsonl``.
 
     Parameters
     ----------
@@ -103,6 +112,8 @@ def run_figure3(
         Take the vectorized nondeterministic fast path for the NE cells
         (bit-identical results, much faster at large scales); the DE
         baseline is unaffected.
+    trace_dir:
+        Directory (created if missing) for per-cell JSONL traces.
     """
     algorithms = dict(algorithms or PAPER_ALGORITHMS)
     if graphs is None:
@@ -110,17 +121,27 @@ def run_figure3(
             spec.name: spec.build(scale=scale, seed=seed)
             for spec in PAPER_DATASETS.values()
         }
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+
+    def make_sink(cell: str) -> Telemetry:
+        path = (
+            os.path.join(trace_dir, f"{cell}.jsonl") if trace_dir is not None else None
+        )
+        return Telemetry(trace_path=path)
 
     out = Figure3Result()
     for algo_name, factory in algorithms.items():
         for graph_name, graph in graphs.items():
             # Deterministic baseline: the paper shows it at 4 threads only
             # ("the performances ... do not scale").
+            sink = make_sink(f"{algo_name}_{graph_name}_de4")
             de = run(
                 factory(),
                 graph,
                 mode="deterministic",
                 config=EngineConfig(threads=4, seed=run_seed),
+                telemetry=sink,
             )
             out.rows.append(
                 price_run(
@@ -128,15 +149,18 @@ def run_figure3(
                     algorithm=algo_name,
                     graph=graph_name,
                     params=cost_params,
+                    telemetry=sink,
                 )
             )
             for threads in threads_list:
+                sink = make_sink(f"{algo_name}_{graph_name}_ne{threads}")
                 ne = run(
                     factory(),
                     graph,
                     mode="nondeterministic",
                     config=EngineConfig(threads=threads, seed=run_seed),
                     vectorized=vectorized,
+                    telemetry=sink,
                 )
                 for policy in NE_POLICIES:
                     out.rows.append(
@@ -146,6 +170,7 @@ def run_figure3(
                             graph=graph_name,
                             policy=policy,
                             params=cost_params,
+                            telemetry=sink,
                         )
                     )
     return out

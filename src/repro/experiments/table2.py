@@ -18,6 +18,7 @@ Observed shapes to reproduce (§V-C):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -84,8 +85,14 @@ def build_study(
     base_seed: int = 100,
     configs: dict[str, tuple[str, int, bool]] | None = None,
     vectorized: bool | str = False,
+    trace_dir: str | None = None,
 ) -> VariationStudy:
-    """Run every configuration ``runs`` times at one ε."""
+    """Run every configuration ``runs`` times at one ε.
+
+    Convergence verdicts and iteration counts come from each run's
+    telemetry (see :func:`~repro.analysis.collect_rankings`); pass
+    ``trace_dir`` to keep the per-run JSONL traces.
+    """
     configs = configs or PAPER_CONFIGS
     collected: list[ConfigurationRuns] = []
     for label, (mode, threads, fp_noise) in configs.items():
@@ -100,6 +107,7 @@ def build_study(
                 base_seed=base_seed,
                 fp_noise=fp_noise,
                 vectorized=vectorized,
+                trace_dir=trace_dir,
             )
         )
     return VariationStudy(collected)
@@ -113,11 +121,22 @@ def run_table2(
     runs: int = 5,
     graph: DiGraph | None = None,
     vectorized: bool | str = False,
+    trace_dir: str | None = None,
 ) -> VarianceResult:
-    """Reproduce Table II on the web-Google stand-in."""
+    """Reproduce Table II on the web-Google stand-in.
+
+    With ``trace_dir`` set, per-run telemetry traces are kept under one
+    ``eps<ε>`` subdirectory per threshold.
+    """
     graph = graph if graph is not None else load_dataset("web-google-mini", scale=scale, seed=seed)
     studies = {
-        eps: build_study(graph, eps, runs=runs, vectorized=vectorized)
+        eps: build_study(
+            graph,
+            eps,
+            runs=runs,
+            vectorized=vectorized,
+            trace_dir=os.path.join(trace_dir, f"eps{eps}") if trace_dir else None,
+        )
         for eps in epsilons
     }
     return VarianceResult(studies=studies, kind="same")

@@ -10,6 +10,7 @@ configuration — the usability argument for nondeterministic PageRank.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from ..graph import DiGraph, load_dataset
@@ -27,11 +28,24 @@ def run_table3(
     runs: int = 5,
     graph: DiGraph | None = None,
     vectorized: bool | str = False,
+    trace_dir: str | None = None,
 ) -> VarianceResult:
-    """Reproduce Table III on the web-Google stand-in."""
+    """Reproduce Table III on the web-Google stand-in.
+
+    With ``trace_dir`` set, per-run telemetry traces are kept under one
+    ``eps<ε>`` subdirectory per threshold (same layout as Table II —
+    the two tables share their runs' accounting with the traces by
+    construction).
+    """
     graph = graph if graph is not None else load_dataset("web-google-mini", scale=scale, seed=seed)
     studies = {
-        eps: build_study(graph, eps, runs=runs, vectorized=vectorized)
+        eps: build_study(
+            graph,
+            eps,
+            runs=runs,
+            vectorized=vectorized,
+            trace_dir=os.path.join(trace_dir, f"eps{eps}") if trace_dir else None,
+        )
         for eps in epsilons
     }
     return VarianceResult(studies=studies, kind="cross")

@@ -1,0 +1,65 @@
+"""JSONL trace reading/writing helpers.
+
+A trace is a sequence of JSON objects, one per line, each tagged with a
+``"type"`` field:
+
+``run_start``
+    Free-form run metadata (mode, program, threads, seed, ...).
+``iteration``
+    One :class:`~repro.obs.telemetry.IterationSpan` — the per-iteration
+    work profile plus conflict/frontier/wall-time observations.
+``event``
+    Ad-hoc named observation (e.g. ``vectorized_fallback`` with its
+    reasons list).
+``run_end``
+    Convergence verdict, totals, counter/gauge dumps.
+
+The reader is deliberately tolerant: unknown record types pass through,
+so traces stay forward-compatible as engines grow new observations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+from .telemetry import IterationSpan, Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.result import IterationStats
+
+__all__ = ["read_trace", "stats_from_trace", "write_trace"]
+
+
+def read_trace(path: str) -> list[dict]:
+    """Load every record of a JSONL trace (blank lines skipped)."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid trace line") from exc
+    return records
+
+
+def stats_from_trace(records: Iterable[dict]) -> "list[IterationStats]":
+    """Rebuild the engine's per-iteration work profile from a trace.
+
+    The result equals the originating run's ``RunResult.iterations``
+    exactly — the round-trip property ``tests/test_obs_telemetry.py``
+    asserts for every engine mode.
+    """
+    return [
+        IterationSpan.from_record(rec).to_stats()
+        for rec in records
+        if rec.get("type") == "iteration"
+    ]
+
+
+def write_trace(telemetry: Telemetry, path: str) -> None:
+    """Dump a (buffered) sink's records to ``path`` post-hoc."""
+    telemetry.export(path)

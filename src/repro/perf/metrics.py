@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..engine.atomicity import AtomicityPolicy
 from ..engine.result import RunResult
@@ -58,8 +58,18 @@ def price_run(
     graph: str,
     policy: AtomicityPolicy | None = None,
     params: CostParams | None = None,
+    telemetry=None,
 ) -> TimingRow:
-    """Build a :class:`TimingRow` from one engine run."""
+    """Build a :class:`TimingRow` from one engine run.
+
+    When ``telemetry`` (the :class:`~repro.obs.Telemetry` sink the run
+    was executed with) is given, the work profile priced by the cost
+    model is taken from the recorded iteration spans instead of the
+    result object — so a published table and the run's trace agree by
+    construction, not by parallel bookkeeping.
+    """
+    if telemetry is not None:
+        result = replace(result, iterations=telemetry.iteration_stats())
     model = CostModel(params or CostParams())
     seconds = model.time(result, policy)
     threads = result.config.threads if result.config else 1

@@ -6,6 +6,20 @@ import pytest
 from repro.algorithms import BFS, SSSP, PageRank, WeaklyConnectedComponents, reference
 from repro.engine import AtomicityPolicy, EngineConfig, run
 from repro.engine.runner import ENGINES
+from repro.obs import Telemetry
+
+
+class ExplodingWCC(WeaklyConnectedComponents):
+    """WCC whose update raises once a chosen vertex runs."""
+
+    def __init__(self, bomb_vid: int = 3):
+        super().__init__()
+        self.bomb_vid = bomb_vid
+
+    def update(self, ctx):
+        if ctx.vid == self.bomb_vid:
+            raise ZeroDivisionError(f"boom in f({ctx.vid})")
+        super().update(ctx)
 
 
 class TestThreadsEngine:
@@ -49,6 +63,52 @@ class TestThreadsEngine:
                   config=EngineConfig(threads=4))
         assert res.total_updates > 0
         assert res.total_reads > 0
+
+    def test_worker_exception_propagates(self, rmat_small):
+        # Regression: worker-thread exceptions used to die with the
+        # thread, leaving a silently-wrong "converged" result.  The
+        # original exception type must reach the caller.
+        with pytest.raises(ZeroDivisionError, match=r"boom in f\(3\)"):
+            run(ExplodingWCC(bomb_vid=3), rmat_small, mode="threads",
+                config=EngineConfig(threads=4))
+
+    def test_worker_failure_event_in_trace(self, rmat_small, tmp_path):
+        from repro.obs import read_trace
+
+        path = tmp_path / "fail.jsonl"
+        sink = Telemetry(trace_path=str(path))
+        with pytest.raises(ZeroDivisionError):
+            run(ExplodingWCC(bomb_vid=3), rmat_small, mode="threads",
+                config=EngineConfig(threads=4), telemetry=sink)
+        # The sink is closed before re-raising, so the partial trace on
+        # disk already names the failure.
+        events = [r for r in read_trace(str(path))
+                  if r.get("type") == "event" and r["name"] == "worker_failure"]
+        assert len(events) == 1
+        assert "ZeroDivisionError" in events[0]["error"]
+        assert events[0]["threads"]  # at least one failed thread id
+
+    def test_every_worker_failing_still_raises_original_type(self, rmat_small):
+        # bomb on every vertex: several workers fail in the same
+        # iteration; the first failure's type is preserved.
+        class AllExploding(WeaklyConnectedComponents):
+            def update(self, ctx):
+                raise ZeroDivisionError(f"boom in f({ctx.vid})")
+
+        with pytest.raises(ZeroDivisionError, match="boom"):
+            run(AllExploding(), rmat_small, mode="threads",
+                config=EngineConfig(threads=4))
+
+    def test_lock_mode_stress_many_first_touch_edges(self, er_medium):
+        # Regression for the _lock_for race: 3000 edges touched for the
+        # first time by 8 concurrent workers used to be able to mint two
+        # locks for one edge (lookup outside the guard), voiding mutual
+        # exclusion exactly on first contention.
+        truth = reference.wcc_reference(er_medium)
+        res = run(WeaklyConnectedComponents(), er_medium, mode="threads",
+                  config=EngineConfig(threads=8, atomicity=AtomicityPolicy.LOCK))
+        assert res.converged
+        assert np.array_equal(res.result(), truth)
 
 
 class TestRunner:
