@@ -154,6 +154,43 @@ def test_disabled_telemetry_overhead_floor():
     )
 
 
+@pytest.mark.perfsmoke
+def test_disabled_recorder_overhead_floor():
+    """Acceptance: record=None must add no per-update cost.
+
+    Same argument as the telemetry floor above: a disabled recorder does
+    strictly less work than an enabled one (one pointer check at the
+    commit barrier vs deriving full race provenance from the access
+    log), so if ``record=None`` were paying anything per edge access the
+    disabled time would exceed the enabled time here.  Min-of-5 timings
+    to shed scheduler noise.
+    """
+    import time as _time
+
+    from repro.obs import Recorder
+
+    graph = generators.rmat(10, 8.0, seed=3)
+
+    def timed(recorder_factory):
+        best = float("inf")
+        for _ in range(5):
+            rec = recorder_factory()
+            t0 = _time.perf_counter()
+            res = run(PageRank(epsilon=1e-2), graph, mode="nondeterministic",
+                      config=EngineConfig(threads=8, seed=0), record=rec)
+            best = min(best, _time.perf_counter() - t0)
+            assert res.converged
+        return best
+
+    timed(lambda: None)  # warmup
+    t_disabled = timed(lambda: None)
+    t_enabled = timed(Recorder)
+    assert t_disabled <= t_enabled * 1.10, (
+        f"record=None run took {t_disabled:.3f}s vs {t_enabled:.3f}s with the "
+        f"flight recorder — the disabled path must not do per-update work"
+    )
+
+
 def test_vectorized_pagerank_scale12(benchmark):
     """Large-scale baseline the object engines cannot reach comfortably."""
     from repro.algorithms import VPageRank

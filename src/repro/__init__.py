@@ -52,9 +52,9 @@ from .algorithms import (
     SpMV,
     WeaklyConnectedComponents,
 )
-from .analysis import difference_degree, ranking
+from .analysis import difference_degree, explain_trace_files, explain_traces, ranking
 from .graph import DiGraph, GraphBuilder, load_dataset
-from .obs import Telemetry, read_trace, stats_from_trace
+from .obs import Recorder, Telemetry, lint_trace, read_trace, stats_from_trace, summarize_trace
 from .perf import CostModel, CostParams, estimate_time
 from .theory import Verdict, check_program, check_traits, probe_monotonicity, trace_chain
 
@@ -99,10 +99,15 @@ __all__ = [
     # analysis
     "ranking",
     "difference_degree",
+    "explain_traces",
+    "explain_trace_files",
     # observability
     "Telemetry",
+    "Recorder",
     "read_trace",
     "stats_from_trace",
+    "lint_trace",
+    "summarize_trace",
     # perf
     "CostModel",
     "CostParams",

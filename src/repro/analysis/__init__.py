@@ -8,6 +8,14 @@ from .difference import (
     ranking,
 )
 from .errors import ErrorReport, epsilon_error_study, error_report
+from .explain import (
+    DivergenceReport,
+    FirstDivergence,
+    explain_trace_files,
+    explain_traces,
+    first_divergence,
+    taint_forward,
+)
 from .traces import ConvergenceTrace, trace_convergence
 from .variation import ConfigurationRuns, VariationStudy, collect_rankings
 
@@ -23,6 +31,12 @@ __all__ = [
     "ErrorReport",
     "error_report",
     "epsilon_error_study",
+    "DivergenceReport",
+    "FirstDivergence",
+    "explain_trace_files",
+    "explain_traces",
+    "first_divergence",
+    "taint_forward",
     "ConvergenceTrace",
     "trace_convergence",
 ]

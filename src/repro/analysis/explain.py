@@ -1,0 +1,375 @@
+"""Cross-run divergence explainer: from a first race to final rankings.
+
+The paper quantifies nondeterminism with the difference degree (§V-C) —
+*how far down* two runs' rankings first disagree — but the number alone
+says nothing about *why*.  With flight-recorder traces
+(:mod:`repro.obs.recorder`) of two runs of the same workload, this
+module closes that gap in three steps:
+
+1. **Align** the two provenance streams on run-independent keys.  Both
+   engines emit events in canonical order (iteration, field, edge;
+   per-edge Lemma-1 read pairs before the Lemma-2 commit), so a key of
+   ``(iteration, field, eid, kind, participants)`` matches the "same"
+   racy access across runs regardless of which value won.
+2. **Find the first divergent event** — the earliest aligned position
+   where the committed value, the winning writer, or the recorded
+   Defs. 1–3 classification differs (or where one run recorded a race
+   the other did not have).  Everything before it is, by construction,
+   identical in both traces.
+3. **Walk the edge-dependence chain forward** from that event: a later
+   event is *tainted* if it touches an already-tainted edge or shares a
+   vertex with the tainted set (the update-function footprint by the
+   §II scope rule).  The tainted vertices are the set of final results
+   the first race can explain; intersecting them with the first
+   disagreeing rank positions connects the race to the difference
+   degree of :mod:`repro.analysis.difference`.
+
+The recorder embeds each run's final ranking in its ``run_end`` record,
+so one trace pair is self-contained: no re-run needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .difference import difference_degree
+
+__all__ = [
+    "FirstDivergence",
+    "DivergenceReport",
+    "first_divergence",
+    "taint_forward",
+    "explain_traces",
+    "explain_trace_files",
+]
+
+# Per-edge emission order: read pairs, then lone writes, then the commit.
+_KIND_ORDER = {"read": 0, "write": 1, "commit": 2}
+
+
+def _event_key(ev: dict) -> tuple:
+    """Run-independent alignment key; sorts in canonical emission order."""
+    kind = ev["kind"]
+    if kind == "read":
+        tail = (ev["reader"], ev["writer"])
+    elif kind == "write":
+        tail = (ev["writer"], -1)
+    else:  # commit: one per (iteration, field, eid) regardless of winner
+        tail = (-1, -1)
+    return (ev["iteration"], ev["field"], ev["eid"], _KIND_ORDER[kind], *tail)
+
+
+def _event_vids(ev: dict) -> set[int]:
+    """Vertices whose update functions touched this event's edge."""
+    kind = ev["kind"]
+    if kind == "read":
+        return {ev["reader"], ev["writer"]}
+    vids = {ev["writer"]}
+    for entry in ev.get("lost", ()):
+        vids.add(entry["vid"])
+    return vids
+
+
+def _compare(kind: str, a: dict, b: dict) -> str | None:
+    """How two aligned events differ: 'value' | 'winner' | 'provenance' | None."""
+    if kind == "commit" and a["writer"] != b["writer"]:
+        return "winner"
+    if a.get("value") != b.get("value"):
+        return "value"
+    if kind == "commit":
+        if a.get("lost") != b.get("lost") or a.get("rule") != b.get("rule"):
+            return "provenance"
+    elif kind == "read":
+        if (a.get("order"), a.get("rule"), a.get("count")) != (
+            b.get("order"), b.get("rule"), b.get("count")
+        ):
+            return "provenance"
+    else:
+        if a.get("writer_thread") != b.get("writer_thread"):
+            return "provenance"
+    return None
+
+
+@dataclass(frozen=True)
+class FirstDivergence:
+    """The earliest aligned provenance event where two traces disagree.
+
+    ``kind`` classifies the disagreement: ``"value"`` (same race, a
+    different value committed/observed), ``"winner"`` (a different
+    writer won the Lemma-2 commit), ``"provenance"`` (same values but a
+    different Defs. 1–3 classification — a latent divergence), or
+    ``"only-in-a"`` / ``"only-in-b"`` (one run recorded a race the
+    other's schedule did not produce).  ``event_a`` / ``event_b`` are
+    the raw events (``None`` on the side that lacks one);
+    ``agreed_events`` counts the aligned keys identical in both traces
+    before this one.
+    """
+
+    iteration: int
+    field: str
+    eid: int
+    kind: str
+    event_kind: str
+    event_a: dict | None
+    event_b: dict | None
+    agreed_events: int
+
+    def describe(self) -> str:
+        head = (
+            f"iteration {self.iteration}, field {self.field!r}, "
+            f"edge {self.eid} ({self.event_kind}): {self.kind}"
+        )
+        lines = [head]
+        for label, ev in (("A", self.event_a), ("B", self.event_b)):
+            if ev is None:
+                lines.append(f"  {label}: (no such event recorded)")
+            elif ev["kind"] == "commit":
+                lost = ", ".join(
+                    f"lost {e['value']!r} from v{e['vid']}@t{e['thread']} ({e['order']})"
+                    for e in ev.get("lost", ())
+                ) or "uncontended"
+                lines.append(
+                    f"  {label}: v{ev['writer']}@t{ev['writer_thread']} committed "
+                    f"{ev['value']!r} [{ev['rule']}; {lost}]"
+                )
+            elif ev["kind"] == "read":
+                lines.append(
+                    f"  {label}: v{ev['reader']}@t{ev['reader_thread']} observed "
+                    f"{ev['value']!r} vs write by v{ev['writer']}@t{ev['writer_thread']} "
+                    f"[{ev['rule']}, {ev['order']}, x{ev['count']}]"
+                )
+            else:
+                lines.append(
+                    f"  {label}: v{ev['writer']}@t{ev['writer_thread']} wrote "
+                    f"{ev['value']!r} [{ev['rule']}, {ev['order']}]"
+                )
+        return "\n".join(lines)
+
+
+def first_divergence(
+    events_a: list[dict], events_b: list[dict]
+) -> FirstDivergence | None:
+    """Align two provenance streams; return the earliest disagreement.
+
+    Events are grouped by :func:`_event_key` and walked in canonical
+    order; the first key whose event lists differ (or that only one run
+    has) is the divergence.  ``None`` means the traces agree on every
+    aligned event.
+    """
+    idx_a: dict[tuple, list[dict]] = {}
+    idx_b: dict[tuple, list[dict]] = {}
+    for idx, events in ((idx_a, events_a), (idx_b, events_b)):
+        for ev in events:
+            idx.setdefault(_event_key(ev), []).append(ev)
+    agreed = 0
+    for key in sorted(set(idx_a) | set(idx_b)):
+        la, lb = idx_a.get(key), idx_b.get(key)
+        iteration, fieldname, eid, kind_no, *_ = key
+        event_kind = next(k for k, v in _KIND_ORDER.items() if v == kind_no)
+        if la is None or lb is None:
+            return FirstDivergence(
+                iteration=iteration, field=fieldname, eid=eid,
+                kind="only-in-b" if la is None else "only-in-a",
+                event_kind=event_kind,
+                event_a=None if la is None else la[0],
+                event_b=None if lb is None else lb[0],
+                agreed_events=agreed,
+            )
+        for a, b in zip(la, lb):
+            how = _compare(event_kind, a, b)
+            if how is not None:
+                return FirstDivergence(
+                    iteration=iteration, field=fieldname, eid=eid,
+                    kind=how, event_kind=event_kind,
+                    event_a=a, event_b=b, agreed_events=agreed,
+                )
+        if len(la) != len(lb):
+            longer, shorter = (la, lb) if len(la) > len(lb) else (lb, la)
+            return FirstDivergence(
+                iteration=iteration, field=fieldname, eid=eid,
+                kind="only-in-a" if len(la) > len(lb) else "only-in-b",
+                event_kind=event_kind,
+                event_a=la[len(shorter)] if len(la) > len(lb) else None,
+                event_b=lb[len(shorter)] if len(lb) > len(la) else None,
+                agreed_events=agreed,
+            )
+        agreed += 1
+    return None
+
+
+def taint_forward(
+    events_a: list[dict],
+    events_b: list[dict],
+    divergence: FirstDivergence,
+    graph=None,
+) -> tuple[set[int], set[tuple[str, int]]]:
+    """Walk the edge-dependence chain forward from the first divergence.
+
+    Returns ``(affected_vertices, tainted_edges)``.  Seeded with the
+    divergent event's participants (and, when ``graph`` is given, the
+    divergent edge's endpoints — covering readers the sampling policy
+    dropped), the single forward pass over the union of both traces'
+    events absorbs every event that touches a tainted edge or shares a
+    vertex with the affected set: by the §II scope rule that is exactly
+    how a racy value can propagate.
+    """
+    affected: set[int] = set()
+    tainted: set[tuple[str, int]] = {(divergence.field, divergence.eid)}
+    for ev in (divergence.event_a, divergence.event_b):
+        if ev is not None:
+            affected |= _event_vids(ev)
+    if graph is not None:
+        affected.add(int(graph.edge_src[divergence.eid]))
+        affected.add(int(graph.edge_dst[divergence.eid]))
+    start = (divergence.iteration, divergence.field, divergence.eid,
+             _KIND_ORDER[divergence.event_kind])
+    seen: set[tuple] = set()
+    merged: list[tuple[tuple, dict]] = []
+    for events in (events_a, events_b):
+        for ev in events:
+            key = _event_key(ev)
+            if key[:4] < start:
+                continue
+            dedup = (key, ev.get("writer_thread"), ev.get("reader_thread"),
+                     repr(ev.get("value")))
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            merged.append((key, ev))
+    merged.sort(key=lambda item: item[0])
+    for _, ev in merged:
+        vids = _event_vids(ev)
+        edge = (ev["field"], ev["eid"])
+        if edge in tainted or (vids & affected):
+            affected |= vids
+            tainted.add(edge)
+    return affected, tainted
+
+
+@dataclass
+class DivergenceReport:
+    """Everything :func:`explain_traces` established about a trace pair."""
+
+    meta_a: dict = field(default_factory=dict)
+    meta_b: dict = field(default_factory=dict)
+    events_a: int = 0
+    events_b: int = 0
+    first: FirstDivergence | None = None
+    affected_vertices: list[int] = field(default_factory=list)
+    tainted_edges: int = 0
+    ranking_a: list[int] | None = None
+    ranking_b: list[int] | None = None
+    degree: int | None = None
+    divergent_rank_vertices: list[int] = field(default_factory=list)
+    explained: bool | None = None
+    warnings: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        meta = self.meta_a or self.meta_b
+        lines = [
+            "Divergence explainer: "
+            f"{meta.get('program', '?')} under {meta.get('mode', '?')} "
+            f"(threads={meta.get('threads', '?')}, "
+            f"seeds A={self.meta_a.get('seed', '?')} B={self.meta_b.get('seed', '?')})",
+            f"  provenance events: {self.events_a} (A) vs {self.events_b} (B)",
+        ]
+        for w in self.warnings:
+            lines.append(f"  warning: {w}")
+        if self.first is None:
+            lines.append("  traces agree on every aligned provenance event")
+        else:
+            lines.append(
+                f"  agreed on {self.first.agreed_events} aligned events, then:"
+            )
+            lines.extend("  " + ln for ln in self.first.describe().splitlines())
+            lines.append(
+                f"  forward taint from the first race: "
+                f"{len(self.affected_vertices)} vertices via {self.tainted_edges} edges"
+            )
+        if self.degree is not None:
+            n = len(self.ranking_a or ())
+            if self.degree >= n:
+                lines.append(f"  rankings: identical (difference degree {self.degree})")
+            else:
+                pair = ", ".join(
+                    f"v{v}" for v in self.divergent_rank_vertices
+                ) or "?"
+                verdict = (
+                    "explained by the first race"
+                    if self.explained
+                    else "NOT in the tainted set"
+                )
+                lines.append(
+                    f"  rankings: difference degree {self.degree} "
+                    f"(first {self.degree} ranks agree); rank {self.degree} holds "
+                    f"{pair} — {verdict}"
+                )
+        else:
+            lines.append("  rankings: not embedded in both traces")
+        return "\n".join(lines)
+
+
+def explain_traces(
+    records_a: list[dict], records_b: list[dict], graph=None
+) -> DivergenceReport:
+    """Explain how two recorded runs of one workload came to differ.
+
+    ``records_a`` / ``records_b`` are full trace record lists (from
+    :func:`repro.obs.read_trace` or ``Recorder.records``).  The report
+    carries the first divergent provenance event, the forward-tainted
+    vertex set, and — when both traces embed final rankings — the
+    difference degree with a verdict on whether the first race explains
+    the first disagreeing rank.
+    """
+    report = DivergenceReport()
+    metas = []
+    for records in (records_a, records_b):
+        meta = next((r for r in records if r.get("type") == "run_start"), {})
+        metas.append(meta)
+    report.meta_a, report.meta_b = metas
+    for key in ("mode", "program", "threads"):
+        va, vb = report.meta_a.get(key), report.meta_b.get(key)
+        if va != vb:
+            report.warnings.append(
+                f"traces differ in {key}: {va!r} vs {vb!r} — not the same workload?"
+            )
+    for records, label in ((records_a, "A"), (records_b, "B")):
+        if records and records[-1].get("type") == "truncated":
+            report.warnings.append(f"trace {label} is truncated")
+
+    events_a = [r for r in records_a if r.get("type") == "provenance"]
+    events_b = [r for r in records_b if r.get("type") == "provenance"]
+    report.events_a, report.events_b = len(events_a), len(events_b)
+    report.first = first_divergence(events_a, events_b)
+    if report.first is not None:
+        affected, tainted = taint_forward(events_a, events_b, report.first, graph)
+        report.affected_vertices = sorted(affected)
+        report.tainted_edges = len(tainted)
+
+    ends = [
+        next((r for r in records if r.get("type") == "run_end"), {})
+        for records in (records_a, records_b)
+    ]
+    rank_a, rank_b = ends[0].get("ranking"), ends[1].get("ranking")
+    if rank_a is not None and rank_b is not None and len(rank_a) == len(rank_b):
+        report.ranking_a, report.ranking_b = rank_a, rank_b
+        report.degree = difference_degree(
+            np.asarray(rank_a, dtype=np.int64), np.asarray(rank_b, dtype=np.int64)
+        )
+        if report.degree < len(rank_a):
+            divergent = {rank_a[report.degree], rank_b[report.degree]}
+            report.divergent_rank_vertices = sorted(divergent)
+            if report.first is not None:
+                report.explained = divergent <= set(report.affected_vertices)
+            else:
+                report.explained = False
+    return report
+
+
+def explain_trace_files(path_a: str, path_b: str, graph=None) -> DivergenceReport:
+    """:func:`explain_traces` over two JSONL trace files."""
+    from ..obs.trace import read_trace
+
+    return explain_traces(read_trace(path_a), read_trace(path_b), graph=graph)

@@ -13,6 +13,9 @@ Commands
 ``speed ALGORITHM``
     Convergence-speed report (iterations vs threads/delay vs the DE and
     BSP baselines).
+``trace {summarize,diff,explain,lint} TRACE [TRACE]``
+    Query recorded traces: condense one, align two, explain the first
+    divergent race of a pair, or validate structure/event orders.
 
 Examples
 --------
@@ -22,6 +25,10 @@ Examples
     python -m repro eligibility WCC PageRank AntiParity
     python -m repro run WCC --dataset web-google-mini --mode nondeterministic \
         --threads 8 --seed 3 --audit
+    python -m repro run PageRank --record a.jsonl --run-seed 0
+    python -m repro run PageRank --record b.jsonl --run-seed 1
+    python -m repro trace explain a.jsonl b.jsonl
+    python -m repro figure3 --explain --scale 9
     python -m repro speed BFS --dataset cage15-mini --scale 9
 """
 
@@ -92,6 +99,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure3", help="Fig. 3: computing times DE vs NE")
     add_scale(p)
     p.add_argument("--threads", type=int, nargs="+", default=[4, 8, 16])
+    p.add_argument("--explain", action="store_true",
+                   help="attribute the NE panels' run-to-run ranking variance "
+                        "to recorded races (two seeded runs per panel)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="with --explain: keep the per-panel provenance traces")
 
     p = sub.add_parser("table2", help="Table II: difference degrees, same config")
     add_scale(p)
@@ -125,6 +137,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="stream a JSONL telemetry trace of the run to PATH")
     p.add_argument("--telemetry", action="store_true",
                    help="print the per-iteration telemetry table after the run")
+    p.add_argument("--record", default=None, metavar="PATH",
+                   help="stream a JSONL race-provenance trace (flight recorder) "
+                        "to PATH")
+    p.add_argument("--record-policy", default="conflicts",
+                   choices=["conflicts", "all", "reservoir"],
+                   help="recorder sampling policy (default: conflicts)")
 
     p = sub.add_parser("report", help="regenerate the full evaluation as markdown")
     add_scale(p)
@@ -138,7 +156,57 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, nargs="+", default=[2, 4, 8])
     p.add_argument("--delays", type=float, nargs="+", default=[1.0, 4.0])
 
+    p = sub.add_parser("trace", help="query recorded JSONL traces")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    t = tsub.add_parser("summarize", help="condense one trace to headline numbers")
+    t.add_argument("trace")
+    t = tsub.add_parser("diff", help="first divergent provenance event of a pair")
+    t.add_argument("trace_a")
+    t.add_argument("trace_b")
+    t = tsub.add_parser("explain",
+                        help="explain a pair's divergence: first race, forward "
+                             "taint, difference-degree verdict")
+    t.add_argument("trace_a")
+    t.add_argument("trace_b")
+    t = tsub.add_parser("lint", help="validate trace structure and event orders")
+    t.add_argument("trace")
+
     return parser
+
+
+def _cmd_trace(args) -> int:
+    from .analysis.explain import explain_trace_files, first_divergence
+    from .obs import lint_trace, read_trace, summarize_trace
+
+    if args.trace_command == "summarize":
+        summary = summarize_trace(read_trace(args.trace))
+        width = max(len(k) for k in summary)
+        for key, value in summary.items():
+            print(f"{key:<{width}}  {value}")
+        return 0
+    if args.trace_command == "lint":
+        issues = lint_trace(read_trace(args.trace))
+        for issue in issues:
+            print(issue)
+        errors = sum(1 for i in issues if i.severity == "error")
+        print(f"{errors} error(s), {len(issues) - errors} warning(s)")
+        return 1 if errors else 0
+    if args.trace_command == "diff":
+        events = [
+            [r for r in read_trace(p) if r.get("type") == "provenance"]
+            for p in (args.trace_a, args.trace_b)
+        ]
+        div = first_divergence(*events)
+        if div is None:
+            print("traces agree on every aligned provenance event")
+            return 0
+        print(f"agreed on {div.agreed_events} aligned events, then:")
+        print(div.describe())
+        return 3
+    # explain
+    report = explain_trace_files(args.trace_a, args.trace_b)
+    print(report.render())
+    return 0 if report.first is None else 3
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -147,9 +215,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "table1":
         print(run_table1(scale=args.scale, seed=args.seed).render())
     elif args.command == "figure3":
-        result = run_figure3(scale=args.scale, seed=args.seed,
-                             threads_list=tuple(args.threads))
-        print(result.render())
+        if args.explain:
+            from .experiments import run_figure3_explain
+
+            print(run_figure3_explain(scale=args.scale, seed=args.seed,
+                                      threads=max(args.threads),
+                                      trace_dir=args.trace_dir))
+        else:
+            result = run_figure3(scale=args.scale, seed=args.seed,
+                                 threads_list=tuple(args.threads))
+            print(result.render())
     elif args.command == "table2":
         print(run_table2(scale=args.scale, seed=args.seed, runs=args.runs).render())
     elif args.command == "table3":
@@ -181,8 +256,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             from .obs import Telemetry
 
             sink = Telemetry(trace_path=args.trace)
+        recorder = None
+        if args.record:
+            from .obs import Recorder
+
+            recorder = Recorder(policy=args.record_policy, trace_path=args.record)
         result = run(ALGORITHMS[args.algorithm](), graph, mode=args.mode,
-                     config=config, telemetry=sink)
+                     config=config, telemetry=sink, record=recorder)
         print(format_table([{"dataset": args.dataset, **result.summary()}],
                            title=f"{args.algorithm} on {args.dataset}"))
         if args.telemetry:
@@ -190,6 +270,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(sink.summary())
         if args.trace:
             print(f"trace written to {args.trace}", file=sys.stderr)
+        if args.record:
+            print(
+                f"provenance trace written to {args.record} "
+                f"({len(recorder.events)} events)",
+                file=sys.stderr,
+            )
         if args.audit:
             issues = audit_run(result)
             print("audit:", "CLEAN" if not issues else "; ".join(issues))
@@ -220,6 +306,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                            title=f"Convergence speed: {report.algorithm} on {args.dataset}"))
         print(f"chain bound (NE <= SYNC + 1, RW-only): {report.check_chain_bound()}")
         print(f"recovery ratio (max NE / SYNC): {report.recovery_ratio():.2f}")
+    elif args.command == "trace":
+        return _cmd_trace(args)
     return 0
 
 

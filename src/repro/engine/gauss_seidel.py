@@ -31,18 +31,40 @@ __all__ = ["DeterministicEngine"]
 
 
 class _DirectStore:
-    """In-place edge store: reads and writes effective immediately."""
+    """In-place edge store: reads and writes effective immediately.
 
-    __slots__ = ("_edges",)
+    Shared by the deterministic and chromatic engines.  With a recorder
+    attached (write-recording policies only), every in-place write is
+    emitted as ``write`` provenance — the execution admits no race, so
+    ``order="before"``: each write is visible to every later read.  The
+    disabled path is one pointer comparison per write.
+    """
 
-    def __init__(self, state: State):
+    __slots__ = ("_edges", "recorder", "iteration", "current_thread", "rule")
+
+    def __init__(self, state: State, *, rule: str = "gauss-seidel"):
         self._edges = {name: state.edge(name) for name in state.edge_field_names}
+        self.recorder = None
+        self.iteration = 0
+        self.current_thread = 0
+        self.rule = rule
 
     def read(self, vid: int, eid: int, field: str) -> float:
         return self._edges[field][eid]
 
     def write(self, vid: int, eid: int, field: str, value: float) -> None:
         self._edges[field][eid] = value
+        if self.recorder is not None:
+            self.recorder.write_event(
+                iteration=self.iteration,
+                field=field,
+                eid=eid,
+                writer=vid,
+                writer_thread=self.current_thread,
+                value=float(value),
+                rule=self.rule,
+                order="before",
+            )
 
 
 class DeterministicEngine:
@@ -59,13 +81,18 @@ class DeterministicEngine:
         state: State | None = None,
         observer=None,
         telemetry=None,
+        record=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
         if sink is not None:
             sink.begin_engine_run(self.mode, program, config)
+        if record is not None:
+            record.begin_engine_run(self.mode, program, config)
         state = state if state is not None else program.make_state(graph)
         store = _DirectStore(state)
+        if record is not None and record.records_writes:
+            store.recorder = record
         frontier = initial_frontier(program, graph)
         # Sub-stream 1 of the master seed is reserved for fp-noise.
         fp_rng = (
@@ -82,6 +109,7 @@ class DeterministicEngine:
                 converged = True
                 break
             t0 = time.perf_counter() if sink is not None else 0.0
+            store.iteration = iteration
             active = frontier.sorted_vertices()
             next_schedule: set[int] = set()
             reads = writes = 0
@@ -130,6 +158,8 @@ class DeterministicEngine:
             iterations=stats,
             config=config,
         )
+        if record is not None:
+            record.end_run(result)
         if sink is not None:
             sink.end_run(result)
         return result

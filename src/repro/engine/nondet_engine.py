@@ -205,13 +205,27 @@ class _RacyStore:
         state: State,
         iteration: int,
         log: ConflictLog,
+        recorder=None,
     ) -> None:
-        """Barrier: resolve winners (Lemma 2), commit, classify conflicts."""
-        for field, per_edge in self.writes.items():
+        """Barrier: resolve winners (Lemma 2), commit, classify conflicts.
+
+        With a ``recorder``, every written edge additionally yields
+        provenance events *before* its commit is applied — visibility is
+        recomputed from the access records the store already holds, so
+        the recording adds nothing to the per-access hot path.  Fields
+        and edges are walked in sorted order so the event stream is a
+        canonical function of the schedule (the property that lets the
+        vectorized fast path reproduce it bulk-wise, bit for bit).
+        """
+        fields = sorted(self.writes) if recorder is not None else self.writes
+        for field in fields:
+            per_edge = self.writes[field]
             arr = state.edge(field)
             read_map = self.reads[field]
             count_map = self.read_counts[field]
-            for eid, wlist in per_edge.items():
+            eids = sorted(per_edge) if recorder is not None else per_edge
+            for eid in eids:
+                wlist = per_edge[eid]
                 winner = max(wlist, key=lambda w: (w[_T], w[_VID]))
                 final = winner[_VAL]
                 if self._torn and len(wlist) > 1:
@@ -228,6 +242,18 @@ class _RacyStore:
                     if racing and self._torn_rng.random() < self._torn_p:
                         loser = max(racing, key=lambda w: (w[_T], w[_VID]))
                         final = tear(loser[_VAL], final, self._torn_rng)
+                if recorder is not None:
+                    self._record_provenance(
+                        recorder,
+                        iteration,
+                        field,
+                        eid,
+                        wlist,
+                        read_map.get(eid, ()),
+                        float(arr[eid]),
+                        winner,
+                        float(final),
+                    )
                 arr[eid] = final
                 if self._keep_log:
                     accesses = [
@@ -251,6 +277,102 @@ class _RacyStore:
                     )
         log.stale_reads += self.stale_reads
 
+    # ------------------------------------------------------------------
+    def _visible(self, t_w: float, thread_w: int, t_r: float, thread_r: int) -> bool:
+        """Defs. 1–3: is a write at (t_w, thread_w) visible at (t_r, thread_r)?"""
+        if thread_w == thread_r:
+            return t_w < t_r
+        return (t_r - t_w) >= self._delay.delay(thread_w, thread_r)
+
+    def _record_provenance(
+        self,
+        recorder,
+        iteration: int,
+        field: str,
+        eid: int,
+        wlist: list[tuple],
+        rlist,
+        pre_value: float,
+        winner: tuple,
+        final: float,
+    ) -> None:
+        """Emit Lemma-1 read pairs and the Lemma-2 commit for one edge.
+
+        Read pairs are derived by replaying the visibility rule over the
+        recorded access log — every read of one update task shares the
+        task's effective timestamp, so one (reader, writer) pair
+        classifies uniformly and aggregates to a single ``count`` event.
+        """
+        # Effective (last) write per distinct writer; global time is
+        # nondecreasing, so the last record per vid is its maximum.
+        eff: dict[int, tuple] = {}
+        for w in wlist:
+            eff[w[_VID]] = w
+        winner_vid, winner_thread = winner[_VID], winner[_TH]
+        if recorder.wants_reads and self._keep_log and rlist:
+            readers: dict[int, list] = {}
+            for t_r, thread_r, vid_r in rlist:
+                entry = readers.get(vid_r)
+                if entry is None:
+                    readers[vid_r] = [t_r, thread_r, 1]
+                else:
+                    entry[2] += 1
+            for vid_r in sorted(readers):
+                t_r, thread_r, count = readers[vid_r]
+                observed, best_key = pre_value, None
+                for w in wlist:
+                    if self._visible(w[_T], w[_TH], t_r, thread_r):
+                        key = (w[_T], w[_VID])
+                        if best_key is None or key > best_key:
+                            best_key, observed = key, w[_VAL]
+                for vid_w in sorted(eff):
+                    if vid_w == vid_r:
+                        continue
+                    w = eff[vid_w]
+                    if self._visible(w[_T], w[_TH], t_r, thread_r):
+                        order, rule = "before", "lemma1-fresh"
+                    elif w[_T] <= t_r:
+                        order, rule = "concurrent", "lemma1-stale"
+                    else:
+                        order, rule = "after", "lemma1-old"
+                    recorder.read_event(
+                        iteration=iteration,
+                        field=field,
+                        eid=eid,
+                        reader=vid_r,
+                        reader_thread=thread_r,
+                        writer=vid_w,
+                        writer_thread=w[_TH],
+                        count=count,
+                        order=order,
+                        rule=rule,
+                        value=float(observed),
+                    )
+        lost = []
+        for vid_w in sorted(eff):
+            if vid_w == winner_vid:
+                continue
+            w = eff[vid_w]
+            if self._visible(w[_T], w[_TH], winner[_T], winner_thread):
+                order = "before"
+            elif self._visible(winner[_T], winner_thread, w[_T], w[_TH]):
+                order = "after"
+            else:
+                order = "concurrent"
+            lost.append(
+                {"vid": vid_w, "thread": w[_TH], "value": float(w[_VAL]), "order": order}
+            )
+        recorder.commit_event(
+            iteration=iteration,
+            field=field,
+            eid=eid,
+            writer=winner_vid,
+            writer_thread=winner_thread,
+            value=final,
+            lost=lost,
+            rule="lemma2" if len(eff) > 1 else "uncontended",
+        )
+
 
 class NondeterministicEngine:
     """Simulated racy parallel executor (coordinated, asynchronous model)."""
@@ -270,6 +392,7 @@ class NondeterministicEngine:
         torn_rng: np.random.Generator | None = None,
         gather_rng: np.random.Generator | None = None,
         stats: list[IterationStats] | None = None,
+        recorder=None,
     ) -> set[int]:
         """Execute one racy iteration under an explicit dispatch plan.
 
@@ -291,7 +414,8 @@ class NondeterministicEngine:
             config.atomicity,
             config.torn_probability,
             torn_rng,
-            keep_access_log=config.keep_conflict_events,
+            keep_access_log=config.keep_conflict_events
+            or (recorder is not None and recorder.wants_reads),
         )
         next_schedule: set[int] = set()
         p = config.threads
@@ -309,7 +433,7 @@ class NondeterministicEngine:
             upd[slot.thread] += 1
             reads[slot.thread] += ctx.n_edge_reads
             writes[slot.thread] += ctx.n_edge_writes
-        store.commit(state, iteration, log)
+        store.commit(state, iteration, log, recorder=recorder)
         if stats is not None:
             stats.append(
                 IterationStats(
@@ -331,11 +455,14 @@ class NondeterministicEngine:
         state: State | None = None,
         observer=None,
         telemetry=None,
+        record=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
         if sink is not None:
             sink.begin_engine_run(self.mode, program, config)
+        if record is not None:
+            record.begin_engine_run(self.mode, program, config)
         state = state if state is not None else program.make_state(graph)
         frontier = initial_frontier(program, graph)
 
@@ -385,6 +512,7 @@ class NondeterministicEngine:
                 torn_rng=torn_rng,
                 gather_rng=fp_rng,
                 stats=stats,
+                recorder=record,
             )
             if sink is not None:
                 it = stats[-1]
@@ -416,6 +544,8 @@ class NondeterministicEngine:
             conflicts=log,
             config=config,
         )
+        if record is not None:
+            record.end_run(result)
         if sink is not None:
             sink.end_run(result)
         return result

@@ -247,6 +247,117 @@ class VectorizedNondetEngine:
 
     mode = "nondeterministic"
 
+    @staticmethod
+    def _emit_provenance(
+        record, ctx, state, iteration, written,
+        vis_s2d, vis_d2s, dst_wins, t_s, t_d, thr_s, thr_d,
+    ) -> None:
+        """Bulk equivalent of ``_RacyStore._record_provenance``.
+
+        Emits the identical canonical event stream the object engine
+        produces on the same schedule — fields alphabetically, edges
+        ascending, per edge the Lemma-1 read pairs (readers by vid) then
+        the Lemma-2 commit.  The §II scope rule caps an edge at two
+        readers and two writers (its endpoints), so the object engine's
+        per-record replay collapses to the precomputed ``vis_s2d`` /
+        ``vis_d2s`` / ``dst_wins`` predicates.  No pre-filtering by
+        policy: the recorder's offered/dropped counters (and reservoir
+        sampling stream) must also match the object engine's.
+        """
+        src, dst = ctx.src, ctx.dst
+        selfloop = ctx.selfloop
+        for f in sorted(written):
+            ws, wd = ctx.ws[f], ctx.wd[f]
+            wvs, wvd = ctx.wvs[f], ctx.wvd[f]
+            rs, rd = ctx.rs[f], ctx.rd[f]
+            pre = state.edge(f)
+            wants_reads = record.wants_reads
+            for e in np.flatnonzero(ws | wd):
+                e = int(e)
+                u, v = int(src[e]), int(dst[e])
+                if selfloop[e]:
+                    # One task, one effective writer; reader==writer pairs
+                    # are skipped by the object engine too.
+                    value = float(wvs[e]) if ws[e] else float(wvd[e])
+                    record.commit_event(
+                        iteration=iteration, field=f, eid=e,
+                        writer=u, writer_thread=int(thr_s[e]),
+                        value=value, lost=[], rule="uncontended",
+                    )
+                    continue
+                pairs = []
+                if rs[e] > 0 and wd[e]:
+                    pairs.append((u, v))
+                if rd[e] > 0 and ws[e]:
+                    pairs.append((v, u))
+                if wants_reads:
+                    for reader, writer in sorted(pairs):
+                        if reader == u:  # src reads dst's write
+                            visible = bool(vis_d2s[e])
+                            issued = t_d[e] <= t_s[e]
+                            observed = float(wvd[e]) if visible else float(pre[e])
+                            count = int(rs[e])
+                            thread_r, thread_w = int(thr_s[e]), int(thr_d[e])
+                        else:  # dst reads src's write
+                            visible = bool(vis_s2d[e])
+                            issued = t_s[e] <= t_d[e]
+                            observed = float(wvs[e]) if visible else float(pre[e])
+                            count = int(rd[e])
+                            thread_r, thread_w = int(thr_d[e]), int(thr_s[e])
+                        if visible:
+                            order, rule = "before", "lemma1-fresh"
+                        elif issued:
+                            order, rule = "concurrent", "lemma1-stale"
+                        else:
+                            order, rule = "after", "lemma1-old"
+                        record.read_event(
+                            iteration=iteration, field=f, eid=e,
+                            reader=reader, reader_thread=thread_r,
+                            writer=writer, writer_thread=thread_w,
+                            count=count, order=order, rule=rule,
+                            value=observed,
+                        )
+                if ws[e] and wd[e]:
+                    if dst_wins[e]:
+                        winner, winner_thread = v, int(thr_d[e])
+                        value = float(wvd[e])
+                        loser, loser_thread = u, int(thr_s[e])
+                        loser_value = float(wvs[e])
+                        vis_lw, vis_wl = bool(vis_s2d[e]), bool(vis_d2s[e])
+                    else:
+                        winner, winner_thread = u, int(thr_s[e])
+                        value = float(wvs[e])
+                        loser, loser_thread = v, int(thr_d[e])
+                        loser_value = float(wvd[e])
+                        vis_lw, vis_wl = bool(vis_d2s[e]), bool(vis_s2d[e])
+                    if vis_lw:
+                        order = "before"
+                    elif vis_wl:
+                        order = "after"
+                    else:
+                        order = "concurrent"
+                    lost = [
+                        {"vid": loser, "thread": loser_thread,
+                         "value": loser_value, "order": order}
+                    ]
+                    record.commit_event(
+                        iteration=iteration, field=f, eid=e,
+                        writer=winner, writer_thread=winner_thread,
+                        value=value, lost=lost, rule="lemma2",
+                    )
+                elif ws[e]:
+                    record.commit_event(
+                        iteration=iteration, field=f, eid=e,
+                        writer=u, writer_thread=int(thr_s[e]),
+                        value=float(wvs[e]), lost=[], rule="uncontended",
+                    )
+                else:
+                    record.commit_event(
+                        iteration=iteration, field=f, eid=e,
+                        writer=v, writer_thread=int(thr_d[e]),
+                        value=float(wvd[e]), lost=[], rule="uncontended",
+                    )
+
     def run(
         self,
         program: VertexProgram,
@@ -256,6 +367,7 @@ class VectorizedNondetEngine:
         state: State | None = None,
         observer=None,
         telemetry=None,
+        record=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -267,6 +379,8 @@ class VectorizedNondetEngine:
             )
         if sink is not None:
             sink.begin_engine_run(self.mode, program, config)
+        if record is not None:
+            record.begin_engine_run(self.mode, program, config)
         kernel = resolve_nondet_kernel(program)(program)
         state = state if state is not None else program.make_state(graph)
 
@@ -380,6 +494,14 @@ class VectorizedNondetEngine:
             next_mask = np.zeros(n, dtype=bool)
             dt = both & (thr_s != thr_d)
             dst_wins = (t_d > t_s) | ((t_d == t_s) & (dst > src))
+            if record is not None:
+                # Provenance must flow *before* the commit assignments:
+                # ctx.committed aliases the live state arrays, and the
+                # events need each edge's pre-commit value.
+                self._emit_provenance(
+                    record, ctx, state, iteration, written,
+                    vis_s2d, vis_d2s, dst_wins, t_s, t_d, thr_s, thr_d,
+                )
             for f in written:
                 ws, wd = ctx.ws[f], ctx.wd[f]
                 wvs, wvd = ctx.wvs[f], ctx.wvd[f]
@@ -479,6 +601,8 @@ class VectorizedNondetEngine:
             config=config,
             extra={"vectorized": True, "fixpoint_passes": total_passes},
         )
+        if record is not None:
+            record.end_run(result)
         if sink is not None:
             sink.end_run(result)
         return result

@@ -74,6 +74,8 @@ class _VersionedStore:
         "stale_reads",
         "racy_reads",
         "overlapping_writes",
+        "recorder",
+        "_rec_reads",
     )
 
     #: History length that triggers compaction of fully-propagated versions.
@@ -99,6 +101,10 @@ class _VersionedStore:
         self.stale_reads = 0
         self.racy_reads = 0
         self.overlapping_writes = 0
+        # Set by the engine when a flight recorder is attached; _rec_reads
+        # additionally requires recorder.wants_reads (Lemma-1 provenance).
+        self.recorder = None
+        self._rec_reads = None
 
     def read(self, vid: int, eid: int, field: str) -> float:
         key = (field, eid)
@@ -110,6 +116,7 @@ class _VersionedStore:
         best_t = -np.inf
         racing_value = None
         stale = False
+        stale_writes = None
         for t_w, thread_w, vid_w, val_w in hist:
             if thread_w == thread_r:
                 visible = t_w <= t_r
@@ -121,11 +128,32 @@ class _VersionedStore:
                     value = val_w
             elif t_w <= t_r:
                 stale = True
+                if self._rec_reads is not None:
+                    if stale_writes is None:
+                        stale_writes = []
+                    stale_writes.append((vid_w, thread_w))
                 if self._torn and thread_w != thread_r:
                     racing_value = val_w
         if stale:
             self.stale_reads += 1
             self.racy_reads += 1
+            if stale_writes is not None:
+                # A same-thread write is always visible (t_w <= t_r), so
+                # every stale pair here crosses threads: a genuine race.
+                for vid_w, thread_w in stale_writes:
+                    self._rec_reads.read_event(
+                        iteration=0,
+                        field=field,
+                        eid=eid,
+                        reader=vid,
+                        reader_thread=thread_r,
+                        writer=vid_w,
+                        writer_thread=thread_w,
+                        count=1,
+                        order="concurrent",
+                        rule="lemma1-stale",
+                        value=float(value),
+                    )
         if racing_value is not None and self._torn_rng.random() < self._torn_p:
             return tear(float(value), float(racing_value), self._torn_rng)
         return float(value)
@@ -167,20 +195,62 @@ class _VersionedStore:
             self._base[key] = hist[idx][3]
             del hist[: idx + 1]
 
+    def _vis(self, t_w: float, thread_w: int, t_r: float, thread_r: int) -> bool:
+        """Had the write at (t_w, thread_w) propagated to (t_r, thread_r)?"""
+        if thread_w == thread_r:
+            return t_w <= t_r
+        return (t_r - t_w) >= self._delay.delay(thread_w, thread_r)
+
     def finalize(self, log: ConflictLog) -> None:
         log.stale_reads += self.stale_reads
         # Without barriers there is no commit point; report overlapping
         # writes as write-write conflicts and racy reads as read-write.
         log.read_write += self.racy_reads
         log.write_write += self.overlapping_writes
-        for (field, eid), hist in self._history.items():
+        recorder = self.recorder
+        keys = sorted(self._history) if recorder is not None else self._history
+        for key in keys:
+            field, eid = key
+            hist = self._history[key]
             # Final value: the maximal-time write (ties: later thread id),
             # falling back to the compacted base when the tail is empty.
             if hist:
                 winner = max(hist, key=lambda h: (h[0], h[1]))
                 self._arrays[field][eid] = winner[3]
-            elif (field, eid) in self._base:
-                self._arrays[field][eid] = self._base[(field, eid)]
+                if recorder is not None:
+                    # Provenance covers the retained (un-compacted) tail:
+                    # versions folded into _base were visible to every
+                    # thread and could not have contended with the winner.
+                    eff: dict[int, tuple] = {}
+                    for h in hist:
+                        eff[h[2]] = h
+                    lost = []
+                    for vid_w in sorted(eff):
+                        if vid_w == winner[2]:
+                            continue
+                        t_w, thread_w, _, val_w = eff[vid_w]
+                        if self._vis(t_w, thread_w, winner[0], winner[1]):
+                            order = "before"
+                        elif self._vis(winner[0], winner[1], t_w, thread_w):
+                            order = "after"
+                        else:
+                            order = "concurrent"
+                        lost.append(
+                            {"vid": vid_w, "thread": thread_w,
+                             "value": float(val_w), "order": order}
+                        )
+                    recorder.commit_event(
+                        iteration=0,
+                        field=field,
+                        eid=eid,
+                        writer=winner[2],
+                        writer_thread=winner[1],
+                        value=float(winner[3]),
+                        lost=lost,
+                        rule="lemma2" if len(eff) > 1 else "uncontended",
+                    )
+            elif key in self._base:
+                self._arrays[field][eid] = self._base[key]
             if len({h[2] for h in hist}) > 1:
                 log.contended_edges += 1
 
@@ -199,11 +269,14 @@ class PureAsyncEngine:
         state: State | None = None,
         observer=None,
         telemetry=None,
+        record=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
         if sink is not None:
             sink.begin_engine_run(self.mode, program, config)
+        if record is not None:
+            record.begin_engine_run(self.mode, program, config)
         t0 = time.perf_counter() if sink is not None else 0.0
         state = state if state is not None else program.make_state(graph)
         p = config.threads
@@ -218,6 +291,10 @@ class PureAsyncEngine:
         store = _VersionedStore(
             state, delay_model, config.atomicity, config.torn_probability, torn_rng
         )
+        if record is not None:
+            store.recorder = record
+            if record.wants_reads:
+                store._rec_reads = record
 
         # Static block ownership: vertex v belongs to thread owner(v).
         n = graph.num_vertices
@@ -361,6 +438,8 @@ class PureAsyncEngine:
             conflicts=log,
             config=config,
         )
+        if record is not None:
+            record.end_run(result)
         if sink is not None:
             sink.end_run(result)
         return result

@@ -42,6 +42,7 @@ def run(
     observer=None,
     vectorized: bool | str = False,
     telemetry=None,
+    record=None,
     **config_kwargs,
 ) -> RunResult:
     """Execute ``program`` on ``graph`` under the chosen execution model.
@@ -93,6 +94,16 @@ def run(
         when the vectorized dispatch falls back, the reasons are
         recorded as a ``vectorized_fallback`` event.  ``None`` (the
         default) costs one pointer check per iteration.
+    record:
+        Optional flight recorder capturing event-level race provenance:
+        every contended edge access becomes a provenance event —
+        ``(iteration, edge, writer, committer, Def. 1–3 order,
+        Lemma-1/2 rule, value committed, values lost)``.  Accepts a
+        :class:`~repro.obs.Recorder` instance, a path (``str`` /
+        ``os.PathLike``) to stream JSONL provenance to, or ``True`` for
+        an in-memory recorder with the default conflicts-only policy.
+        ``None`` (the default) costs one pointer check per commit
+        barrier, matching the ``telemetry=`` contract.
 
     Examples
     --------
@@ -115,6 +126,21 @@ def run(
             raise ValueError(
                 f"vectorized={vectorized!r} not understood: use True, False or 'require'"
             )
+    # Normalize record= the same way: None passes through untouched, a
+    # Recorder instance is used as-is, True means "in-memory recorder with
+    # defaults", and a path means "stream JSONL provenance there".
+    if record is not None and not hasattr(record, "begin_engine_run"):
+        from ..obs import Recorder
+
+        if record is True:
+            record = Recorder()
+        elif isinstance(record, (str, bytes)) or hasattr(record, "__fspath__"):
+            record = Recorder(trace_path=record)
+        else:
+            raise ValueError(
+                f"record={record!r} not understood: use a Recorder, a trace "
+                "path, or True"
+            )
     if config is not None and config_kwargs:
         raise ValueError("pass either config= or individual config kwargs, not both")
     if config is None:
@@ -136,7 +162,7 @@ def run(
         if not reasons:
             return VectorizedNondetEngine().run(
                 program, graph, config, state=state, observer=observer,
-                telemetry=telemetry,
+                telemetry=telemetry, record=record,
             )
         if vectorized == "require":
             raise ValueError(
@@ -149,6 +175,6 @@ def run(
         if observer is not None:
             raise ValueError("the real-thread backend does not support observers")
         return engine_cls().run(program, graph, config, state=state,
-                                telemetry=telemetry)
+                                telemetry=telemetry, record=record)
     return engine_cls().run(program, graph, config, state=state, observer=observer,
-                            telemetry=telemetry)
+                            telemetry=telemetry, record=record)

@@ -34,19 +34,27 @@ __all__ = ["SynchronousEngine"]
 class _SnapshotStore:
     """Reads from the pre-iteration snapshot; buffers writes for the barrier."""
 
-    __slots__ = ("_snapshot", "pending")
+    __slots__ = ("_snapshot", "pending", "writers")
 
-    def __init__(self, snapshot: dict[str, np.ndarray]):
+    def __init__(self, snapshot: dict[str, np.ndarray], *, log_writers: bool = False):
         self._snapshot = snapshot
         # field -> eid -> (writer_vid, value); later (higher-label) writers
         # overwrite earlier ones because updates run in ascending order.
         self.pending: dict[str, dict[int, float]] = {f: {} for f in snapshot}
+        # With a recorder attached: field -> eid -> [(vid, value), ...] in
+        # execution (ascending-label) order, so the barrier can attribute
+        # the surviving write and the overwritten ones.
+        self.writers: dict[str, dict[int, list]] | None = (
+            {f: {} for f in snapshot} if log_writers else None
+        )
 
     def read(self, vid: int, eid: int, field: str) -> float:
         return self._snapshot[field][eid]
 
     def write(self, vid: int, eid: int, field: str, value: float) -> None:
         self.pending[field][eid] = value
+        if self.writers is not None:
+            self.writers[field].setdefault(eid, []).append((vid, float(value)))
 
 
 class SynchronousEngine:
@@ -63,11 +71,14 @@ class SynchronousEngine:
         state: State | None = None,
         observer=None,
         telemetry=None,
+        record=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
         if sink is not None:
             sink.begin_engine_run(self.mode, program, config)
+        if record is not None:
+            record.begin_engine_run(self.mode, program, config)
         state = state if state is not None else program.make_state(graph)
         frontier = initial_frontier(program, graph)
         fp_rng = (
@@ -88,7 +99,9 @@ class SynchronousEngine:
             # Dispatch is used only for work accounting: BSP has no
             # intra-iteration dependences, so placement can't change values.
             plan = make_plan(active, config.threads, policy=config.dispatch)
-            store = _SnapshotStore(state.snapshot_edges())
+            store = _SnapshotStore(
+                state.snapshot_edges(), log_writers=record is not None
+            )
             next_schedule: set[int] = set()
             p = config.threads
             upd = [0] * p
@@ -104,6 +117,39 @@ class SynchronousEngine:
                 upd[t] += 1
                 reads[t] += ctx.n_edge_reads
                 writes[t] += ctx.n_edge_writes
+            if record is not None:
+                # BSP provenance: no write is visible within the iteration
+                # (every pair is Defs. 1–3 concurrent); the commit applies
+                # writes in ascending-label order, so the last logged
+                # writer's value survives deterministically.
+                for field in sorted(store.writers):
+                    per_edge = store.writers[field]
+                    for eid in sorted(per_edge):
+                        wlist = per_edge[eid]
+                        win_vid, win_val = wlist[-1]
+                        eff: dict[int, float] = {}
+                        for vid_w, val_w in wlist:
+                            eff[vid_w] = val_w
+                        lost = [
+                            {
+                                "vid": vid_w,
+                                "thread": plan.slots[vid_w].thread,
+                                "value": eff[vid_w],
+                                "order": "concurrent",
+                            }
+                            for vid_w in sorted(eff)
+                            if vid_w != win_vid
+                        ]
+                        record.commit_event(
+                            iteration=iteration,
+                            field=field,
+                            eid=eid,
+                            writer=win_vid,
+                            writer_thread=plan.slots[win_vid].thread,
+                            value=win_val,
+                            lost=lost,
+                            rule="bsp-label-order" if len(eff) > 1 else "uncontended",
+                        )
             state.commit_edges(store.pending)
             stats.append(
                 IterationStats(
@@ -140,6 +186,8 @@ class SynchronousEngine:
             iterations=stats,
             config=config,
         )
+        if record is not None:
+            record.end_run(result)
         if sink is not None:
             sink.end_run(result)
         return result

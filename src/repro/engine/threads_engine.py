@@ -47,9 +47,16 @@ __all__ = ["ThreadsEngine"]
 
 
 class _SharedStore:
-    """Direct in-place store shared by racing threads."""
+    """Direct in-place store shared by racing threads.
 
-    __slots__ = ("_edges", "_locks", "_guard")
+    With a recorder attached (write-recording policies only), each write
+    is emitted as it lands, tagged ``order="unobserved"`` — classifying a
+    real race would require watching it, which would change it.  The
+    worker's thread id comes from a ``threading.local`` set by the
+    worker itself; the recorder serializes emission internally.
+    """
+
+    __slots__ = ("_edges", "_locks", "_guard", "recorder", "iteration", "_tls")
 
     def __init__(self, state: State, use_locks: bool):
         self._edges = {name: state.edge(name) for name in state.edge_field_names}
@@ -58,6 +65,9 @@ class _SharedStore:
         # contended.)
         self._locks: dict[int, threading.Lock] | None = {} if use_locks else None
         self._guard = threading.Lock() if use_locks else None
+        self.recorder = None
+        self.iteration = 0
+        self._tls = threading.local()
 
     def _lock_for(self, eid: int) -> threading.Lock:
         # The whole lookup happens under the guard: a bare dict read
@@ -82,8 +92,22 @@ class _SharedStore:
         if self._locks is not None:
             with self._lock_for(eid):
                 self._edges[field][eid] = value
-            return
-        self._edges[field][eid] = value
+        else:
+            self._edges[field][eid] = value
+        if self.recorder is not None:
+            self.recorder.write_event(
+                iteration=self.iteration,
+                field=field,
+                eid=eid,
+                writer=vid,
+                writer_thread=getattr(self._tls, "tid", -1),
+                value=float(value),
+                rule="threads",
+                order="unobserved",
+            )
+
+    def set_worker(self, tid: int) -> None:
+        self._tls.tid = tid
 
 
 class ThreadsEngine:
@@ -99,6 +123,7 @@ class ThreadsEngine:
         *,
         state: State | None = None,
         telemetry=None,
+        record=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -110,8 +135,13 @@ class ThreadsEngine:
             )
         if sink is not None:
             sink.begin_engine_run(self.mode, program, config)
+        if record is not None:
+            record.begin_engine_run(self.mode, program, config)
         state = state if state is not None else program.make_state(graph)
         store = _SharedStore(state, use_locks=config.atomicity is AtomicityPolicy.LOCK)
+        recording = record is not None and record.records_writes
+        if recording:
+            store.recorder = record
         frontier = initial_frontier(program, graph)
 
         stats: list[IterationStats] = []
@@ -123,6 +153,8 @@ class ThreadsEngine:
                 converged = True
                 break
             t0 = time.perf_counter() if sink is not None else 0.0
+            if recording:
+                store.iteration = iteration
             active = frontier.sorted_vertices()
             plan = make_plan(active, p, policy=config.dispatch)
             next_schedule: set[int] = set()
@@ -138,6 +170,7 @@ class ThreadsEngine:
                 # succeed, and the run would report converged results
                 # with zeroed work counters for the dead thread.
                 try:
+                    store.set_worker(tid)
                     local_sched: set[int] = set()
                     r = w = 0
                     for vid in plan.per_thread[tid]:
@@ -174,6 +207,14 @@ class ThreadsEngine:
                         error=repr(first),
                     )
                     sink.close()
+                if record is not None:
+                    record.event(
+                        "worker_failure",
+                        iteration=iteration,
+                        threads=failed,
+                        error=repr(first),
+                    )
+                    record.close()
                 if len(failed) > 1 and hasattr(first, "add_note"):
                     first.add_note(
                         f"{len(failed) - 1} other worker thread(s) of iteration "
@@ -217,6 +258,8 @@ class ThreadsEngine:
             iterations=stats,
             config=config,
         )
+        if record is not None:
+            record.end_run(result)
         if sink is not None:
             sink.end_run(result)
         return result

@@ -5,7 +5,7 @@ See DESIGN.md §4 for the experiment index (T1, F3, T2, T3, A1–A3).
 
 from .ablations import AblationResult, run_delay_sweep, run_dispatch_study, run_torn_study
 from .common import DEFAULT_SCALE, DEFAULT_SEED, PAPER_THREADS, format_table
-from .figure3 import NE_POLICIES, Figure3Result, run_figure3
+from .figure3 import NE_POLICIES, Figure3Result, run_figure3, run_figure3_explain
 from .report import generate_report
 from .table1 import Table1Result, run_table1
 from .table2 import PAPER_CONFIGS, PAPER_EPSILONS, VarianceResult, build_study, run_table2
@@ -23,6 +23,7 @@ __all__ = [
     "NE_POLICIES",
     "Figure3Result",
     "run_figure3",
+    "run_figure3_explain",
     "generate_report",
     "Table1Result",
     "run_table1",

@@ -16,17 +16,30 @@ table (:meth:`Telemetry.summary`).
 The sink is opt-in: engines guard every recording site with a single
 ``if sink is not None`` per iteration, so a disabled run pays one
 pointer comparison per barrier — nothing per update or edge access.
+
+Aggregates say *how much*; the :class:`Recorder` flight recorder
+(``run(..., record=...)``) says *where and why*: per-event race
+provenance — which write won each contended edge, which values were
+lost, and the Defs. 1–3 order that decided it — consumed by the
+divergence explainer in :mod:`repro.analysis.explain` and the
+``repro trace`` CLI.  :func:`lint_trace` / :func:`summarize_trace`
+validate and condense any recorded trace.
 """
 
+from .recorder import RECORD_POLICIES, Recorder
 from .telemetry import Counter, Gauge, IterationSpan, Telemetry
-from .trace import read_trace, stats_from_trace, write_trace
+from .trace import lint_trace, read_trace, stats_from_trace, summarize_trace, write_trace
 
 __all__ = [
     "Counter",
     "Gauge",
     "IterationSpan",
+    "RECORD_POLICIES",
+    "Recorder",
     "Telemetry",
+    "lint_trace",
     "read_trace",
     "stats_from_trace",
+    "summarize_trace",
     "write_trace",
 ]

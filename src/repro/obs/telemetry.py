@@ -240,7 +240,20 @@ class Telemetry:
         self.spans.append(span)
         self._emit(span.to_record())
         if self._on_iteration is not None:
-            self._on_iteration(span)
+            # A progress callback is an observer, not a participant: a
+            # bug in user code must not abort the engine iteration.  The
+            # failure is recorded in the trace instead of propagating.
+            try:
+                self._on_iteration(span)
+            except Exception as exc:
+                self._emit(
+                    {
+                        "type": "event",
+                        "name": "callback_error",
+                        "iteration": span.iteration,
+                        "error": repr(exc),
+                    }
+                )
 
     def end_run(self, result: "RunResult | None" = None) -> None:
         """Mark the end of a run, dump counters/gauges, close the trace."""

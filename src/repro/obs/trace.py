@@ -13,6 +13,13 @@ A trace is a sequence of JSON objects, one per line, each tagged with a
     reasons list).
 ``run_end``
     Convergence verdict, totals, counter/gauge dumps.
+``provenance``
+    One flight-recorder race event (:mod:`repro.obs.recorder`):
+    ``kind`` is ``commit`` / ``read`` / ``write``.
+``truncated``
+    Synthesized by :func:`read_trace` in place of a torn final line — a
+    killed run leaves a partial record, which is a fact about the run,
+    not a reader error.
 
 The reader is deliberately tolerant: unknown record types pass through,
 so traces stay forward-compatible as engines grow new observations.
@@ -21,6 +28,7 @@ so traces stay forward-compatible as engines grow new observations.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from .telemetry import IterationSpan, Telemetry
@@ -28,21 +36,44 @@ from .telemetry import IterationSpan, Telemetry
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine.result import IterationStats
 
-__all__ = ["read_trace", "stats_from_trace", "write_trace"]
+__all__ = [
+    "LintIssue",
+    "lint_trace",
+    "read_trace",
+    "stats_from_trace",
+    "summarize_trace",
+    "write_trace",
+]
 
 
 def read_trace(path: str) -> list[dict]:
-    """Load every record of a JSONL trace (blank lines skipped)."""
+    """Load every record of a JSONL trace (blank lines skipped).
+
+    A truncated *final* line — the signature a killed run leaves behind,
+    since every writer in this package flushes whole lines — is reported
+    as a ``{"type": "truncated", "line": <n>}`` marker record instead of
+    an exception.  An invalid line anywhere *before* the end is still a
+    hard error: that is corruption, not truncation.
+    """
     records: list[dict] = []
+    pending: tuple[int, json.JSONDecodeError] | None = None
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, 1):
             line = line.strip()
             if not line:
                 continue
+            if pending is not None:
+                bad_lineno, exc = pending
+                raise ValueError(
+                    f"{path}:{bad_lineno}: invalid trace line"
+                ) from exc
             try:
                 records.append(json.loads(line))
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: invalid trace line") from exc
+                # Defer: only fatal if another non-blank line follows.
+                pending = (lineno, exc)
+    if pending is not None:
+        records.append({"type": "truncated", "line": pending[0]})
     return records
 
 
@@ -63,3 +94,176 @@ def stats_from_trace(records: Iterable[dict]) -> "list[IterationStats]":
 def write_trace(telemetry: Telemetry, path: str) -> None:
     """Dump a (buffered) sink's records to ``path`` post-hoc."""
     telemetry.export(path)
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One problem :func:`lint_trace` found.
+
+    ``severity`` is ``"error"`` (the trace is malformed or records an
+    impossible event order) or ``"warning"`` (unusual but explicable —
+    e.g. a truncation marker, which any killed run produces).  ``index``
+    is the offending record's position in the record list, or ``-1`` for
+    whole-trace problems.
+    """
+
+    severity: str
+    index: int
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        where = f"record {self.index}" if self.index >= 0 else "trace"
+        return f"{self.severity}: {where}: {self.message}"
+
+
+_PROVENANCE_ORDERS = {"before", "after", "concurrent", "unobserved"}
+
+
+def lint_trace(records: list[dict]) -> list[LintIssue]:
+    """Validate a trace's structural and causal invariants.
+
+    Checks, in order: non-emptiness, per-record ``type`` tags,
+    ``run_start`` first, at most one ``run_end`` with nothing but a
+    truncation marker after it, truncation markers only in final
+    position, monotone iteration numbering (both ``iteration`` spans and
+    ``provenance`` events), known provenance orders, a winner never
+    listed among its own lost writes, and per-iteration commit
+    uniqueness per ``(field, eid)`` — one barrier commits an edge once.
+    """
+    issues: list[LintIssue] = []
+    if not records:
+        return [LintIssue("error", -1, "empty trace")]
+    end_index: int | None = None
+    last_span = -1
+    last_prov = -1
+    commits_seen: set[tuple[int, str, int]] = set()
+    for i, rec in enumerate(records):
+        rtype = rec.get("type")
+        if rtype is None:
+            issues.append(LintIssue("error", i, "record has no 'type' field"))
+            continue
+        if i == 0 and rtype != "run_start":
+            issues.append(
+                LintIssue("warning", 0, f"trace starts with {rtype!r}, not 'run_start'")
+            )
+        if rtype == "truncated":
+            if i != len(records) - 1:
+                issues.append(
+                    LintIssue("error", i, "truncation marker before end of trace")
+                )
+            else:
+                issues.append(
+                    LintIssue("warning", i, f"final line {rec.get('line')} truncated")
+                )
+            continue
+        if end_index is not None:
+            issues.append(
+                LintIssue("error", i, f"{rtype!r} record after run_end")
+            )
+        if rtype == "run_end":
+            if end_index is not None:
+                issues.append(LintIssue("error", i, "multiple run_end records"))
+            end_index = i
+        elif rtype == "iteration":
+            it = rec.get("iteration", -1)
+            if it <= last_span:
+                issues.append(
+                    LintIssue(
+                        "error", i,
+                        f"iteration span {it} after span {last_span}: not increasing",
+                    )
+                )
+            last_span = max(last_span, it)
+        elif rtype == "provenance":
+            it = rec.get("iteration", -1)
+            if it < last_prov:
+                issues.append(
+                    LintIssue(
+                        "error", i,
+                        f"provenance iteration {it} after {last_prov}: went backwards",
+                    )
+                )
+            last_prov = max(last_prov, it)
+            kind = rec.get("kind")
+            order = rec.get("order")
+            if order is not None and order not in _PROVENANCE_ORDERS:
+                issues.append(
+                    LintIssue("error", i, f"impossible event order {order!r}")
+                )
+            if kind == "commit":
+                for entry in rec.get("lost", ()):
+                    o = entry.get("order")
+                    if o not in _PROVENANCE_ORDERS:
+                        issues.append(
+                            LintIssue("error", i, f"impossible lost-write order {o!r}")
+                        )
+                    if entry.get("vid") == rec.get("writer"):
+                        issues.append(
+                            LintIssue(
+                                "error", i,
+                                "winner listed among its own lost writes",
+                            )
+                        )
+                key = (it, rec.get("field", ""), rec.get("eid", -1))
+                if key in commits_seen:
+                    issues.append(
+                        LintIssue(
+                            "error", i,
+                            f"duplicate commit of field={key[1]!r} eid={key[2]} "
+                            f"in iteration {it}",
+                        )
+                    )
+                commits_seen.add(key)
+    if end_index is None and records[-1].get("type") != "truncated":
+        issues.append(LintIssue("warning", -1, "no run_end record (run incomplete?)"))
+    return issues
+
+
+def summarize_trace(records: list[dict]) -> dict:
+    """Condense a trace to the headline numbers the CLI prints."""
+    meta = records[0] if records and records[0].get("type") == "run_start" else {}
+    end = next((r for r in records if r.get("type") == "run_end"), None)
+    kinds: dict[str, int] = {}
+    rules: dict[str, int] = {}
+    lost_values = 0
+    cross_thread = 0
+    iterations = -1
+    for rec in records:
+        if rec.get("type") == "iteration":
+            iterations = max(iterations, rec.get("iteration", -1))
+        if rec.get("type") != "provenance":
+            continue
+        kinds[rec["kind"]] = kinds.get(rec["kind"], 0) + 1
+        rule = rec.get("rule")
+        if rule:
+            rules[rule] = rules.get(rule, 0) + 1
+        if rec["kind"] == "commit":
+            lost = rec.get("lost", ())
+            lost_values += len(lost)
+            if any(e.get("thread") != rec.get("writer_thread") for e in lost):
+                cross_thread += 1
+        elif rec["kind"] == "read":
+            if rec.get("reader_thread") != rec.get("writer_thread"):
+                cross_thread += 1
+    summary = {
+        "mode": meta.get("mode"),
+        "program": meta.get("program"),
+        "threads": meta.get("threads"),
+        "seed": meta.get("seed"),
+        "records": len(records),
+        "provenance_events": sum(kinds.values()),
+        "events_by_kind": dict(sorted(kinds.items())),
+        "events_by_rule": dict(sorted(rules.items())),
+        "lost_values": lost_values,
+        "cross_thread_events": cross_thread,
+        "truncated": bool(records) and records[-1].get("type") == "truncated",
+    }
+    if end is not None:
+        summary["converged"] = end.get("converged")
+        summary["iterations"] = end.get("iterations", iterations + 1)
+        summary["events_offered"] = end.get("events_offered")
+        summary["events_dropped"] = end.get("events_dropped")
+        summary["has_ranking"] = "ranking" in end
+    elif iterations >= 0:
+        summary["iterations"] = iterations + 1
+    return summary

@@ -2,10 +2,39 @@
 
 from __future__ import annotations
 
+import os
+import shutil
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.graph import DiGraph, generators
+
+
+@pytest.fixture(autouse=True)
+def _export_trace_artifacts(request):
+    """Preserve JSONL traces written under ``tmp_path`` as CI artifacts.
+
+    When ``REPRO_TRACE_ARTIFACT_DIR`` is set (the CI tier-1 job sets it),
+    every trace a test streams to its ``tmp_path`` is copied there after
+    the test — pass or fail — so a red telemetry/recorder test ships the
+    exact trace that failed.  A no-op locally.
+    """
+    artifact_dir = os.environ.get("REPRO_TRACE_ARTIFACT_DIR")
+    tmp = None
+    if artifact_dir and "tmp_path" in request.fixturenames:
+        tmp = request.getfixturevalue("tmp_path")
+    yield
+    if tmp is None:
+        return
+    traces = sorted(Path(tmp).rglob("*.jsonl"))
+    if not traces:
+        return
+    dest = Path(artifact_dir) / request.node.name
+    dest.mkdir(parents=True, exist_ok=True)
+    for trace in traces:
+        shutil.copy2(trace, dest / trace.name)
 
 
 @pytest.fixture

@@ -179,8 +179,40 @@ class TestPrimitives:
         with pytest.raises(ValueError, match="not an iteration record"):
             IterationSpan.from_record({"type": "run_start"})
 
-    def test_read_trace_reports_bad_line(self, tmp_path):
+    def test_read_trace_marks_truncated_final_line(self, tmp_path):
+        # A killed run leaves a torn final line; the reader reports it
+        # as a marker record rather than refusing the whole trace.
+        path = tmp_path / "killed.jsonl"
+        path.write_text(
+            json.dumps({"type": "run_start"}) + "\n"
+            + json.dumps({"type": "iteration", "iteration": 0}) + "\n"
+            + '{"type": "iteration", "itera'
+        )
+        records = read_trace(str(path))
+        assert records[-1] == {"type": "truncated", "line": 3}
+        assert [r["type"] for r in records] == ["run_start", "iteration", "truncated"]
+
+    def test_read_trace_rejects_mid_file_corruption(self, tmp_path):
+        # Corruption is a bad line with valid lines after it: still fatal.
         path = tmp_path / "bad.jsonl"
-        path.write_text(json.dumps({"type": "run_start"}) + "\n{oops\n")
+        path.write_text(
+            json.dumps({"type": "run_start"}) + "\n{oops\n"
+            + json.dumps({"type": "run_end"}) + "\n"
+        )
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             read_trace(str(path))
+
+    def test_callback_error_recorded_not_raised(self, path8):
+        def boom(span):
+            if span.iteration == 1:
+                raise RuntimeError("user callback bug")
+
+        sink = Telemetry(on_iteration=boom)
+        res = run(WeaklyConnectedComponents(), path8, mode="deterministic",
+                  telemetry=sink)
+        assert res.converged  # the engine finished despite the callback
+        errors = [r for r in sink.records
+                  if r.get("type") == "event" and r.get("name") == "callback_error"]
+        assert len(errors) == 1
+        assert errors[0]["iteration"] == 1
+        assert "user callback bug" in errors[0]["error"]
