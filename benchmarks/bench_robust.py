@@ -1,0 +1,78 @@
+"""Perf floor for the fault-tolerance layer's disabled path.
+
+The engines consult the supervisor behind a single
+``if supervisor is not None`` per iteration — the same contract as
+``telemetry=`` and ``record=``.  This floor keeps that promise honest:
+a run with no fault-tolerance kwargs must not be slower than the same
+run under an (idle) supervised loop, which does strictly more work
+(empty-plan checks, the in-memory restart token, digest bookkeeping
+when a watchdog is armed).
+"""
+
+import time
+
+import pytest
+
+from repro.engine import EngineConfig, run
+from repro.algorithms import PageRank
+from repro.graph import generators
+
+
+@pytest.mark.perfsmoke
+def test_disabled_supervisor_overhead_floor():
+    """Acceptance: a disabled FaultPlan/watchdog costs one pointer check.
+
+    The disabled path (``supervisor=None``) does strictly less per
+    iteration than a supervised run with an empty fault plan (hook
+    dispatch, restart-token maintenance), so bounding disabled-vs-
+    enabled from above bounds the disabled overhead too.  Min-of-5
+    timings to shed scheduler noise.
+    """
+    graph = generators.rmat(10, 8.0, seed=3)
+
+    def timed(**robust_kwargs):
+        best = float("inf")
+        for _ in range(5):
+            t0 = time.perf_counter()
+            res = run(PageRank(epsilon=1e-2), graph, mode="nondeterministic",
+                      config=EngineConfig(threads=8, seed=0), **robust_kwargs)
+            best = min(best, time.perf_counter() - t0)
+            assert res.converged
+        return best
+
+    t_disabled = timed()
+    # empty plan: no fault ever fires, but every hook is consulted and
+    # the restart token is refreshed at every barrier
+    t_enabled = timed(faults=[])
+    assert t_disabled <= t_enabled * 1.10, (
+        f"supervisor=None run ({t_disabled:.3f}s) slower than supervised "
+        f"idle run ({t_enabled:.3f}s): the disabled path is paying more "
+        f"than its advertised pointer check"
+    )
+
+
+@pytest.mark.perfsmoke
+def test_recovered_run_overhead_is_bounded():
+    """One crash + restart must stay in the same cost class as two runs
+    (restore from the barrier token is array copies, not recomputation)."""
+    graph = generators.rmat(10, 8.0, seed=3)
+
+    def timed(**robust_kwargs):
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            res = run(PageRank(epsilon=1e-2), graph, mode="nondeterministic",
+                      config=EngineConfig(threads=8, seed=0), **robust_kwargs)
+            best = min(best, time.perf_counter() - t0)
+            assert res.converged
+        return best
+
+    from repro.robust import DegradationPolicy
+
+    t_clean = timed()
+    t_crashed = timed(faults="crash@3",
+                      policy=DegradationPolicy(backoff_s=0.0))
+    assert t_crashed <= t_clean * 2.5 + 0.5, (
+        f"crash recovery cost blew up: clean {t_clean:.3f}s vs "
+        f"recovered {t_crashed:.3f}s"
+    )

@@ -46,11 +46,18 @@ from .algorithms import (
     BFS,
     SSSP,
     AntiParity,
+    ConflictColoring,
     EdgeIncrementCounter,
     MaxLabelPropagation,
     PageRank,
     SpMV,
     WeaklyConnectedComponents,
+)
+from .robust import (
+    ConvergenceWatchdog,
+    DegradationPolicy,
+    Fault,
+    FaultPlan,
 )
 from .analysis import difference_degree, explain_trace_files, explain_traces, ranking
 from .graph import DiGraph, GraphBuilder, load_dataset
@@ -90,6 +97,12 @@ __all__ = [
     "MaxLabelPropagation",
     "EdgeIncrementCounter",
     "AntiParity",
+    "ConflictColoring",
+    # robustness
+    "Fault",
+    "FaultPlan",
+    "ConvergenceWatchdog",
+    "DegradationPolicy",
     # theory
     "check_program",
     "check_traits",

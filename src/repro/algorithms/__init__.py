@@ -1,7 +1,7 @@
 """The paper's evaluated algorithms plus extensions and counterexamples."""
 
 from .bfs import BFS
-from .counterexamples import AntiParity, EdgeIncrementCounter
+from .counterexamples import AntiParity, ConflictColoring, EdgeIncrementCounter
 from .kcore import KCoreDecomposition, kcore_reference
 from .label_propagation import MaxLabelPropagation
 from .pagerank import PageRank
@@ -30,6 +30,7 @@ __all__ = [
     "kcore_reference",
     "EdgeIncrementCounter",
     "AntiParity",
+    "ConflictColoring",
     "VWCC",
     "VSSSP",
     "VBFS",

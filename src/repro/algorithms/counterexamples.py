@@ -20,6 +20,17 @@ suite demonstrates the corresponding failure empirically:
   asynchronous model; both theorems' hypotheses fail, the eligibility
   verdict is NOT ESTABLISHED, and every engine runs it into its
   ``max_iterations`` bound.
+
+* :class:`ConflictColoring` — the minimal *enumeration computation* of
+  Theorem 2's boundary: it converges under any sequential (DE,
+  chromatic) order but provably cycles with period 2 whenever the two
+  endpoints of an edge update ∥-ordered (BSP, or NE with both endpoints
+  on distinct threads reading before the propagation delay ``d``
+  elapses).  Unlike :class:`AntiParity` it *has* fixed points — the
+  nondeterministic executor just never reaches one.  This is the
+  convergence watchdog's canonical prey: the oscillation detector
+  recognizes the repeating state digest and degrades to a deterministic
+  engine, which finishes the job.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ from ..engine.traits import (
     Monotonicity,
 )
 
-__all__ = ["EdgeIncrementCounter", "AntiParity"]
+__all__ = ["EdgeIncrementCounter", "AntiParity", "ConflictColoring"]
 
 
 class EdgeIncrementCounter(VertexProgram):
@@ -132,3 +143,75 @@ class AntiParity(VertexProgram):
 
     def result(self, state) -> np.ndarray:
         return state.vertex("bit")
+
+
+class ConflictColoring(VertexProgram):
+    """Symmetry-breaking 2-coloring by claim flipping: Theorem 2's edge.
+
+    Each edge carries a ``claim`` bit; a vertex is *in conflict* when
+    some incident claim equals its own color.  The update flips the
+    vertex's color and stamps the new color onto every incident edge —
+    an enumeration computation over the two-element domain, driven
+    purely by write–write conflicts on the claims.
+
+    On a matching (every vertex degree <= 1, e.g.
+    :func:`~repro.graph.generators.two_vertex_conflict_graph`) any
+    *sequential* order converges in two visits per edge: the first
+    endpoint flips and claims, the second observes the fresh claim,
+    finds no conflict, and goes quiet.  Under ∥-ordered execution both
+    endpoints read the same stale claim, both flip to the *same* new
+    color, and both stamp it — recreating the conflict exactly.  The
+    joint state cycles with period 2:
+
+    ==========  =======  =======  =========
+    iteration   colors   claim    conflict?
+    ==========  =======  =======  =========
+    n           (0, 0)   0        both
+    n + 1       (1, 1)   1        both
+    n + 2       (0, 0)   0        both
+    ==========  =======  =======  =========
+
+    This is precisely the execution Theorem 2 refuses to cover: the
+    computation enumerates a finite domain and WW conflicts re-trigger
+    the losing endpoint, so no Lemma-2 recovery argument applies and
+    the NE run never terminates — while every fixed point (a proper
+    2-coloring of the matching) is reachable by any sequential order.
+    The watchdog test suite uses it as the canonical oscillator.
+
+    Degree > 1 voids the sequential-convergence guarantee (a flip can
+    trade one conflicting edge for another); the eligibility claims
+    here are stated for matchings only.
+    """
+
+    def __init__(self):
+        self.traits = AlgorithmTraits(
+            name="ConflictColoring",
+            conflict_profile=ConflictProfile.WRITE_WRITE,
+            converges_synchronously=False,
+            converges_async_deterministic=True,
+            monotonicity=Monotonicity.NONE,
+            convergence_kind=ConvergenceKind.ABSOLUTE,
+            family="enumeration (Theorem 2 boundary)",
+        )
+
+    def vertex_fields(self) -> Mapping[str, FieldSpec]:
+        return {"color": FieldSpec(np.float64, 0.0)}
+
+    def edge_fields(self) -> Mapping[str, FieldSpec]:
+        return {"claim": FieldSpec(np.float64, 0.0)}
+
+    def update(self, ctx: UpdateContext) -> None:
+        mine = float(ctx.get("color"))
+        eids = ctx.incident_eids()
+        conflict = any(
+            ctx.read_edge(eid, "claim") == mine for eid in eids.tolist()
+        )
+        if not conflict:
+            return  # locally consistent: no write, so no reactivation
+        mine = 1.0 - mine
+        ctx.set("color", mine)
+        for eid in eids.tolist():
+            ctx.write_edge(eid, "claim", mine)  # reschedules the neighbor
+
+    def result(self, state) -> np.ndarray:
+        return state.vertex("color")

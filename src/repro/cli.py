@@ -13,9 +13,10 @@ Commands
 ``speed ALGORITHM``
     Convergence-speed report (iterations vs threads/delay vs the DE and
     BSP baselines).
-``trace {summarize,diff,explain,lint} TRACE [TRACE]``
+``trace {summarize,diff,explain,lint,stitch} TRACE [TRACE]``
     Query recorded traces: condense one, align two, explain the first
-    divergent race of a pair, or validate structure/event orders.
+    divergent race of a pair, validate structure/event orders, or join
+    a killed run's trace with its resumed continuation.
 
 Examples
 --------
@@ -28,6 +29,8 @@ Examples
     python -m repro run PageRank --record a.jsonl --run-seed 0
     python -m repro run PageRank --record b.jsonl --run-seed 1
     python -m repro trace explain a.jsonl b.jsonl
+    python -m repro run PageRank --faults crash@3 --checkpoint pr.ckpt
+    python -m repro run PageRank --resume pr.ckpt
     python -m repro figure3 --explain --scale 9
     python -m repro speed BFS --dataset cage15-mini --scale 9
 """
@@ -42,6 +45,7 @@ from .algorithms import (
     BFS,
     SSSP,
     AntiParity,
+    ConflictColoring,
     EdgeIncrementCounter,
     KCoreDecomposition,
     MaxLabelPropagation,
@@ -76,6 +80,7 @@ ALGORITHMS: dict[str, Callable] = {
     "MaxLabel": MaxLabelPropagation,
     "EdgeIncrementCounter": lambda: EdgeIncrementCounter(target=3),
     "AntiParity": AntiParity,
+    "ConflictColoring": ConflictColoring,  # Theorem-2 oscillator (matchings)
     "KCore": KCoreDecomposition,  # requires a symmetric graph (cage15-mini is)
 }
 
@@ -143,6 +148,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record-policy", default="conflicts",
                    choices=["conflicts", "all", "reservoir"],
                    help="recorder sampling policy (default: conflicts)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault-injection plan, e.g. 'crash@3;torn@5:weight' "
+                        "(kinds: crash, stall, torn, lost, delay)")
+    p.add_argument("--watchdog", action="store_true",
+                   help="arm the convergence watchdog (stall + Theorem-2 "
+                        "oscillation detection with graceful degradation)")
+    p.add_argument("--deadline-s", type=float, default=None, metavar="S",
+                   help="wall-clock budget; a breach triggers the "
+                        "degradation policy")
+    p.add_argument("--fallback", default=None,
+                   choices=["chromatic", "sync", "deterministic"],
+                   help="deterministic engine the watchdog falls back to "
+                        "(default chromatic)")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write a barrier checkpoint to PATH (atomically, "
+                        "last one wins)")
+    p.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="checkpoint every N iterations (default 1)")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="resume from a checkpoint written by --checkpoint; "
+                        "continues bit-identically to the uninterrupted run")
+    p.add_argument("--worker-timeout-s", type=float, default=60.0, metavar="S",
+                   help="threads mode: barrier timeout before the stuck-worker "
+                        "diagnostic fires (default 60; 0 = wait forever)")
 
     p = sub.add_parser("report", help="regenerate the full evaluation as markdown")
     add_scale(p)
@@ -170,13 +199,21 @@ def _build_parser() -> argparse.ArgumentParser:
     t.add_argument("trace_b")
     t = tsub.add_parser("lint", help="validate trace structure and event orders")
     t.add_argument("trace")
+    t = tsub.add_parser("stitch",
+                        help="join a killed run's trace with its resumed "
+                             "continuation, trimming the partial iteration "
+                             "the resume replays")
+    t.add_argument("trace_killed")
+    t.add_argument("trace_resumed")
+    t.add_argument("-o", "--out", required=True, metavar="PATH",
+                   help="write the stitched JSONL trace to PATH")
 
     return parser
 
 
 def _cmd_trace(args) -> int:
     from .analysis.explain import explain_trace_files, first_divergence
-    from .obs import lint_trace, read_trace, summarize_trace
+    from .obs import lint_trace, read_trace, stitch_traces, summarize_trace
 
     if args.trace_command == "summarize":
         summary = summarize_trace(read_trace(args.trace))
@@ -203,6 +240,21 @@ def _cmd_trace(args) -> int:
         print(f"agreed on {div.agreed_events} aligned events, then:")
         print(div.describe())
         return 3
+    if args.trace_command == "stitch":
+        import json
+
+        stitched, info = stitch_traces(
+            read_trace(args.trace_killed), read_trace(args.trace_resumed)
+        )
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for rec in stitched:
+                json.dump(rec, fh, separators=(",", ":"))
+                fh.write("\n")
+        at = (f" at the resume boundary (iteration {info['boundary']})"
+              if info["boundary"] is not None else "")
+        print(f"stitched {len(stitched)} records to {args.out} "
+              f"(dropped {info['dropped']} replayed/torn records{at})")
+        return 0
     # explain
     report = explain_trace_files(args.trace_a, args.trace_b)
     print(report.render())
@@ -250,7 +302,38 @@ def main(argv: Sequence[str] | None = None) -> int:
             delay=args.delay,
             seed=args.run_seed,
             max_iterations=args.max_iterations,
+            worker_timeout_s=args.worker_timeout_s or None,
         )
+        if args.resume and all(
+            getattr(args, name) == default
+            for name, default in (
+                ("threads", 4), ("delay", 2.0), ("run_seed", 0),
+                ("max_iterations", 100_000), ("worker_timeout_s", 60.0),
+            )
+        ):
+            # No engine knob was changed from its default: adopt the
+            # checkpointed config so the resumed run matches the original.
+            config = None
+        robust_kwargs = {}
+        if args.faults is not None:
+            robust_kwargs["faults"] = args.faults
+        if args.watchdog:
+            from .robust import ConvergenceWatchdog
+
+            robust_kwargs["watchdog"] = ConvergenceWatchdog(
+                deadline_s=args.deadline_s)
+        elif args.deadline_s is not None:
+            robust_kwargs["deadline_s"] = args.deadline_s
+        if args.fallback is not None:
+            from .robust import DegradationPolicy
+
+            robust_kwargs["policy"] = DegradationPolicy(
+                fallback_mode=args.fallback)
+        if args.checkpoint is not None:
+            robust_kwargs["checkpoint"] = args.checkpoint
+            robust_kwargs["checkpoint_every"] = args.checkpoint_every
+        if args.resume is not None:
+            robust_kwargs["resume_from"] = args.resume
         sink = None
         if args.trace or args.telemetry:
             from .obs import Telemetry
@@ -262,9 +345,16 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             recorder = Recorder(policy=args.record_policy, trace_path=args.record)
         result = run(ALGORITHMS[args.algorithm](), graph, mode=args.mode,
-                     config=config, telemetry=sink, record=recorder)
+                     config=config, telemetry=sink, record=recorder,
+                     **robust_kwargs)
         print(format_table([{"dataset": args.dataset, **result.summary()}],
                            title=f"{args.algorithm} on {args.dataset}"))
+        for event in result.extra.get("degradations", ()):
+            detail = ", ".join(f"{k}={v}" for k, v in event.items())
+            print(f"degradation: {detail}", file=sys.stderr)
+        for fired in result.extra.get("faults_fired", ()):
+            detail = ", ".join(f"{k}={v}" for k, v in fired.items())
+            print(f"fault injected: {detail}", file=sys.stderr)
         if args.telemetry:
             print()
             print(sink.summary())

@@ -56,6 +56,12 @@ class EngineConfig:
         reads or writes an edge not incident to its vertex raises
         immediately.  Off by default (it costs a set construction per
         update); turn on when developing a new program.
+    worker_timeout_s:
+        Real-thread backend only: how long the iteration barrier waits
+        for its workers before raising
+        :class:`~repro.robust.errors.WorkerTimeout` with a
+        ``stuck_worker`` diagnostic event.  ``None`` waits forever
+        (the pre-fault-tolerance behaviour).
     """
 
     threads: int = 4
@@ -70,6 +76,7 @@ class EngineConfig:
     torn_probability: float = 0.7
     keep_conflict_events: bool = False
     validate_scope: bool = False
+    worker_timeout_s: float | None = 60.0
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -82,6 +89,10 @@ class EngineConfig:
             raise ValueError("max_iterations must be >= 1")
         if not 0.0 <= self.torn_probability <= 1.0:
             raise ValueError("torn_probability must be in [0, 1]")
+        if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
+            raise ValueError(
+                "worker_timeout_s must be > 0 (or None to wait forever)"
+            )
 
     def effective_delay_model(self) -> DelayModel:
         """The pairwise delay model in force: ``delay_model`` when given,

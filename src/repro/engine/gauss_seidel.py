@@ -82,6 +82,7 @@ class DeterministicEngine:
         observer=None,
         telemetry=None,
         record=None,
+        supervisor=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -103,11 +104,18 @@ class DeterministicEngine:
 
         stats: list[IterationStats] = []
         iteration = 0
+        if supervisor is not None:
+            iteration, frontier = supervisor.engine_start(
+                self.mode, program, config, state=state, frontier=frontier,
+                rngs={"fp": fp_rng} if fp_rng is not None else {},
+            )
         converged = False
         while iteration < config.max_iterations:
             if not frontier:
                 converged = True
                 break
+            if supervisor is not None:
+                supervisor.pre_iteration(iteration)
             t0 = time.perf_counter() if sink is not None else 0.0
             store.iteration = iteration
             active = frontier.sorted_vertices()
@@ -121,6 +129,9 @@ class DeterministicEngine:
                 program.update(ctx)
                 reads += ctx.n_edge_reads
                 writes += ctx.n_edge_writes
+            if supervisor is not None:
+                next_schedule = supervisor.post_iteration(
+                    iteration, state=state, schedule=next_schedule)
             stats.append(
                 IterationStats(
                     iteration=iteration,

@@ -456,6 +456,7 @@ class NondeterministicEngine:
         observer=None,
         telemetry=None,
         record=None,
+        supervisor=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -486,11 +487,23 @@ class NondeterministicEngine:
         log = ConflictLog(keep_events=config.keep_conflict_events)
         stats: list[IterationStats] = []
         iteration = 0
+        if supervisor is not None:
+            rngs = {n: r for n, r in (("fp", fp_rng), ("jitter", jitter_rng),
+                                      ("torn", torn_rng)) if r is not None}
+            iteration, frontier = supervisor.engine_start(
+                self.mode, program, config, state=state, frontier=frontier,
+                rngs=rngs, conflicts=log,
+            )
         converged = False
         while iteration < config.max_iterations:
             if not frontier:
                 converged = True
                 break
+            if supervisor is not None:
+                supervisor.pre_iteration(iteration)
+                cfg_i = supervisor.iteration_config(iteration, config)
+            else:
+                cfg_i = config
             t0 = time.perf_counter() if sink is not None else 0.0
             rw0, ww0 = log.read_write, log.write_write
             active = frontier.sorted_vertices()
@@ -506,7 +519,7 @@ class NondeterministicEngine:
                 graph,
                 state,
                 plan,
-                config,
+                cfg_i,
                 iteration=iteration,
                 log=log,
                 torn_rng=torn_rng,
@@ -514,6 +527,9 @@ class NondeterministicEngine:
                 stats=stats,
                 recorder=record,
             )
+            if supervisor is not None:
+                next_schedule = supervisor.post_iteration(
+                    iteration, state=state, schedule=next_schedule)
             if sink is not None:
                 it = stats[-1]
                 sink.iteration(

@@ -368,6 +368,7 @@ class VectorizedNondetEngine:
         observer=None,
         telemetry=None,
         record=None,
+        supervisor=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -400,6 +401,12 @@ class VectorizedNondetEngine:
         stats: list[IterationStats] = []
         frontier_ids = initial_frontier(program, graph).sorted_vertices()
         iteration = 0
+        if supervisor is not None:
+            rngs = {"jitter": jitter_rng} if jitter_rng is not None else {}
+            iteration, frontier_ids = supervisor.engine_start(
+                self.mode, program, config, state=state, frontier=frontier_ids,
+                rngs=rngs, conflicts=log,
+            )
         converged = False
         total_passes = 0
         p = config.threads
@@ -407,6 +414,11 @@ class VectorizedNondetEngine:
             if frontier_ids.size == 0:
                 converged = True
                 break
+            if supervisor is not None:
+                supervisor.pre_iteration(iteration)
+                dm_i = supervisor.iteration_delay_model(iteration, delay_model)
+            else:
+                dm_i = delay_model
             t0 = time.perf_counter() if sink is not None else 0.0
             rw0, ww0 = log.read_write, log.write_write
             passes0 = total_passes
@@ -435,10 +447,10 @@ class VectorizedNondetEngine:
             t_s, t_d = time_v[src], time_v[dst]
             both = active[src] & active[dst] & (src != dst)
             same = thr_s == thr_d
-            if delay_model.is_uniform:
-                d_pair = delay_model.intra
+            if dm_i.is_uniform:
+                d_pair = dm_i.intra
             else:
-                d_pair = delay_model.delays(thr_s, thr_d)
+                d_pair = dm_i.delays(thr_s, thr_d)
             vis_s2d = both & np.where(same, pi_s < pi_d, (t_d - t_s) >= d_pair)
             vis_d2s = both & np.where(same, pi_d < pi_s, (t_s - t_d) >= d_pair)
             # Global execution order (time, π, thread): which endpoint runs
@@ -569,6 +581,9 @@ class VectorizedNondetEngine:
                 state.vertex(f)[active_ids] = ctx.vout[f][active_ids]
 
             next_ids = np.flatnonzero(next_mask).astype(np.int64)
+            if supervisor is not None:
+                next_ids = supervisor.post_iteration(
+                    iteration, state=state, schedule=next_ids)
             if sink is not None:
                 it = stats[-1]
                 sink.iteration(

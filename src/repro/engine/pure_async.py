@@ -270,6 +270,7 @@ class PureAsyncEngine:
         observer=None,
         telemetry=None,
         record=None,
+        supervisor=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -287,6 +288,14 @@ class PureAsyncEngine:
             if config.atomicity is AtomicityPolicy.NONE
             else None
         )
+        if supervisor is not None:
+            # Barrier-free: no consistent cut exists, so the supervisor
+            # refuses checkpoint/resume (frontier=None) and faults are
+            # keyed by *task index* instead of iteration.
+            supervisor.engine_start(
+                self.mode, program, config, state=state, frontier=None,
+                rngs={},
+            )
         log = ConflictLog(keep_events=config.keep_conflict_events)
         store = _VersionedStore(
             state, delay_model, config.atomicity, config.torn_probability, torn_rng
@@ -369,6 +378,8 @@ class PureAsyncEngine:
             _, _, vid = heapq.heappop(runnable[thread])
             if pending.get(vid, -1.0) <= best_start:
                 pending.pop(vid, None)
+            if supervisor is not None:
+                supervisor.pre_iteration(tasks_executed)
             store.current_thread = thread
             store.current_time = best_start
             schedule: set[int] = set()

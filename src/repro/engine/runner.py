@@ -32,6 +32,24 @@ ENGINES = {
 }
 
 
+def _require_positive(name: str, value, *, integer: bool = False) -> None:
+    """Reject non-numeric and <= 0 values with a clear error, up front.
+
+    Without this, a bad ``max_iterations``/``deadline_s``/
+    ``checkpoint_every`` surfaces as a confusing comparison error deep
+    inside an engine loop (or worse, silently never checkpoints).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"{name} must be a positive number, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if value != value or value <= 0:  # NaN or non-positive
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if integer and float(value) != int(value):
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+
+
 def run(
     program: VertexProgram,
     graph: DiGraph,
@@ -43,6 +61,14 @@ def run(
     vectorized: bool | str = False,
     telemetry=None,
     record=None,
+    supervisor=None,
+    faults=None,
+    watchdog=None,
+    policy=None,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume_from=None,
+    deadline_s: float | None = None,
     **config_kwargs,
 ) -> RunResult:
     """Execute ``program`` on ``graph`` under the chosen execution model.
@@ -104,6 +130,38 @@ def run(
         an in-memory recorder with the default conflicts-only policy.
         ``None`` (the default) costs one pointer check per commit
         barrier, matching the ``telemetry=`` contract.
+    supervisor:
+        A pre-built :class:`~repro.robust.Supervisor` hook object, for
+        callers driving the fault-tolerance layer manually.  ``None``
+        (the default) costs one pointer check per iteration.  Mutually
+        exclusive with the convenience kwargs below, which build one.
+    faults:
+        Fault-injection plan: a :class:`~repro.robust.FaultPlan`, a list
+        of :class:`~repro.robust.Fault`, or a spec string such as
+        ``"crash@3;torn@5"`` (see :meth:`FaultPlan.from_spec`).
+    watchdog:
+        A :class:`~repro.robust.ConvergenceWatchdog` monitoring every
+        iteration barrier for stalls, Theorem-2 oscillation, and
+        deadline breaches.
+    policy:
+        A :class:`~repro.robust.DegradationPolicy` controlling how
+        crashes and watchdog alarms are recovered (restart budget,
+        backoff, atomicity escalation, deterministic fallback engine).
+    checkpoint / checkpoint_every:
+        Path to write a barrier checkpoint to every ``checkpoint_every``
+        iterations (atomically, last one wins).
+    resume_from:
+        Path of a checkpoint to restart from; the run continues
+        bit-identically to the uninterrupted execution.  When no
+        explicit ``config`` is given the checkpointed one is adopted.
+    deadline_s:
+        Wall-clock budget for the run; breaches raise through the
+        degradation policy.
+
+    Passing any of ``faults``/``watchdog``/``policy``/``checkpoint``/
+    ``resume_from``/``deadline_s`` routes the run through
+    :func:`repro.robust.supervised_run` (the retry loop); a bare
+    ``supervisor=`` only installs the hooks without retry semantics.
 
     Examples
     --------
@@ -143,8 +201,45 @@ def run(
             )
     if config is not None and config_kwargs:
         raise ValueError("pass either config= or individual config kwargs, not both")
+    # Up-front validation: catch bad run bounds before any engine (or a
+    # long supervised retry loop) starts working with them.
+    if "max_iterations" in config_kwargs:
+        _require_positive("max_iterations", config_kwargs["max_iterations"],
+                          integer=True)
+    elif config is not None:
+        _require_positive("max_iterations", config.max_iterations, integer=True)
+    if deadline_s is not None:
+        _require_positive("deadline_s", deadline_s)
+    robust = any(
+        x is not None
+        for x in (faults, watchdog, policy, checkpoint, resume_from, deadline_s)
+    )
+    if robust or checkpoint_every != 1:
+        _require_positive("checkpoint_every", checkpoint_every, integer=True)
+    explicit_config = config is not None or bool(config_kwargs)
     if config is None:
         config = EngineConfig(**config_kwargs)
+    if robust:
+        if supervisor is not None:
+            raise ValueError(
+                "pass either supervisor= or the fault-tolerance kwargs "
+                "(faults=/watchdog=/policy=/checkpoint=/resume_from=/"
+                "deadline_s=), not both"
+            )
+        # Imported lazily: the robust layer pulls in the storage package.
+        from ..robust.supervisor import supervised_run
+
+        return supervised_run(
+            program, graph, mode=mode,
+            # With no explicit config, let resume adopt the checkpointed
+            # one instead of silently overriding it with defaults.
+            config=config if explicit_config else None,
+            state=state, observer=observer, vectorized=vectorized,
+            telemetry=telemetry, record=record,
+            faults=faults, watchdog=watchdog, policy=policy,
+            checkpoint=checkpoint, checkpoint_every=checkpoint_every,
+            resume_from=resume_from, deadline_s=deadline_s,
+        )
     try:
         engine_cls = ENGINES[mode]
     except KeyError:
@@ -162,7 +257,7 @@ def run(
         if not reasons:
             return VectorizedNondetEngine().run(
                 program, graph, config, state=state, observer=observer,
-                telemetry=telemetry, record=record,
+                telemetry=telemetry, record=record, supervisor=supervisor,
             )
         if vectorized == "require":
             raise ValueError(
@@ -175,6 +270,8 @@ def run(
         if observer is not None:
             raise ValueError("the real-thread backend does not support observers")
         return engine_cls().run(program, graph, config, state=state,
-                                telemetry=telemetry, record=record)
+                                telemetry=telemetry, record=record,
+                                supervisor=supervisor)
     return engine_cls().run(program, graph, config, state=state, observer=observer,
-                            telemetry=telemetry, record=record)
+                            telemetry=telemetry, record=record,
+                            supervisor=supervisor)

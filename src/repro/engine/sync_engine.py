@@ -72,6 +72,7 @@ class SynchronousEngine:
         observer=None,
         telemetry=None,
         record=None,
+        supervisor=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -89,11 +90,18 @@ class SynchronousEngine:
 
         stats: list[IterationStats] = []
         iteration = 0
+        if supervisor is not None:
+            iteration, frontier = supervisor.engine_start(
+                self.mode, program, config, state=state, frontier=frontier,
+                rngs={"fp": fp_rng} if fp_rng is not None else {},
+            )
         converged = False
         while iteration < config.max_iterations:
             if not frontier:
                 converged = True
                 break
+            if supervisor is not None:
+                supervisor.pre_iteration(iteration)
             t0 = time.perf_counter() if sink is not None else 0.0
             active = frontier.sorted_vertices()
             # Dispatch is used only for work accounting: BSP has no
@@ -151,6 +159,9 @@ class SynchronousEngine:
                             rule="bsp-label-order" if len(eff) > 1 else "uncontended",
                         )
             state.commit_edges(store.pending)
+            if supervisor is not None:
+                next_schedule = supervisor.post_iteration(
+                    iteration, state=state, schedule=next_schedule)
             stats.append(
                 IterationStats(
                     iteration=iteration,

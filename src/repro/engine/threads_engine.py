@@ -35,6 +35,7 @@ import threading
 import time
 
 from ..graph import DiGraph
+from ..robust.errors import WorkerTimeout
 from .atomicity import AtomicityPolicy
 from .config import EngineConfig
 from .dispatch import make_plan
@@ -124,6 +125,7 @@ class ThreadsEngine:
         state: State | None = None,
         telemetry=None,
         record=None,
+        supervisor=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -146,12 +148,19 @@ class ThreadsEngine:
 
         stats: list[IterationStats] = []
         iteration = 0
+        if supervisor is not None:
+            iteration, frontier = supervisor.engine_start(
+                self.mode, program, config, state=state, frontier=frontier,
+                rngs={},
+            )
         converged = False
         p = config.threads
         while iteration < config.max_iterations:
             if not frontier:
                 converged = True
                 break
+            if supervisor is not None:
+                supervisor.pre_iteration(iteration)
             t0 = time.perf_counter() if sink is not None else 0.0
             if recording:
                 store.iteration = iteration
@@ -171,6 +180,8 @@ class ThreadsEngine:
                 # with zeroed work counters for the dead thread.
                 try:
                     store.set_worker(tid)
+                    if supervisor is not None:
+                        supervisor.in_worker(iteration, tid)
                     local_sched: set[int] = set()
                     r = w = 0
                     for vid in plan.per_thread[tid]:
@@ -193,8 +204,42 @@ class ThreadsEngine:
             ]
             for th in threads:
                 th.start()
-            for th in threads:  # the iteration barrier
-                th.join()
+            timeout = config.worker_timeout_s
+            if timeout is None:
+                for th in threads:  # the iteration barrier
+                    th.join()
+            else:
+                # One shared deadline for the whole barrier: a wedged
+                # worker makes the run fail loudly with a diagnostic
+                # event instead of hanging the process forever.
+                deadline = time.monotonic() + timeout
+                for th in threads:  # the iteration barrier
+                    th.join(max(0.0, deadline - time.monotonic()))
+                stuck = [t for t, th in enumerate(threads) if th.is_alive()]
+                if stuck:
+                    if sink is not None:
+                        sink.event(
+                            "stuck_worker",
+                            iteration=iteration,
+                            threads=stuck,
+                            timeout_s=timeout,
+                        )
+                        sink.close()
+                    if record is not None:
+                        record.event(
+                            "stuck_worker",
+                            iteration=iteration,
+                            threads=stuck,
+                            timeout_s=timeout,
+                        )
+                        record.close()
+                    raise WorkerTimeout(
+                        f"worker thread(s) {stuck} failed to reach the "
+                        f"iteration barrier within {timeout:g}s at iteration "
+                        f"{iteration}",
+                        iteration=iteration,
+                        stuck=stuck,
+                    )
 
             failed = [t for t, e in enumerate(errors) if e is not None]
             if failed:
@@ -222,6 +267,9 @@ class ThreadsEngine:
                     )
                 raise first
 
+            if supervisor is not None:
+                next_schedule = supervisor.post_iteration(
+                    iteration, state=state, schedule=next_schedule)
             stats.append(
                 IterationStats(
                     iteration=iteration,

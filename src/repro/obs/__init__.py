@@ -28,7 +28,14 @@ validate and condense any recorded trace.
 
 from .recorder import RECORD_POLICIES, Recorder
 from .telemetry import Counter, Gauge, IterationSpan, Telemetry
-from .trace import lint_trace, read_trace, stats_from_trace, summarize_trace, write_trace
+from .trace import (
+    lint_trace,
+    read_trace,
+    stats_from_trace,
+    stitch_traces,
+    summarize_trace,
+    write_trace,
+)
 
 __all__ = [
     "Counter",
@@ -40,6 +47,7 @@ __all__ = [
     "lint_trace",
     "read_trace",
     "stats_from_trace",
+    "stitch_traces",
     "summarize_trace",
     "write_trace",
 ]

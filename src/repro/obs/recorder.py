@@ -118,6 +118,7 @@ class Recorder:
         self._trace_path = trace_path
         self._seed = seed
         self._fh: IO[str] | None = None
+        self._trace_opened = False
         # The real-thread backend emits from racing workers.
         self._lock = threading.Lock()
         self._rng = np.random.default_rng(np.random.SeedSequence([seed, 5]))
@@ -155,7 +156,13 @@ class Recorder:
             self.events.append(record)
         if self._trace_path is not None:
             if self._fh is None:
-                self._fh = open(self._trace_path, "w", encoding="utf-8")
+                # First open truncates; later reopens append so a
+                # supervised restart extends the trace of the attempt it
+                # recovers instead of erasing it.
+                self._fh = open(self._trace_path,
+                                "a" if self._trace_opened else "w",
+                                encoding="utf-8")
+                self._trace_opened = True
             json.dump(record, self._fh, separators=(",", ":"), default=_jsonable)
             self._fh.write("\n")
             self._fh.flush()
@@ -366,6 +373,7 @@ class Recorder:
     def reset(self) -> None:
         """Forget everything recorded; keep configuration (policy, path)."""
         self.close()
+        self._trace_opened = False
         self.records = []
         self.events = []
         self.dropped = 0

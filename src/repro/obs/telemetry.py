@@ -150,6 +150,7 @@ class Telemetry:
         self._trace_path = trace_path
         self._on_iteration = on_iteration
         self._fh: IO[str] | None = None
+        self._trace_opened = False
         self.records: list[dict] = []
         self.spans: list[IterationSpan] = []
         self.counters: dict[str, Counter] = {}
@@ -180,7 +181,13 @@ class Telemetry:
         self.records.append(record)
         if self._trace_path is not None:
             if self._fh is None:
-                self._fh = open(self._trace_path, "w", encoding="utf-8")
+                # First open truncates; later reopens append so a
+                # supervised restart extends the trace of the attempt it
+                # recovers instead of erasing it.
+                self._fh = open(self._trace_path,
+                                "a" if self._trace_opened else "w",
+                                encoding="utf-8")
+                self._trace_opened = True
             json.dump(record, self._fh, separators=(",", ":"), default=_jsonable)
             self._fh.write("\n")
             # Flush per record (iteration granularity): a killed run
@@ -282,6 +289,7 @@ class Telemetry:
     def reset(self) -> None:
         """Forget everything recorded; keep configuration (path, callback)."""
         self.close()
+        self._trace_opened = False
         self.records = []
         self.spans = []
         self.counters = {}

@@ -41,6 +41,7 @@ __all__ = [
     "lint_trace",
     "read_trace",
     "stats_from_trace",
+    "stitch_traces",
     "summarize_trace",
     "write_trace",
 ]
@@ -75,6 +76,49 @@ def read_trace(path: str) -> list[dict]:
     if pending is not None:
         records.append({"type": "truncated", "line": pending[0]})
     return records
+
+
+def stitch_traces(
+    head: list[dict], tail: list[dict]
+) -> tuple[list[dict], dict]:
+    """Join a killed run's trace with the trace of its resumed continuation.
+
+    A resumed run restarts from the last *barrier* checkpoint, but a hard
+    kill (``SIGKILL``, power loss) usually lands mid-iteration, so the
+    killed trace ends with a partial copy of the very iteration the
+    resumed run replays in full.  Concatenating the two files therefore
+    duplicates those events and ``trace diff`` against an uninterrupted
+    run reports a spurious divergence.
+
+    This drops from ``head`` every ``provenance``/``iteration`` record at
+    or past the resume boundary (the smallest iteration ``tail`` records),
+    along with truncation markers and any stray ``run_end``, then appends
+    ``tail`` verbatim.  The result aligns event-for-event with an
+    uninterrupted run of the same seed.  Returns ``(records, info)`` where
+    ``info`` has the ``boundary`` iteration (``None`` if ``tail`` records
+    no provenance) and the number of ``head`` records ``dropped``.
+    """
+    boundary = min(
+        (r.get("iteration", 0) for r in tail if r.get("type") == "provenance"),
+        default=None,
+    )
+    stitched: list[dict] = []
+    dropped = 0
+    for rec in head:
+        rtype = rec.get("type")
+        if rtype == "truncated" or (tail and rtype == "run_end"):
+            dropped += 1
+            continue
+        if (
+            boundary is not None
+            and rtype in ("provenance", "iteration")
+            and rec.get("iteration", 0) >= boundary
+        ):
+            dropped += 1
+            continue
+        stitched.append(rec)
+    stitched.extend(tail)
+    return stitched, {"boundary": boundary, "dropped": dropped}
 
 
 def stats_from_trace(records: Iterable[dict]) -> "list[IterationStats]":

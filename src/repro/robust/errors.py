@@ -1,0 +1,75 @@
+"""Exception vocabulary of the fault-tolerance subsystem.
+
+Kept import-free (stdlib only) so low-level engine modules — notably
+:mod:`repro.engine.threads_engine`, which raises :class:`WorkerTimeout`
+from its join loop — can depend on it without an import cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RobustError",
+    "WorkerTimeout",
+    "InjectedCrash",
+    "WatchdogAlarm",
+    "ConvergenceFailure",
+    "CheckpointError",
+]
+
+
+class RobustError(RuntimeError):
+    """Base class of every fault-tolerance error."""
+
+
+class WorkerTimeout(RobustError):
+    """A worker thread failed to reach the iteration barrier in time.
+
+    Raised by the real-thread backend's join loop when
+    ``EngineConfig.worker_timeout_s`` elapses with workers still alive —
+    the wedged-worker failure mode that previously hung the process on a
+    bare ``join()``.
+    """
+
+    def __init__(self, message: str, *, iteration: int = -1,
+                 stuck: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.iteration = iteration
+        self.stuck = tuple(stuck)
+
+
+class InjectedCrash(RobustError):
+    """A :class:`~repro.robust.faults.FaultPlan` crash fault fired.
+
+    Simulates a SIGKILL'd worker/process at a deterministic point; the
+    supervised run loop catches it and restarts from the last
+    checkpoint.
+    """
+
+    def __init__(self, message: str, *, iteration: int = -1,
+                 thread: int | None = None):
+        super().__init__(message)
+        self.iteration = iteration
+        self.thread = thread
+
+
+class WatchdogAlarm(RobustError):
+    """The convergence watchdog tripped (stall / oscillation / deadline).
+
+    Carries the :class:`~repro.robust.watchdog.WatchdogVerdict` so the
+    degradation policy can choose a recovery action.
+    """
+
+    def __init__(self, verdict):
+        super().__init__(
+            f"convergence watchdog: {verdict.kind} detected at iteration "
+            f"{verdict.iteration} ({verdict.detail})"
+        )
+        self.verdict = verdict
+
+
+class ConvergenceFailure(RobustError):
+    """Every degradation avenue was exhausted without convergence."""
+
+
+class CheckpointError(RobustError):
+    """A checkpoint could not be written, read, or applied."""

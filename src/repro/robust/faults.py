@@ -1,0 +1,299 @@
+"""Declarative, seeded fault injection for the execution engines.
+
+A :class:`FaultPlan` is a list of :class:`Fault` records the engines
+consult at fixed instrumentation points (via the
+:class:`~repro.robust.supervisor.Supervisor` hooks).  Faults are
+deterministic functions of ``(plan seed, iteration)`` — independent of
+engine internals and call history — so the same plan reproduces the
+same corruption on the object engine, the vectorized fast path, and a
+resumed run alike.
+
+Fault kinds
+-----------
+``crash``
+    Raise :class:`~repro.robust.errors.InjectedCrash` before the
+    iteration starts (engine-level) or inside one worker thread of the
+    real-thread backend (``thread=`` targeted) — a SIGKILL stand-in.
+``stall``
+    ``time.sleep`` for ``seconds`` at the same points — feeds the
+    deadline watchdog and the threads backend's join timeout.
+``torn_write``
+    After the barrier commit, overwrite one edge value with a torn
+    bit-mix (:func:`repro.engine.atomicity.tear`) of itself — models a
+    non-atomic store that escaped §III's minimal guarantee.
+``lost_update``
+    Drop a seeded fraction of the freshly scheduled frontier — violates
+    the task-generation rule, the failure mode the paper's barrier
+    otherwise rules out.
+``delay``
+    Multiply the propagation delay ``d`` by ``factor`` for that
+    iteration only (Definitions 1–3 see a transiently slower machine).
+
+Crash and stall faults fire **once** by default so a restarted run does
+not immediately re-crash; value faults (torn/lost/delay) stay armed for
+their iteration — re-applying them is bit-identical because their RNG is
+derived from ``(seed, iteration)``, not from consumption order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from .errors import InjectedCrash
+
+__all__ = ["Fault", "FaultPlan", "FAULT_KINDS"]
+
+FAULT_KINDS = ("crash", "stall", "torn_write", "lost_update", "delay")
+
+#: kinds consumed on first firing unless ``Fault.once`` says otherwise
+_ONCE_BY_DEFAULT = frozenset({"crash", "stall"})
+
+_ALIASES = {"torn": "torn_write", "lost": "lost_update"}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault at one iteration (task index for pure-async)."""
+
+    kind: str
+    iteration: int
+    thread: int | None = None  #: target worker (real-thread backend); None = engine-level
+    seconds: float = 0.5  #: stall duration
+    fraction: float = 1.0  #: lost_update: fraction of the new frontier dropped
+    factor: float = 2.0  #: delay: multiplier applied to d
+    field: str | None = None  #: torn_write: edge field (default: first, sorted)
+    eid: int | None = None  #: torn_write: edge id (default: seeded pick)
+    once: bool | None = None  #: consume after firing (default: kind-dependent)
+
+    def __post_init__(self) -> None:
+        kind = _ALIASES.get(self.kind, self.kind)
+        object.__setattr__(self, "kind", kind)
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}")
+        if self.iteration < 0:
+            raise ValueError(f"fault iteration must be >= 0, got {self.iteration}")
+        if self.seconds < 0:
+            raise ValueError("stall seconds must be >= 0")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("lost_update fraction must be in (0, 1]")
+        if self.factor < 1.0:
+            raise ValueError("delay factor must be >= 1")
+
+    @property
+    def effective_once(self) -> bool:
+        return self.once if self.once is not None else self.kind in _ONCE_BY_DEFAULT
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, declarative schedule of injected faults.
+
+    Build one directly from :class:`Fault` records or parse the compact
+    string grammar via :meth:`from_spec`::
+
+        crash@3            crash before iteration 3
+        crash@3:t1         crash inside worker thread 1 (threads backend)
+        stall@2:t0:0.5     worker 0 sleeps 0.5 s in iteration 2
+        torn@4             torn write on a seeded edge after barrier 4
+        torn@4:weight:e7   torn write on edge 7 of field "weight"
+        lost@5:0.5         drop a seeded half of iteration 5's new frontier
+        delay@6:x4         quadruple the propagation delay d in iteration 6
+
+    Tokens are separated by ``;`` or ``,``.
+    """
+
+    faults: list[Fault] = dc_field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.faults = [f if isinstance(f, Fault) else Fault(**f) for f in self.faults]
+        self._consumed: set[int] = set()
+        #: diagnostic log of fired faults: dicts with kind/iteration/...
+        self.fired: list[dict] = []
+        self._by_iter: dict[int, list[int]] = {}
+        for i, f in enumerate(self.faults):
+            self._by_iter.setdefault(f.iteration, []).append(i)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec, *, seed: int = 0) -> "FaultPlan":
+        """Coerce ``spec`` (FaultPlan / Fault list / dicts / string) to a plan."""
+        if isinstance(spec, FaultPlan):
+            return spec
+        if isinstance(spec, Fault):
+            return cls([spec], seed=seed)
+        if isinstance(spec, str):
+            faults = [cls._parse_token(tok) for tok in
+                      spec.replace(",", ";").split(";") if tok.strip()]
+            return cls(faults, seed=seed)
+        if isinstance(spec, (list, tuple)):
+            faults = []
+            for item in spec:
+                if isinstance(item, Fault):
+                    faults.append(item)
+                elif isinstance(item, dict):
+                    faults.append(Fault(**item))
+                elif isinstance(item, str):
+                    faults.append(cls._parse_token(item))
+                else:
+                    raise ValueError(f"cannot interpret fault spec item {item!r}")
+            return cls(faults, seed=seed)
+        raise ValueError(f"cannot interpret fault spec {spec!r}")
+
+    @staticmethod
+    def _parse_token(token: str) -> Fault:
+        token = token.strip()
+        if "@" not in token:
+            raise ValueError(f"bad fault token {token!r}: expected kind@iteration[:opts]")
+        kind, _, rest = token.partition("@")
+        kind = _ALIASES.get(kind.strip(), kind.strip())
+        parts = rest.split(":")
+        try:
+            iteration = int(parts[0])
+        except ValueError:
+            raise ValueError(f"bad fault token {token!r}: iteration must be an int") from None
+        kwargs: dict = {}
+        for opt in parts[1:]:
+            opt = opt.strip()
+            if not opt:
+                continue
+            if opt.startswith("t") and opt[1:].isdigit():
+                kwargs["thread"] = int(opt[1:])
+            elif opt.startswith("x"):
+                kwargs["factor"] = float(opt[1:])
+            elif opt.startswith("e") and opt[1:].isdigit():
+                kwargs["eid"] = int(opt[1:])
+            else:
+                try:
+                    value = float(opt)
+                except ValueError:
+                    kwargs["field"] = opt
+                else:
+                    if kind == "stall":
+                        kwargs["seconds"] = value
+                    elif kind == "lost_update":
+                        kwargs["fraction"] = value
+                    elif kind == "delay":
+                        kwargs["factor"] = value
+                    else:
+                        raise ValueError(
+                            f"bad fault token {token!r}: numeric option {opt!r} "
+                            f"has no meaning for kind {kind!r}"
+                        )
+        return Fault(kind=kind, iteration=iteration, **kwargs)
+
+    # -- querying --------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def matching(self, kind: str, iteration: int):
+        """Yield ``(index, fault)`` for un-consumed faults of one kind."""
+        for i in self._by_iter.get(iteration, ()):
+            if i in self._consumed:
+                continue
+            f = self.faults[i]
+            if f.kind == kind:
+                yield i, f
+
+    def fire(self, index: int, **detail) -> None:
+        """Record a firing; consume the fault if it is one-shot."""
+        f = self.faults[index]
+        if f.effective_once:
+            self._consumed.add(index)
+        self.fired.append(
+            {"kind": f.kind, "iteration": f.iteration, "thread": f.thread, **detail}
+        )
+
+    def rng_for(self, iteration: int, salt: int) -> np.random.Generator:
+        """Deterministic per-(iteration, application) stream — independent
+        of engine implementation and of how often the iteration re-ran."""
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, 6, iteration, salt])
+        )
+
+    # -- application helpers (called by the Supervisor) ------------------
+    def raise_crash(self, index: int, fault: Fault, iteration: int) -> None:
+        self.fire(index)
+        raise InjectedCrash(
+            f"injected crash at iteration {iteration}"
+            + (f" (worker {fault.thread})" if fault.thread is not None else ""),
+            iteration=iteration,
+            thread=fault.thread,
+        )
+
+    def delay_factor(self, iteration: int) -> float:
+        """Combined delay-inflation factor for one iteration (1.0 = none)."""
+        factor = 1.0
+        for i, f in self.matching("delay", iteration):
+            factor *= f.factor
+            self.fire(i, factor=f.factor)
+        return factor
+
+    def drop_scatter(self, iteration: int, schedule: np.ndarray) -> np.ndarray:
+        """Apply lost-update faults to a sorted vertex-id array."""
+        for i, f in self.matching("lost_update", iteration):
+            if schedule.size == 0:
+                break
+            k = max(1, int(np.floor(f.fraction * schedule.size)))
+            rng = self.rng_for(iteration, 1000 + i)
+            drop = rng.choice(schedule.size, size=k, replace=False)
+            keep = np.ones(schedule.size, dtype=bool)
+            keep[drop] = False
+            self.fire(i, dropped=int(k), kept=int(schedule.size - k))
+            schedule = schedule[keep]
+        return schedule
+
+    def apply_torn(self, iteration: int, state) -> list[dict]:
+        """Apply torn-write faults to the committed edge arrays in place."""
+        from ..engine.atomicity import tear
+
+        applied = []
+        for i, f in self.matching("torn_write", iteration):
+            fields = sorted(state.edge_field_names)
+            if not fields:
+                break
+            field = f.field if f.field is not None else fields[0]
+            arr = state.edge(field)
+            if arr.size == 0:
+                break
+            rng = self.rng_for(iteration, 2000 + i)
+            eid = f.eid if f.eid is not None else int(rng.integers(0, arr.size))
+            old = float(arr[eid])
+            other = float(arr[int(rng.integers(0, arr.size))])
+            torn = tear(old, other if other != old else old + 1.0, rng)
+            arr[eid] = np.asarray(torn).astype(arr.dtype, casting="unsafe")
+            info = {"field": field, "eid": eid, "old": old, "torn": float(arr[eid])}
+            self.fire(i, **info)
+            applied.append(info)
+        return applied
+
+    def stall_seconds(self, iteration: int, *, thread: int | None,
+                      engine_level: bool) -> float:
+        """Total sleep owed at one instrumentation point.
+
+        ``engine_level=True`` matches faults with no thread target (the
+        pre-iteration hook); otherwise only faults targeting ``thread``.
+        """
+        total = 0.0
+        for i, f in self.matching("stall", iteration):
+            if engine_level:
+                if f.thread is not None:
+                    continue
+            elif f.thread != thread:
+                continue
+            total += f.seconds
+            self.fire(i, seconds=f.seconds, thread=thread)
+        return total
+
+    def crash_index(self, iteration: int, *, thread: int | None,
+                    engine_level: bool):
+        """First matching crash fault as ``(index, fault)``, or ``None``."""
+        for i, f in self.matching("crash", iteration):
+            if engine_level:
+                if f.thread is None:
+                    return i, f
+            elif f.thread == thread:
+                return i, f
+        return None

@@ -1,0 +1,540 @@
+"""The supervised execution loop: inject, monitor, checkpoint, recover.
+
+Two pieces live here:
+
+* :class:`Supervisor` — the per-run hook object every engine consults at
+  its instrumentation points.  A ``None`` supervisor costs the engines
+  one pointer check per iteration (the same contract as ``telemetry=``
+  and ``record=``); an active one applies :class:`FaultPlan` faults,
+  feeds the :class:`ConvergenceWatchdog`, writes barrier checkpoints,
+  and maintains the in-memory restart token.
+
+* :func:`supervised_run` — the retry loop around the engines.  Crashes
+  and worker timeouts restart from the best restore point (file
+  checkpoint > in-memory barrier token > scratch) with exponential
+  backoff; watchdog alarms degrade — first escalate the atomicity
+  guarantee, then abandon nondeterminism and finish on a deterministic
+  engine from the last good barrier state.  Every recovery decision is
+  recorded as a ``degradation`` event in the telemetry/recorder traces
+  and in ``result.extra["degradations"]``.
+
+Hook protocol (all engines)::
+
+    sup.engine_start(mode, program, config, state=..., frontier=...,
+                     rngs={...}, conflicts=log) -> (start_iteration, frontier)
+    cfg_i = sup.iteration_config(iteration, config)        # object engines
+    dm_i  = sup.iteration_delay_model(iteration, dm)       # vectorized
+    sup.pre_iteration(iteration)                           # faults fire
+    sup.in_worker(iteration, tid)                          # threads backend
+    schedule = sup.post_iteration(iteration, state=state, schedule=schedule)
+
+``post_iteration`` runs at the barrier, *after* the commit and *before*
+the telemetry span / observer callback, so every downstream consumer
+sees the post-fault schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from ..engine.atomicity import AtomicityPolicy
+from ..engine.config import EngineConfig
+from ..engine.delaymodel import DelayModel
+from .errors import (
+    CheckpointError,
+    ConvergenceFailure,
+    InjectedCrash,
+    WatchdogAlarm,
+    WorkerTimeout,
+)
+from .faults import FaultPlan
+from .watchdog import ConvergenceWatchdog, DegradationPolicy, state_digest
+
+__all__ = ["Supervisor", "supervised_run"]
+
+#: engines whose in-flight state may be inconsistent after a crash
+#: (real threads keep zombie daemon workers; pure-async has no barrier)
+_NO_MEMORY_RESTART = frozenset({"threads", "pure-async"})
+
+
+class Supervisor:
+    """Per-run hook object consulted by the engines.
+
+    Engines hold it behind a single ``if supervisor is not None`` check,
+    so a disabled fault-tolerance layer costs one pointer comparison per
+    iteration.
+    """
+
+    def __init__(self, *, faults: FaultPlan | None = None,
+                 watchdog: ConvergenceWatchdog | None = None,
+                 checkpoint_path=None, checkpoint_every: int = 1,
+                 telemetry=None, record=None):
+        self.faults = faults
+        self.watchdog = watchdog
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = int(checkpoint_every)
+        self.telemetry = telemetry
+        self.record = record
+        #: iteration of the last checkpoint written this run (None = none)
+        self.last_checkpoint_iteration: int | None = None
+        #: in-memory restart token maintained at every barrier
+        self.memory_token: dict | None = None
+        #: restore point applied at the next ``engine_start``
+        self.pending_resume = None
+        self._mode = ""
+        self._program_name = ""
+        self._config: EngineConfig | None = None
+        self._rngs: dict = {}
+        self._conflicts = None
+        self._fired_seen = 0
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def engine_start(self, mode: str, program, config: EngineConfig, *,
+                     state, frontier, rngs: dict | None = None,
+                     conflicts=None):
+        """Register run context; apply a pending restore point.
+
+        Returns ``(start_iteration, frontier)``; the frontier comes back
+        in the same shape it was given (``Frontier`` object or int64
+        array).  ``frontier=None`` marks a barrier-free engine
+        (pure-async): checkpoint/resume is refused for it.
+        """
+        self._mode = mode
+        self._program_name = type(program).__name__
+        self._config = config
+        self._rngs = dict(rngs) if rngs else {}
+        self._conflicts = conflicts
+        if frontier is None:
+            if self.checkpoint_path is not None or self.pending_resume is not None:
+                raise CheckpointError(
+                    "the pure-async engine is barrier-free: there is no "
+                    "consistent cut to checkpoint or resume from")
+            return 0, None
+        resume = self.pending_resume
+        self.pending_resume = None
+        if resume is None:
+            return 0, frontier
+        if isinstance(resume, dict):  # in-memory token
+            ids = np.asarray(resume["frontier"], dtype=np.int64)
+            start = int(resume["iteration"])
+            rng_states = resume["rng_states"]
+            conflict_data = resume.get("conflicts") or {}
+        else:  # file Checkpoint
+            if resume.program != self._program_name:
+                raise CheckpointError(
+                    f"checkpoint was taken for program {resume.program!r}, "
+                    f"cannot resume {self._program_name!r}")
+            self._apply_arrays(resume, state)
+            ids = np.asarray(resume.frontier, dtype=np.int64)
+            start = int(resume.iteration)
+            rng_states = resume.rng_states
+            conflict_data = resume.conflicts or {}
+        for name, rng_state in rng_states.items():
+            rng = self._rngs.get(name)
+            if rng is not None:
+                rng.bit_generator.state = rng_state
+        if conflicts is not None and conflict_data:
+            _restore_conflicts(conflicts, conflict_data)
+        return start, _schedule_like(frontier, ids)
+
+    def pre_iteration(self, iteration: int) -> None:
+        """Fire engine-level faults before the iteration's updates run.
+
+        For the simulated engines thread-targeted faults fire here too —
+        their "threads" are virtual, so the barrier is the only place a
+        per-worker fault can act.  The real-thread backend routes those
+        through :meth:`in_worker` instead.
+        """
+        faults = self.faults
+        if faults is None or not faults:
+            return
+        stall = faults.stall_seconds(iteration, thread=None, engine_level=True)
+        crash = faults.crash_index(iteration, thread=None, engine_level=True)
+        if self._mode != "threads" and self._config is not None:
+            for tid in range(self._config.threads):
+                stall += faults.stall_seconds(iteration, thread=tid,
+                                              engine_level=False)
+                if crash is None:
+                    crash = faults.crash_index(iteration, thread=tid,
+                                               engine_level=False)
+        if stall > 0:
+            self.drain_fired()
+            time.sleep(stall)
+        if crash is not None:
+            faults.raise_crash(crash[0], crash[1], iteration)
+
+    def in_worker(self, iteration: int, tid: int) -> None:
+        """Fire thread-targeted faults inside a real worker thread."""
+        faults = self.faults
+        if faults is None or not faults:
+            return
+        stall = faults.stall_seconds(iteration, thread=tid, engine_level=False)
+        if stall > 0:
+            time.sleep(stall)
+        crash = faults.crash_index(iteration, thread=tid, engine_level=False)
+        if crash is not None:
+            faults.raise_crash(crash[0], crash[1], iteration)
+
+    def iteration_config(self, iteration: int, config: EngineConfig) -> EngineConfig:
+        """Per-iteration config override (delay-inflation faults)."""
+        faults = self.faults
+        if faults is None or not faults:
+            return config
+        factor = faults.delay_factor(iteration)
+        if factor == 1.0:
+            return config
+        self.drain_fired()
+        if config.delay_model is not None:
+            return config.with_(delay_model=_scale_delay_model(
+                config.delay_model, factor))
+        return config.with_(delay=config.delay * factor)
+
+    def iteration_delay_model(self, iteration: int,
+                              delay_model: DelayModel) -> DelayModel:
+        """Vectorized-path sibling of :meth:`iteration_config`."""
+        faults = self.faults
+        if faults is None or not faults:
+            return delay_model
+        factor = faults.delay_factor(iteration)
+        if factor == 1.0:
+            return delay_model
+        self.drain_fired()
+        return _scale_delay_model(delay_model, factor)
+
+    def post_iteration(self, iteration: int, *, state, schedule):
+        """Barrier hook: value faults, checkpoint, restart token, watchdog.
+
+        Returns the (possibly fault-reduced) schedule in the same shape
+        it was given.
+        """
+        faults = self.faults
+        ids = _as_ids(schedule)
+        if faults is not None and faults:
+            dropped = faults.drop_scatter(iteration, ids)
+            if dropped.size != ids.size:
+                ids = dropped
+                schedule = _schedule_like(schedule, ids)
+            faults.apply_torn(iteration, state)
+            self.drain_fired()
+        if (self.checkpoint_path is not None
+                and (iteration + 1) % self.checkpoint_every == 0):
+            self._write_checkpoint(iteration + 1, state, ids)
+        self.memory_token = {
+            "iteration": iteration + 1,
+            "frontier": ids.copy(),
+            "rng_states": self._rng_states(),
+            "conflicts": _capture_conflicts(self._conflicts),
+        }
+        if self.watchdog is not None:
+            digest = (state_digest(state, ids)
+                      if self.watchdog.wants_digest else None)
+            verdict = self.watchdog.observe(
+                iteration, frontier_size=int(ids.size), digest=digest)
+            if verdict is not None:
+                raise WatchdogAlarm(verdict)
+        return schedule
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def drain_fired(self) -> None:
+        """Emit newly fired faults as ``fault_injected`` trace events."""
+        faults = self.faults
+        if faults is None:
+            return
+        while self._fired_seen < len(faults.fired):
+            entry = faults.fired[self._fired_seen]
+            self._fired_seen += 1
+            if self.telemetry is not None:
+                self.telemetry.event("fault_injected", **entry)
+            if self.record is not None:
+                self.record.event("fault_injected", **entry)
+
+    def _rng_states(self) -> dict:
+        return {name: rng.bit_generator.state
+                for name, rng in self._rngs.items()}
+
+    def _write_checkpoint(self, iteration: int, state, ids: np.ndarray) -> None:
+        from ..storage.checkpoint import Checkpoint, save_checkpoint
+
+        ckpt = Checkpoint(
+            iteration=iteration,
+            mode=self._mode,
+            program=self._program_name,
+            config=self._config or EngineConfig(),
+            frontier=ids,
+            vertex_arrays={f: state.vertex(f)
+                           for f in state.vertex_field_names},
+            edge_arrays={f: state.edge(f) for f in state.edge_field_names},
+            rng_states=self._rng_states(),
+            conflicts=_capture_conflicts(self._conflicts),
+        )
+        save_checkpoint(self.checkpoint_path, ckpt)
+        self.last_checkpoint_iteration = iteration
+
+    @staticmethod
+    def _apply_arrays(ckpt, state) -> None:
+        for name, arr in ckpt.vertex_arrays.items():
+            target = state.vertex(name)
+            if target.shape != arr.shape:
+                raise CheckpointError(
+                    f"vertex array {name!r} has shape {arr.shape}, "
+                    f"state expects {target.shape}")
+            target[:] = arr
+        for name, arr in ckpt.edge_arrays.items():
+            target = state.edge(name)
+            if target.shape != arr.shape:
+                raise CheckpointError(
+                    f"edge array {name!r} has shape {arr.shape}, "
+                    f"state expects {target.shape}")
+            target[:] = arr
+
+
+# ----------------------------------------------------------------------
+# schedule/conflict shape adapters
+# ----------------------------------------------------------------------
+def _as_ids(schedule) -> np.ndarray:
+    """Any schedule shape -> sorted int64 vertex-id array."""
+    if isinstance(schedule, np.ndarray):
+        return schedule.astype(np.int64, copy=False)
+    if hasattr(schedule, "sorted_vertices"):  # Frontier
+        return schedule.sorted_vertices()
+    return np.fromiter(sorted(schedule), dtype=np.int64,
+                       count=len(schedule))  # set/iterable
+
+
+def _schedule_like(template, ids: np.ndarray):
+    """Give ``ids`` back in the shape of ``template``."""
+    if isinstance(template, np.ndarray):
+        return ids
+    if hasattr(template, "sorted_vertices"):
+        from ..engine.frontier import Frontier
+
+        return Frontier(int(v) for v in ids)
+    return {int(v) for v in ids}
+
+
+def _capture_conflicts(log) -> dict:
+    if log is None:
+        return {}
+    return {
+        "read_write": log.read_write,
+        "write_write": log.write_write,
+        "contended_edges": log.contended_edges,
+        "lost_writes": log.lost_writes,
+        "stale_reads": log.stale_reads,
+        "per_iteration": {str(k): v for k, v in log.per_iteration.items()},
+    }
+
+
+def _restore_conflicts(log, data: dict) -> None:
+    log.read_write = int(data.get("read_write", 0))
+    log.write_write = int(data.get("write_write", 0))
+    log.contended_edges = int(data.get("contended_edges", 0))
+    log.lost_writes = int(data.get("lost_writes", 0))
+    log.stale_reads = int(data.get("stale_reads", 0))
+    log.per_iteration.clear()
+    log.per_iteration.update(
+        {int(k): v for k, v in (data.get("per_iteration") or {}).items()})
+
+
+def _scale_delay_model(dm: DelayModel, factor: float) -> DelayModel:
+    return DelayModel(intra=dm.intra * factor, inter=dm.inter * factor,
+                      group_size=dm.group_size)
+
+
+# ----------------------------------------------------------------------
+# the supervised loop
+# ----------------------------------------------------------------------
+def _dispatch(program, graph, *, mode, config, state, observer, vectorized,
+              telemetry, record, supervisor):
+    """Engine dispatch mirroring :func:`repro.engine.runner.run`."""
+    from ..engine.runner import ENGINES
+
+    if vectorized:
+        if mode != "nondeterministic":
+            raise ValueError(
+                "vectorized= applies to mode='nondeterministic' only")
+        from ..engine.nondet_vectorized import (
+            VectorizedNondetEngine,
+            fallback_reasons,
+        )
+
+        reasons = fallback_reasons(program, config)
+        if not reasons:
+            return VectorizedNondetEngine().run(
+                program, graph, config, state=state, observer=observer,
+                telemetry=telemetry, record=record, supervisor=supervisor)
+        if vectorized == "require":
+            raise ValueError(
+                "vectorized='require' but the fast path is not eligible: "
+                + "; ".join(reasons))
+        if telemetry is not None:
+            telemetry.event("vectorized_fallback", reasons=reasons)
+    try:
+        engine_cls = ENGINES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown mode {mode!r}; choose from {sorted(ENGINES)}") from None
+    if mode == "threads":
+        return engine_cls().run(program, graph, config, state=state,
+                                telemetry=telemetry, record=record,
+                                supervisor=supervisor)
+    return engine_cls().run(program, graph, config, state=state,
+                            observer=observer, telemetry=telemetry,
+                            record=record, supervisor=supervisor)
+
+
+def _emit_degradation(telemetry, record, degradations: list, event: dict) -> None:
+    degradations.append(event)
+    if telemetry is not None:
+        telemetry.event("degradation", **event)
+    if record is not None:
+        record.event("degradation", **event)
+
+
+def supervised_run(program, graph, *, mode: str = "nondeterministic",
+                   config: EngineConfig | None = None, state=None,
+                   observer=None, vectorized=False, telemetry=None,
+                   record=None, faults=None,
+                   watchdog: ConvergenceWatchdog | None = None,
+                   policy: DegradationPolicy | None = None,
+                   checkpoint=None, checkpoint_every: int = 1,
+                   resume_from=None, deadline_s: float | None = None):
+    """Run ``program`` under fault injection, monitoring, and recovery.
+
+    This is the engine room behind ``run(..., faults=/watchdog=/
+    checkpoint=/resume_from=/deadline_s=)``; see
+    :func:`repro.engine.runner.run` for parameter semantics.  When
+    ``config`` is ``None`` and ``resume_from`` names a checkpoint, the
+    checkpointed configuration is adopted so a bare ``--resume`` replays
+    the original run exactly.
+    """
+    resume_ckpt = None
+    if resume_from is not None:
+        from ..storage.checkpoint import load_checkpoint
+
+        resume_ckpt = load_checkpoint(resume_from)
+        if resume_ckpt.mode != mode:
+            raise CheckpointError(
+                f"checkpoint was taken in mode {resume_ckpt.mode!r}; "
+                f"resume with the same mode (got {mode!r})")
+        if config is None:
+            config = resume_ckpt.config
+    config = config or EngineConfig()
+    if faults is not None:
+        faults = FaultPlan.from_spec(faults, seed=config.seed)
+    policy = policy or DegradationPolicy()
+    if deadline_s is not None:
+        if watchdog is None:
+            watchdog = ConvergenceWatchdog(oscillation=False,
+                                           deadline_s=deadline_s)
+        else:
+            watchdog.deadline_s = float(deadline_s)
+
+    sup = Supervisor(faults=faults, watchdog=watchdog,
+                     checkpoint_path=checkpoint,
+                     checkpoint_every=checkpoint_every,
+                     telemetry=telemetry, record=record)
+    sup.pending_resume = resume_ckpt
+
+    cur_state = state if state is not None else program.make_state(graph)
+    cur_mode, cur_config, cur_vectorized = mode, config, vectorized
+    degradations: list[dict] = []
+    restarts = 0
+    escalated = False
+    fell_back = False
+
+    while True:
+        if watchdog is not None:
+            watchdog.reset()
+        try:
+            result = _dispatch(program, graph, mode=cur_mode,
+                               config=cur_config, state=cur_state,
+                               observer=observer, vectorized=cur_vectorized,
+                               telemetry=telemetry, record=record,
+                               supervisor=sup)
+            break
+        except (InjectedCrash, WorkerTimeout) as exc:
+            sup.drain_fired()
+            restarts += 1
+            if restarts > policy.max_restarts:
+                raise ConvergenceFailure(
+                    f"gave up after {policy.max_restarts} restart(s): {exc}"
+                ) from exc
+            event = {
+                "action": "restart",
+                "attempt": restarts,
+                "cause": type(exc).__name__,
+                "iteration": getattr(exc, "iteration", -1),
+                "detail": str(exc),
+            }
+            file_restore = None
+            if checkpoint is not None and os.path.exists(os.fspath(checkpoint)):
+                from ..storage.checkpoint import load_checkpoint
+
+                file_restore = load_checkpoint(checkpoint)
+            elif resume_ckpt is not None and sup.memory_token is None:
+                # crashed before the first barrier of a resumed run
+                file_restore = resume_ckpt
+            token = (sup.memory_token
+                     if cur_mode not in _NO_MEMORY_RESTART else None)
+            if token is not None and (file_restore is None
+                                      or token["iteration"] >= file_restore.iteration):
+                restore = dict(token)
+                event["resume_iteration"] = restore["iteration"]
+            elif file_restore is not None:
+                restore = file_restore
+                event["resume_iteration"] = restore.iteration
+            else:
+                restore = None
+                event["resume_iteration"] = 0
+            if cur_mode in _NO_MEMORY_RESTART:
+                # zombie daemon workers of a timed-out attempt may still
+                # be writing to the old arrays — never reuse them
+                cur_state = program.make_state(graph)
+            sup.pending_resume = restore
+            _emit_degradation(telemetry, record, degradations, event)
+            time.sleep(policy.backoff_for(restarts))
+        except WatchdogAlarm as exc:
+            sup.drain_fired()
+            verdict = exc.verdict
+            event = {
+                "cause": "watchdog",
+                "kind": verdict.kind,
+                "iteration": verdict.iteration,
+                "detail": verdict.detail,
+            }
+            if (policy.escalate_atomicity and not escalated
+                    and cur_config.atomicity in (AtomicityPolicy.ATOMIC_RELAXED,
+                                                 AtomicityPolicy.NONE)):
+                escalated = True
+                cur_config = cur_config.with_(atomicity=AtomicityPolicy.LOCK)
+                event["action"] = "escalate-atomicity"
+            elif not fell_back:
+                fell_back = True
+                cur_mode = policy.fallback_mode
+                cur_vectorized = False
+                event["action"] = f"fallback:{policy.fallback_mode}"
+            else:
+                event["action"] = "give-up"
+                _emit_degradation(telemetry, record, degradations, event)
+                raise ConvergenceFailure(
+                    f"no degradation avenue left after {verdict.kind} at "
+                    f"iteration {verdict.iteration}") from exc
+            # the alarmed barrier state is consistent — continue from it
+            sup.pending_resume = (dict(sup.memory_token)
+                                  if sup.memory_token is not None else None)
+            _emit_degradation(telemetry, record, degradations, event)
+
+    result.extra["degradations"] = degradations
+    if faults is not None:
+        result.extra["faults_fired"] = list(faults.fired)
+    if sup.last_checkpoint_iteration is not None:
+        result.extra["last_checkpoint_iteration"] = sup.last_checkpoint_iteration
+    return result

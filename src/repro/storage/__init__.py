@@ -1,11 +1,15 @@
-"""On-disk graph storage: binary containers and GraphChi-style PSW shards."""
+"""On-disk graph storage: binary containers, PSW shards, and checkpoints."""
 
 from .binfmt import load_graph, save_graph
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .shards import IOStats, OutOfCoreRunner, Shard, ShardedGraph
 
 __all__ = [
     "load_graph",
     "save_graph",
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "IOStats",
     "OutOfCoreRunner",
     "Shard",

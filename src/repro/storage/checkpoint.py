@@ -1,0 +1,197 @@
+"""Versioned barrier checkpoints: kill a run, resume it bit-identically.
+
+A checkpoint captures everything an iteration barrier defines: the
+committed vertex/edge value arrays, the active set scheduled for the
+next iteration, the exact RNG generator states (fp-noise, jitter, torn,
+whatever the engine draws from), and the conflict counters — so a
+resumed run replays the remaining iterations with byte-for-byte the
+same draws and commits as the uninterrupted run.
+
+Layout (little-endian), mirroring :mod:`repro.storage.binfmt`::
+
+    magic      8 bytes  b"RPROCKP1"
+    version    u32      (currently 1)
+    meta_len   u64
+    meta       JSON     iteration, mode, program, n, m, config,
+                        rng_states, conflicts, frontier_size,
+                        arrays manifest [{name, kind, dtype}], extra
+    frontier   F x i64
+    arrays     raw data in manifest order
+
+Writes go through a temp file + ``os.replace`` so a crash mid-write
+leaves the previous checkpoint intact — the property the supervised
+run loop depends on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import struct
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from ..engine.atomicity import AtomicityPolicy
+from ..engine.config import EngineConfig
+from ..engine.delaymodel import DelayModel
+from ..engine.dispatch import DispatchPolicy
+from ..robust.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "config_to_dict",
+    "config_from_dict",
+]
+
+CHECKPOINT_MAGIC = b"RPROCKP1"
+CHECKPOINT_VERSION = 1
+
+_KIND_VERTEX = 0
+_KIND_EDGE = 1
+
+
+def config_to_dict(config: EngineConfig) -> dict:
+    """JSON-able dict of an :class:`EngineConfig` (enums → values)."""
+    out: dict = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if isinstance(value, DelayModel):
+            value = {"intra": value.intra, "inter": value.inter,
+                     "group_size": value.group_size}
+        elif isinstance(value, (AtomicityPolicy, DispatchPolicy)):
+            value = value.value
+        out[f.name] = value
+    return out
+
+
+def config_from_dict(data: dict) -> EngineConfig:
+    """Inverse of :func:`config_to_dict`."""
+    kwargs = dict(data)
+    if kwargs.get("delay_model") is not None:
+        kwargs["delay_model"] = DelayModel(**kwargs["delay_model"])
+    if "atomicity" in kwargs:
+        kwargs["atomicity"] = AtomicityPolicy(kwargs["atomicity"])
+    if "dispatch" in kwargs:
+        kwargs["dispatch"] = DispatchPolicy(kwargs["dispatch"])
+    known = {f.name for f in dataclasses.fields(EngineConfig)}
+    return EngineConfig(**{k: v for k, v in kwargs.items() if k in known})
+
+
+@dataclass
+class Checkpoint:
+    """One barrier's full restore point."""
+
+    iteration: int  #: iterations completed; resume starts here
+    mode: str
+    program: str  #: program class name (sanity-checked on resume)
+    config: EngineConfig
+    frontier: np.ndarray  #: sorted vertex ids scheduled next
+    vertex_arrays: dict[str, np.ndarray]
+    edge_arrays: dict[str, np.ndarray]
+    rng_states: dict[str, dict] = dc_field(default_factory=dict)
+    conflicts: dict = dc_field(default_factory=dict)
+    extra: dict = dc_field(default_factory=dict)
+
+
+def save_checkpoint(path: str | os.PathLike, ckpt: Checkpoint) -> None:
+    """Atomically write ``ckpt`` to ``path`` (temp file + rename)."""
+    manifest = []
+    blobs: list[bytes] = []
+    for kind, arrays in ((_KIND_VERTEX, ckpt.vertex_arrays),
+                         (_KIND_EDGE, ckpt.edge_arrays)):
+        for name in sorted(arrays):
+            arr = np.ascontiguousarray(arrays[name])
+            manifest.append({"name": name, "kind": kind,
+                             "dtype": arr.dtype.str, "size": int(arr.size)})
+            blobs.append(arr.tobytes())
+
+    frontier = np.ascontiguousarray(np.asarray(ckpt.frontier, dtype="<i8"))
+    meta = {
+        "iteration": int(ckpt.iteration),
+        "mode": ckpt.mode,
+        "program": ckpt.program,
+        "config": config_to_dict(ckpt.config),
+        "rng_states": ckpt.rng_states,
+        "conflicts": ckpt.conflicts,
+        "frontier_size": int(frontier.size),
+        "arrays": manifest,
+        "extra": ckpt.extra,
+    }
+    meta_b = json.dumps(meta, sort_keys=True).encode("utf-8")
+
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(CHECKPOINT_MAGIC)
+            fh.write(struct.pack("<IQ", CHECKPOINT_VERSION, len(meta_b)))
+            fh.write(meta_b)
+            fh.write(frontier.tobytes())
+            for blob in blobs:
+                fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+
+
+def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(len(CHECKPOINT_MAGIC))
+            if magic != CHECKPOINT_MAGIC:
+                raise CheckpointError(
+                    f"{path}: not a repro checkpoint (bad magic {magic!r})")
+            version, meta_len = struct.unpack("<IQ", fh.read(12))
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"{path}: unsupported checkpoint version {version}")
+            try:
+                meta = json.loads(fh.read(meta_len).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise CheckpointError(f"{path}: corrupt metadata: {exc}") from exc
+            frontier = np.frombuffer(
+                fh.read(8 * meta["frontier_size"]), dtype="<i8").copy()
+            if frontier.size != meta["frontier_size"]:
+                raise CheckpointError(f"{path}: truncated frontier section")
+            vertex_arrays: dict[str, np.ndarray] = {}
+            edge_arrays: dict[str, np.ndarray] = {}
+            for entry in meta["arrays"]:
+                dtype = np.dtype(entry["dtype"])
+                raw = fh.read(dtype.itemsize * entry["size"])
+                arr = np.frombuffer(raw, dtype=dtype)
+                if arr.size != entry["size"]:
+                    raise CheckpointError(
+                        f"{path}: truncated array {entry['name']!r}")
+                target = vertex_arrays if entry["kind"] == _KIND_VERTEX else edge_arrays
+                target[entry["name"]] = arr.copy()
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"checkpoint {path} does not exist") from exc
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+
+    return Checkpoint(
+        iteration=int(meta["iteration"]),
+        mode=meta["mode"],
+        program=meta["program"],
+        config=config_from_dict(meta["config"]),
+        frontier=frontier,
+        vertex_arrays=vertex_arrays,
+        edge_arrays=edge_arrays,
+        rng_states=meta.get("rng_states", {}),
+        conflicts=meta.get("conflicts", {}),
+        extra=meta.get("extra", {}),
+    )

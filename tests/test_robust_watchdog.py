@@ -1,0 +1,235 @@
+"""Convergence watchdog: Theorem-2 oscillation, stall, deadline, fallback.
+
+The headline scenario is the acceptance criterion of the robustness PR:
+:class:`~repro.algorithms.ConflictColoring` — the minimal enumeration
+computation of Theorem 2's boundary — provably cycles with period 2
+under ∥-ordered updates, so without a watchdog every nondeterministic
+run exhausts ``max_iterations``.  With the watchdog armed, the
+oscillation detector recognizes the repeating barrier digest within a
+few iterations, degrades to a deterministic engine, and the run
+terminates with a correct proper 2-coloring plus a recorded
+``degradation`` event.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ConflictColoring, WeaklyConnectedComponents
+from repro.engine import run
+from repro.graph import DiGraph, generators
+from repro.robust import (
+    ConvergenceFailure,
+    ConvergenceWatchdog,
+    DegradationPolicy,
+    WatchdogAlarm,
+    state_digest,
+)
+
+
+def matching_graph(k: int) -> DiGraph:
+    """A perfect matching of ``k`` disjoint undirected edges."""
+    src = np.arange(2 * k)
+    dst = src ^ 1  # 0<->1, 2<->3, ...
+    return DiGraph(2 * k, src, dst)
+
+
+#: Jitter-free two-thread config under which both endpoints of every
+#: matching edge update ∥-ordered — the provable Theorem-2 cycle.
+#: Round-robin dispatch puts vertices 2i and 2i+1 on different threads
+#: (block dispatch would pair them on one thread, whose in-order
+#: execution is sequential and therefore converges).
+from repro.engine import DispatchPolicy  # noqa: E402
+
+_OSC_CONFIG = dict(threads=2, seed=0, jitter=0.0, delay=2.0,
+                   dispatch=DispatchPolicy.ROUND_ROBIN)
+
+
+# ----------------------------------------------------------------------
+# the oscillator itself
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["deterministic", "chromatic"])
+def test_conflict_coloring_converges_sequentially(mode):
+    g = matching_graph(4)
+    res = run(ConflictColoring(), g, mode=mode, threads=2, seed=0)
+    assert res.converged
+    colors = res.state.vertex("color")
+    assert np.all(colors[0::2] != colors[1::2])  # proper 2-coloring
+
+
+@pytest.mark.parametrize("mode", ["sync", "nondeterministic"])
+def test_conflict_coloring_cycles_forever_parallel(mode):
+    # Without a watchdog, the run burns its entire iteration budget:
+    # the enumeration recreates the WW conflict every barrier.
+    g = matching_graph(4)
+    res = run(ConflictColoring(), g, mode=mode, max_iterations=40,
+              **_OSC_CONFIG)
+    assert not res.converged
+    assert res.num_iterations == 40
+
+
+def test_oscillation_is_exact_period_two():
+    g = matching_graph(2)
+    digests = []
+
+    def observer(iteration, state, next_schedule):
+        digests.append(state_digest(
+            state, np.fromiter(sorted(next_schedule), dtype=np.int64)))
+
+    run(ConflictColoring(), g, mode="sync", max_iterations=8,
+        observer=observer, **_OSC_CONFIG)
+    assert digests[0] == digests[2] == digests[4]
+    assert digests[1] == digests[3] == digests[5]
+    assert digests[0] != digests[1]
+
+
+# ----------------------------------------------------------------------
+# watchdog catches it and degrades to a deterministic engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["sync", "nondeterministic"])
+@pytest.mark.parametrize("fallback", ["chromatic", "deterministic"])
+def test_watchdog_fires_within_one_period_and_falls_back(mode, fallback):
+    g = matching_graph(4)
+    res = run(ConflictColoring(), g, mode=mode, max_iterations=40,
+              watchdog=ConvergenceWatchdog(),
+              policy=DegradationPolicy(fallback_mode=fallback),
+              **_OSC_CONFIG)
+    assert res.converged
+    assert res.mode == fallback
+    colors = res.state.vertex("color")
+    assert np.all(colors[0::2] != colors[1::2])
+    events = res.extra["degradations"]
+    assert len(events) == 1
+    event = events[0]
+    assert event["cause"] == "watchdog"
+    assert event["kind"] == "oscillation"
+    assert event["action"] == f"fallback:{fallback}"
+    # period-2 cycle: first recurrence is at iteration 2 (vs iteration 0)
+    assert event["iteration"] == 2
+
+
+def test_watchdog_escalates_atomicity_before_falling_back():
+    from repro.engine.atomicity import AtomicityPolicy
+
+    g = matching_graph(4)
+    res = run(ConflictColoring(), g, mode="nondeterministic",
+              max_iterations=40, atomicity=AtomicityPolicy.ATOMIC_RELAXED,
+              watchdog=ConvergenceWatchdog(),
+              policy=DegradationPolicy(), **_OSC_CONFIG)
+    assert res.converged
+    actions = [d["action"] for d in res.extra["degradations"]]
+    # locks don't fix a semantic oscillation, so the escalation is
+    # followed by the engine fallback — in that order
+    assert actions == ["escalate-atomicity", "fallback:chromatic"]
+
+
+def test_watchdog_gives_up_when_fallback_also_alarms():
+    # An unreachable deadline alarms in every engine, including the
+    # fallback: the policy runs out of avenues and surfaces the failure.
+    g = matching_graph(4)
+    wd = ConvergenceWatchdog(oscillation=True)
+    with pytest.raises(ConvergenceFailure):
+        run(ConflictColoring(), g, mode="sync", max_iterations=40,
+            watchdog=wd,
+            policy=DegradationPolicy(fallback_mode="sync"),
+            **_OSC_CONFIG)
+    assert wd.deadline_s is None  # sanity: it was the oscillator both times
+
+
+def test_healthy_run_never_trips_the_watchdog():
+    g = generators.rmat(7, 6.0, seed=2)
+    base = run(WeaklyConnectedComponents(), g, mode="nondeterministic",
+               threads=4, seed=0)
+    res = run(WeaklyConnectedComponents(), g, mode="nondeterministic",
+              threads=4, seed=0, watchdog=ConvergenceWatchdog())
+    assert res.converged
+    assert res.extra["degradations"] == []
+    np.testing.assert_array_equal(base.state.vertex("label"),
+                                  res.state.vertex("label"))
+
+
+# ----------------------------------------------------------------------
+# stall and deadline verdict units
+# ----------------------------------------------------------------------
+def test_stall_verdict_after_window():
+    wd = ConvergenceWatchdog(oscillation=False, stall_window=3)
+    assert wd.observe(0, frontier_size=10) is None
+    assert wd.observe(1, frontier_size=10) is None
+    assert wd.observe(2, frontier_size=10) is None
+    verdict = wd.observe(3, frontier_size=10)
+    assert verdict is not None and verdict.kind == "stall"
+    wd.reset()
+    assert wd.observe(0, frontier_size=10) is None  # history forgotten
+
+
+def test_stall_window_resets_on_improvement():
+    wd = ConvergenceWatchdog(oscillation=False, stall_window=2)
+    assert wd.observe(0, frontier_size=10) is None
+    assert wd.observe(1, frontier_size=10) is None
+    assert wd.observe(2, frontier_size=9) is None  # improvement
+    assert wd.observe(3, frontier_size=9) is None
+    assert wd.observe(4, frontier_size=9).kind == "stall"
+
+
+def test_deadline_verdict():
+    wd = ConvergenceWatchdog(oscillation=False, deadline_s=0.01)
+    assert wd.observe(0, frontier_size=5) is None
+    time.sleep(0.03)
+    verdict = wd.observe(1, frontier_size=5)
+    assert verdict is not None and verdict.kind == "deadline"
+
+
+def test_deadline_kwarg_routes_through_runner():
+    g = matching_graph(4)
+    # the oscillator never converges, so the deadline must trip; with
+    # fallback available the run still finishes deterministically
+    res = run(ConflictColoring(), g, mode="sync", max_iterations=200_000,
+              deadline_s=0.05, **_OSC_CONFIG)
+    assert res.converged
+    kinds = [d["kind"] for d in res.extra["degradations"]]
+    assert kinds == ["deadline"]
+
+
+def test_watchdog_alarm_message_carries_verdict():
+    from repro.robust import WatchdogVerdict
+
+    alarm = WatchdogAlarm(WatchdogVerdict("oscillation", 7, "period 2"))
+    assert "oscillation" in str(alarm)
+    assert "7" in str(alarm)
+    assert alarm.verdict.detail == "period 2"
+
+
+def test_watchdog_validation():
+    with pytest.raises(ValueError):
+        ConvergenceWatchdog(history=0)
+    with pytest.raises(ValueError):
+        ConvergenceWatchdog(stall_window=0)
+    with pytest.raises(ValueError):
+        ConvergenceWatchdog(deadline_s=0.0)
+    with pytest.raises(ValueError):
+        DegradationPolicy(fallback_mode="nondeterministic")
+    with pytest.raises(ValueError):
+        DegradationPolicy(max_restarts=-1)
+
+
+def test_degradation_policy_backoff_caps():
+    policy = DegradationPolicy(backoff_s=0.1, max_backoff_s=0.3)
+    assert policy.backoff_for(1) == pytest.approx(0.1)
+    assert policy.backoff_for(2) == pytest.approx(0.2)
+    assert policy.backoff_for(5) == pytest.approx(0.3)  # capped
+
+
+def test_state_digest_sensitivity():
+    g = matching_graph(2)
+    prog = ConflictColoring()
+    state = prog.make_state(g)
+    ids = np.array([0, 1], dtype=np.int64)
+    d0 = state_digest(state, ids)
+    assert d0 == state_digest(state, ids)
+    state.vertex("color")[0] = 1.0
+    assert state_digest(state, ids) != d0
+    state.vertex("color")[0] = 0.0
+    assert state_digest(state, np.array([0], dtype=np.int64)) != d0
