@@ -4,10 +4,11 @@ Two entry points:
 
 * ``python benchmarks/bench_nondet_fast.py`` — measures the object
   engine against the vectorized engine for every paper algorithm at
-  rmat scales 8/10/12 and writes ``BENCH_nondet.json`` at the repo
-  root (wall times, updates/s, speedups).  The object engine is skipped
-  above ``--object-max-scale`` (default 10) except for one PageRank
-  reference point, because it is the very cost the fast path removes.
+  rmat scales 8/10/12 and appends a timestamped trajectory entry to
+  ``BENCH_nondet.json`` at the repo root (wall times, updates/s,
+  speedups; see repro.experiments.benchtrack).  The object engine is
+  skipped above ``object_max_scale`` (default 10), because it is the
+  very cost the fast path removes.
 * ``pytest benchmarks/bench_nondet_fast.py -m perfsmoke`` — tier-2
   smoke floor: the fast path must hold ≥5× over the object engine at
   scale 10 (the JSON artifact targets ≥10×; the floor is deliberately
@@ -20,7 +21,6 @@ pure execution-strategy gain, not a semantics change.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
@@ -84,27 +84,25 @@ def measure(scale: int, *, object_engine: bool = True) -> dict:
 
 
 def main(object_max_scale: int = 10) -> dict:
-    payload = {
-        "config": CONFIG,
-        "graph": "rmat(scale, 8.0, seed=3)",
-        "scales": {},
-    }
-    for scale in SCALES:
-        print(f"scale {scale} ...", flush=True)
-        payload["scales"][str(scale)] = measure(
-            scale, object_engine=scale <= object_max_scale
-        )
-    # One object-engine reference point at the largest scale (PageRank
-    # only): documents the gap the fast path closes.
-    top = payload["scales"][str(SCALES[-1])]
-    if "object" not in top["algorithms"]["pagerank"]:
-        graph = generators.rmat(SCALES[-1], 8.0, seed=3)
-        cell = top["algorithms"]["pagerank"]
-        cell["object"] = _timed(ALGORITHMS["pagerank"], graph, vectorized=False)
-        cell["speedup"] = cell["object"]["seconds"] / cell["vectorized"]["seconds"]
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {OUTPUT}")
-    for scale, row in payload["scales"].items():
+    """Append one ``nondet`` trajectory entry to BENCH_nondet.json.
+
+    Delegates to :mod:`repro.experiments.benchtrack` so the standalone
+    script and ``repro bench --suite nondet`` produce identical entries
+    (append-only trajectory; a pre-trajectory snapshot is adopted as
+    entry 0).
+    """
+    from repro.experiments.benchtrack import run_bench
+
+    written = run_bench(
+        ("nondet",),
+        progress=lambda m: print(f"{m} ...", flush=True),
+        scales=SCALES,
+        object_max_scale=object_max_scale,
+    )
+    payload = written["nondet"]
+    print(f"wrote {OUTPUT} ({len(payload['entries'])} entries)")
+    results = payload["entries"][-1]["results"]
+    for scale, row in results["scales"].items():
         for name, cell in row["algorithms"].items():
             spd = cell.get("speedup")
             spd_txt = f"{spd:8.1f}x" if spd is not None else "       -"
@@ -129,12 +127,28 @@ def test_vectorized_speedup_floor_scale10():
 
 
 @pytest.mark.perfsmoke
-def test_scale12_pagerank_completes_in_seconds():
-    """The headline capability: scale-12 PageRank in seconds, not minutes."""
-    graph = generators.rmat(12, 8.0, seed=3)
-    cell = _timed(ALGORITHMS["pagerank"], graph, vectorized=True)
-    assert cell["converged"]
-    assert cell["seconds"] < 30.0
+def test_scale12_pagerank_throughput_floor():
+    """The headline capability: scale-12 PageRank stays in the same
+    throughput regime as scale 10.
+
+    Deliberately *relative*: both measurements come from the same
+    process seconds apart, so a loaded or slow CI host scales both
+    sides equally.  An absolute wall-clock ceiling would flake under
+    load without catching real regressions.  A genuine asymptotic
+    regression (e.g. an accidental O(V·E) step) collapses scale-12
+    updates/s by far more than the 4x slack.
+    """
+    cell10 = _timed(
+        ALGORITHMS["pagerank"], generators.rmat(10, 8.0, seed=3),
+        vectorized=True)
+    cell12 = _timed(
+        ALGORITHMS["pagerank"], generators.rmat(12, 8.0, seed=3),
+        vectorized=True)
+    assert cell10["converged"] and cell12["converged"]
+    assert cell12["updates_per_s"] >= cell10["updates_per_s"] / 4.0, (
+        f"scale-12 throughput {cell12['updates_per_s']:.0f} updates/s fell "
+        f"more than 4x below scale-10 ({cell10['updates_per_s']:.0f})"
+    )
 
 
 if __name__ == "__main__":

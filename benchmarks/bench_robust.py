@@ -44,7 +44,11 @@ def test_disabled_supervisor_overhead_floor():
     # empty plan: no fault ever fires, but every hook is consulted and
     # the restart token is refreshed at every barrier
     t_enabled = timed(faults=[])
-    assert t_disabled <= t_enabled * 1.10, (
+    # 1.25x, not 1.10x: both sides are ~0.5s min-of-5 measurements and a
+    # busy host (e.g. right after the tier-1 suite in the same CI box)
+    # jitters them by >10%; a real per-access cost on the disabled path
+    # would show up as a multiple, not a quarter.
+    assert t_disabled <= t_enabled * 1.25, (
         f"supervisor=None run ({t_disabled:.3f}s) slower than supervised "
         f"idle run ({t_enabled:.3f}s): the disabled path is paying more "
         f"than its advertised pointer check"
@@ -72,7 +76,11 @@ def test_recovered_run_overhead_is_bounded():
     t_clean = timed()
     t_crashed = timed(faults="crash@3",
                       policy=DegradationPolicy(backoff_s=0.0))
-    assert t_crashed <= t_clean * 2.5 + 0.5, (
+    # Pure ratio against a baseline measured seconds earlier in the same
+    # process: a loaded CI host slows both sides equally, so no absolute
+    # slack term is needed (one crash at iteration 3 re-runs a prefix of
+    # the 20-odd iterations — well under 3x even with restart overhead).
+    assert t_crashed <= t_clean * 3.0, (
         f"crash recovery cost blew up: clean {t_clean:.3f}s vs "
         f"recovered {t_crashed:.3f}s"
     )

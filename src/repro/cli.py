@@ -133,6 +133,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    choices=["sync", "deterministic", "chromatic",
                             "nondeterministic", "pure-async", "threads"])
     p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--backend", default=None, choices=["process"],
+                   help="nondeterministic mode only: 'process' executes the "
+                        "vectorized model across --threads OS worker "
+                        "processes over shared memory (bit-identical to the "
+                        "single-process fast path)")
     p.add_argument("--delay", type=float, default=2.0)
     p.add_argument("--run-seed", type=int, default=0)
     p.add_argument("--max-iterations", type=int, default=100_000)
@@ -172,6 +177,22 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--worker-timeout-s", type=float, default=60.0, metavar="S",
                    help="threads mode: barrier timeout before the stuck-worker "
                         "diagnostic fires (default 60; 0 = wait forever)")
+
+    p = sub.add_parser(
+        "bench",
+        help="run the canonical benchmark suites and append to the "
+             "BENCH_*.json perf trajectories")
+    p.add_argument("--suite", default="all",
+                   choices=["nondet", "parallel", "all"],
+                   help="which suite to run (default: all)")
+    p.add_argument("--scales", type=int, nargs="+", default=None,
+                   metavar="N", help="rmat scales to measure")
+    p.add_argument("--workers", type=int, nargs="+", default=None,
+                   metavar="P",
+                   help="worker counts for the parallel suite")
+    p.add_argument("--out-dir", default=None, metavar="DIR",
+                   help="directory of the BENCH_*.json files "
+                        "(default: the repo root)")
 
     p = sub.add_parser("report", help="regenerate the full evaluation as markdown")
     add_scale(p)
@@ -345,7 +366,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             recorder = Recorder(policy=args.record_policy, trace_path=args.record)
         result = run(ALGORITHMS[args.algorithm](), graph, mode=args.mode,
-                     config=config, telemetry=sink, record=recorder,
+                     config=config, backend=args.backend,
+                     telemetry=sink, record=recorder,
                      **robust_kwargs)
         print(format_table([{"dataset": args.dataset, **result.summary()}],
                            title=f"{args.algorithm} on {args.dataset}"))
@@ -373,6 +395,38 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return 1
         if not result.converged:
             return 2
+    elif args.command == "bench":
+        from .experiments.benchtrack import SUITES, run_bench
+
+        suites = list(SUITES) if args.suite == "all" else [args.suite]
+        kwargs = {}
+        if args.scales is not None:
+            kwargs["scales"] = tuple(args.scales)
+        if args.workers is not None:
+            kwargs["workers"] = tuple(args.workers)
+        written = run_bench(
+            suites, out_dir=args.out_dir,
+            progress=lambda m: print(f"... {m}", file=sys.stderr),
+            **kwargs)
+        for suite, payload in written.items():
+            filename = SUITES[suite][0]
+            print(f"{filename}: {len(payload['entries'])} trajectory "
+                  f"entr{'y' if len(payload['entries']) == 1 else 'ies'}")
+            results = payload["entries"][-1]["results"]
+            for scale, row in results["scales"].items():
+                for name, cell in row["algorithms"].items():
+                    if "workers" in cell:  # parallel suite
+                        for p, stat in cell["workers"].items():
+                            print(f"  scale {scale} {name:9s} P={p}: "
+                                  f"vec {stat['vectorized']['seconds']:7.3f}s  "
+                                  f"proc {stat['process']['seconds']:7.3f}s  "
+                                  f"speedup {stat['speedup']:.2f}x")
+                    else:  # nondet suite
+                        spd = cell.get("speedup")
+                        spd_txt = f"{spd:8.1f}x" if spd is not None else "   -"
+                        print(f"  scale {scale} {name:9s} "
+                              f"vec {cell['vectorized']['seconds']:7.3f}s"
+                              f" {spd_txt}")
     elif args.command == "report":
         from .experiments import generate_report
 

@@ -15,9 +15,11 @@ from .chromatic import ChromaticEngine
 from .gauss_seidel import DeterministicEngine
 from .delaymodel import DelayModel
 from .nondet_engine import NondeterministicEngine
+from .nondet_parallel import ParallelEngine, parallel_fallback_reasons
 from .nondet_vectorized import (
     NondetKernel,
     NondetPassContext,
+    PlanCache,
     VectorizedNondetEngine,
     fallback_reasons,
     register_nondet_kernel,
@@ -69,6 +71,9 @@ __all__ = [
     "NondeterministicEngine",
     "NondetKernel",
     "NondetPassContext",
+    "ParallelEngine",
+    "parallel_fallback_reasons",
+    "PlanCache",
     "VectorizedNondetEngine",
     "fallback_reasons",
     "register_nondet_kernel",

@@ -69,11 +69,120 @@ from .state import State
 __all__ = [
     "NondetKernel",
     "NondetPassContext",
+    "PlanCache",
     "VectorizedNondetEngine",
     "register_nondet_kernel",
     "resolve_nondet_kernel",
     "fallback_reasons",
 ]
+
+
+class PlanCache:
+    """Per-iteration dispatch plan with frontier-unchanged reuse.
+
+    Fixed-point algorithms (PageRank, SpMV) schedule the *same* active
+    set every iteration, yet the engine used to rebuild the whole plan —
+    thread/π assignment, full-size vertex scatters, per-edge endpoint
+    gathers, and the structural pair masks — from scratch every time.
+    This cache recomputes only what can actually change:
+
+    * frontier changed → full rebuild (exactly the uncached path);
+    * frontier unchanged → thread/π arrays, scatters, gathers and the
+      structural masks are reused verbatim.  With ``jitter > 0`` the
+      per-task noise is still drawn from the *same stream positions*
+      :func:`plan_arrays` would consume — bit-identity with the object
+      planner is preserved — and only the time-dependent arrays
+      (timestamps, Defs. 1–3 visibility, execution order, Lemma-2
+      tiebreak) are recomputed.  With ``jitter == 0`` and an unchanged
+      delay model, a cache hit costs two ``np.array_equal`` scans.
+
+    ``visibility=False`` skips the Defs. 1–3 / execution-order masks for
+    callers that only need the plan and the Lemma-2 tiebreak (the
+    process-backend master, whose workers evaluate visibility on their
+    own edge intervals).
+    """
+
+    def __init__(self, graph: DiGraph, num_threads: int, *, policy,
+                 jitter: float, rng, visibility: bool = True):
+        self.src = graph.edge_src
+        self.dst = graph.edge_dst
+        self.n = graph.num_vertices
+        self.p = num_threads
+        self.policy = policy
+        self.jitter = jitter
+        self.rng = rng
+        self.visibility = visibility
+        self.hits = 0
+        self._ids: np.ndarray | None = None
+        self._dm = None
+        self._d_pair = None
+
+    def _rebuild_structure(self) -> None:
+        n, src, dst = self.n, self.src, self.dst
+        self.thr_v = np.full(n, -1, dtype=np.int64)
+        self.pi_v = np.zeros(n, dtype=np.int64)
+        self.time_v = np.zeros(n, dtype=np.float64)
+        self.active = np.zeros(n, dtype=bool)
+        self.thr_v[self._ids] = self.thr_a
+        self.pi_v[self._ids] = self.pi_a
+        self.active[self._ids] = True
+        self.thr_s, self.thr_d = self.thr_v[src], self.thr_v[dst]
+        pi_s, pi_d = self.pi_v[src], self.pi_v[dst]
+        self.both = self.active[src] & self.active[dst] & (src != dst)
+        self.same = self.thr_s == self.thr_d
+        self.dt = self.both & (self.thr_s != self.thr_d)
+        # π comparisons are time-independent; precompute for reuse.
+        self._pi_sd = pi_s < pi_d
+        self._pi_ds = pi_d < pi_s
+        self._pi_tie_sd = (pi_s == pi_d) & (self.thr_s < self.thr_d)
+
+    def _rebuild_time_dependent(self) -> None:
+        src, dst = self.src, self.dst
+        t_s, t_d = self.time_v[src], self.time_v[dst]
+        self.t_s, self.t_d = t_s, t_d
+        # Lemma-2 tiebreak: later time wins; equal time → larger vid.
+        self.dst_wins = (t_d > t_s) | ((t_d == t_s) & (dst > src))
+        if not self.visibility:
+            return
+        both, same, d_pair = self.both, self.same, self._d_pair
+        self.vis_s2d = both & np.where(same, self._pi_sd, (t_d - t_s) >= d_pair)
+        self.vis_d2s = both & np.where(same, self._pi_ds, (t_s - t_d) >= d_pair)
+        self.lex_sd = both & (
+            (t_s < t_d) | ((t_s == t_d) & (self._pi_sd | self._pi_tie_sd))
+        )
+        self.lex_ds = both & ~self.lex_sd
+
+    def plan(self, active_ids: np.ndarray, dm) -> "PlanCache":
+        """(Re)compute the plan for ``active_ids`` under delay model ``dm``."""
+        ids = np.asarray(active_ids, dtype=np.int64)
+        hit = (
+            self._ids is not None
+            and ids.size == self._ids.size
+            and bool(np.array_equal(ids, self._ids))
+        )
+        dm_changed = dm != self._dm
+        if hit:
+            self.hits += 1
+            if self.jitter > 0:
+                # Same draw plan_arrays would make, same stream position.
+                self.time_a = self.pi_a + self.rng.uniform(
+                    0.0, self.jitter, size=int(ids.size))
+                self.time_v[self._ids] = self.time_a
+        else:
+            self._ids = ids.copy()
+            self.thr_a, self.pi_a, self.time_a = plan_arrays(
+                ids, self.p, policy=self.policy, jitter=self.jitter,
+                rng=self.rng,
+            )
+            self._rebuild_structure()
+            self.time_v[self._ids] = self.time_a
+        if dm_changed or not hit:
+            self._dm = dm
+            self._d_pair = dm.intra if dm.is_uniform else dm.delays(
+                self.thr_s, self.thr_d)
+        if (not hit) or self.jitter > 0 or dm_changed:
+            self._rebuild_time_dependent()
+        return self
 
 
 class NondetPassContext:
@@ -410,6 +519,13 @@ class VectorizedNondetEngine:
         converged = False
         total_passes = 0
         p = config.threads
+        # Per-iteration plan with frontier-unchanged reuse: Defs. 1–3 for
+        # every edge at once (only pairs of *distinct* active endpoints
+        # can exchange same-iteration values) plus the global execution
+        # order (time, π, thread) — an *invisible* write only stales
+        # reads issued after it.
+        plan_cache = PlanCache(graph, p, policy=config.dispatch,
+                               jitter=config.jitter, rng=jitter_rng)
         while iteration < config.max_iterations:
             if frontier_ids.size == 0:
                 converged = True
@@ -423,43 +539,12 @@ class VectorizedNondetEngine:
             rw0, ww0 = log.read_write, log.write_write
             passes0 = total_passes
             active_ids = frontier_ids
-            thr_a, pi_a, time_a = plan_arrays(
-                active_ids,
-                p,
-                policy=config.dispatch,
-                jitter=config.jitter,
-                rng=jitter_rng,
-            )
-            # Scatter the plan to full-size vertex arrays (-1 = inactive).
-            thr_v = np.full(n, -1, dtype=np.int64)
-            pi_v = np.zeros(n, dtype=np.int64)
-            time_v = np.zeros(n, dtype=np.float64)
-            active = np.zeros(n, dtype=bool)
-            thr_v[active_ids] = thr_a
-            pi_v[active_ids] = pi_a
-            time_v[active_ids] = time_a
-            active[active_ids] = True
-
-            # Defs. 1–3 for every edge at once.  Only pairs of *distinct*
-            # active endpoints can exchange same-iteration values.
-            thr_s, thr_d = thr_v[src], thr_v[dst]
-            pi_s, pi_d = pi_v[src], pi_v[dst]
-            t_s, t_d = time_v[src], time_v[dst]
-            both = active[src] & active[dst] & (src != dst)
-            same = thr_s == thr_d
-            if dm_i.is_uniform:
-                d_pair = dm_i.intra
-            else:
-                d_pair = dm_i.delays(thr_s, thr_d)
-            vis_s2d = both & np.where(same, pi_s < pi_d, (t_d - t_s) >= d_pair)
-            vis_d2s = both & np.where(same, pi_d < pi_s, (t_s - t_d) >= d_pair)
-            # Global execution order (time, π, thread): which endpoint runs
-            # first — an *invisible* write only stales reads issued after it.
-            lex_sd = both & (
-                (t_s < t_d)
-                | ((t_s == t_d) & ((pi_s < pi_d) | ((pi_s == pi_d) & (thr_s < thr_d))))
-            )
-            lex_ds = both & ~lex_sd
+            plan = plan_cache.plan(active_ids, dm_i)
+            active = plan.active
+            thr_s, thr_d = plan.thr_s, plan.thr_d
+            t_s, t_d = plan.t_s, plan.t_d
+            vis_s2d, vis_d2s = plan.vis_s2d, plan.vis_d2s
+            lex_sd, lex_ds = plan.lex_sd, plan.lex_ds
 
             ctx = NondetPassContext(
                 graph, state, active, written,
@@ -504,8 +589,8 @@ class VectorizedNondetEngine:
 
             # Barrier: Lemma-2 winners, conflict totals, work profile.
             next_mask = np.zeros(n, dtype=bool)
-            dt = both & (thr_s != thr_d)
-            dst_wins = (t_d > t_s) | ((t_d == t_s) & (dst > src))
+            dt = plan.dt
+            dst_wins = plan.dst_wins
             if record is not None:
                 # Provenance must flow *before* the commit assignments:
                 # ctx.committed aliases the live state arrays, and the
@@ -554,7 +639,7 @@ class VectorizedNondetEngine:
                 if rw + ww:
                     log.per_iteration[iteration] += rw + ww
 
-            upd_t = np.bincount(thr_a, minlength=p)
+            upd_t = np.bincount(plan.thr_a, minlength=p)
             reads_t = np.zeros(p, dtype=np.int64)
             writes_t = np.zeros(p, dtype=np.int64)
             for f in state.edge_field_names:
@@ -614,7 +699,8 @@ class VectorizedNondetEngine:
             iterations=stats,
             conflicts=log,
             config=config,
-            extra={"vectorized": True, "fixpoint_passes": total_passes},
+            extra={"vectorized": True, "fixpoint_passes": total_passes,
+                   "plan_cache_hits": plan_cache.hits},
         )
         if record is not None:
             record.end_run(result)

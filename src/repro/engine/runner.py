@@ -59,6 +59,7 @@ def run(
     state: State | None = None,
     observer=None,
     vectorized: bool | str = False,
+    backend: str | None = None,
     telemetry=None,
     record=None,
     supervisor=None,
@@ -112,6 +113,21 @@ def run(
         the empty string is accepted as ``False`` (falsy pass-through,
         e.g. from CLI/env plumbing) and, like ``False``, is valid for
         every mode; any other string except ``"require"`` is rejected.
+    backend:
+        Nondeterministic mode only.  ``"process"`` executes the
+        vectorized model across ``config.threads`` OS worker processes
+        over shared memory
+        (:class:`~repro.engine.nondet_parallel.ParallelEngine`) —
+        bit-identical to ``vectorized=True`` at any worker count, but
+        actually multi-core.  Unlike ``vectorized=True`` there is no
+        silent fallback: an ineligible program/config raises, listing
+        the reasons (the backend has nothing to fall back to that would
+        honour the request for real parallelism).  Mutually exclusive
+        with ``vectorized=``; ``None``/``""`` mean the default
+        single-process engines.  Worker death raises
+        :class:`~repro.robust.errors.WorkerDied`, which the supervised
+        retry loop (``faults=``/``policy=`` etc.) recovers like any
+        other worker timeout.
     telemetry:
         Optional :class:`~repro.obs.Telemetry` sink.  Every engine
         (including the real-thread backend and the vectorized fast path)
@@ -184,6 +200,23 @@ def run(
             raise ValueError(
                 f"vectorized={vectorized!r} not understood: use True, False or 'require'"
             )
+    # Normalize backend= the same way: None/"" mean in-process engines.
+    if backend == "":
+        backend = None
+    if backend is not None:
+        if backend != "process":
+            raise ValueError(
+                f"backend={backend!r} not understood: use 'process' or None"
+            )
+        if mode != "nondeterministic":
+            raise ValueError(
+                "backend='process' applies to mode='nondeterministic' only"
+            )
+        if vectorized:
+            raise ValueError(
+                "pass either backend='process' or vectorized=, not both "
+                "(the process backend runs the vectorized kernels already)"
+            )
     # Normalize record= the same way: None passes through untouched, a
     # Recorder instance is used as-is, True means "in-memory recorder with
     # defaults", and a path means "stream JSONL provenance there".
@@ -235,7 +268,7 @@ def run(
             # one instead of silently overriding it with defaults.
             config=config if explicit_config else None,
             state=state, observer=observer, vectorized=vectorized,
-            telemetry=telemetry, record=record,
+            backend=backend, telemetry=telemetry, record=record,
             faults=faults, watchdog=watchdog, policy=policy,
             checkpoint=checkpoint, checkpoint_every=checkpoint_every,
             resume_from=resume_from, deadline_s=deadline_s,
@@ -244,6 +277,14 @@ def run(
         engine_cls = ENGINES[mode]
     except KeyError:
         raise ValueError(f"unknown mode {mode!r}; choose from {sorted(ENGINES)}") from None
+    if backend == "process":
+        # Imported lazily: the backend pulls in multiprocessing + shm.
+        from .nondet_parallel import ParallelEngine
+
+        return ParallelEngine().run(
+            program, graph, config, state=state, observer=observer,
+            telemetry=telemetry, record=record, supervisor=supervisor,
+        )
     if vectorized:
         if mode != "nondeterministic":
             raise ValueError(

@@ -4,6 +4,12 @@ See DESIGN.md §4 for the experiment index (T1, F3, T2, T3, A1–A3).
 """
 
 from .ablations import AblationResult, run_delay_sweep, run_dispatch_study, run_torn_study
+from .benchtrack import (
+    append_trajectory,
+    run_bench,
+    run_nondet_suite,
+    run_parallel_suite,
+)
 from .common import DEFAULT_SCALE, DEFAULT_SEED, PAPER_THREADS, format_table
 from .figure3 import NE_POLICIES, Figure3Result, run_figure3, run_figure3_explain
 from .report import generate_report
@@ -16,6 +22,10 @@ __all__ = [
     "run_delay_sweep",
     "run_dispatch_study",
     "run_torn_study",
+    "append_trajectory",
+    "run_bench",
+    "run_nondet_suite",
+    "run_parallel_suite",
     "DEFAULT_SCALE",
     "DEFAULT_SEED",
     "PAPER_THREADS",

@@ -1,0 +1,229 @@
+"""Benchmark suites with an append-only perf trajectory.
+
+``BENCH_*.json`` files at the repo root record how fast the engines are
+*over time*: every invocation of :func:`run_bench` (or ``repro bench``)
+appends one timestamped entry per suite instead of overwriting the
+file, so perf history accumulates across PRs and regressions show up as
+a bend in the trajectory, not as silently replaced numbers.
+
+Trajectory format (``bench-trajectory/v1``)::
+
+    {"schema": "bench-trajectory/v1",
+     "entries": [
+        {"timestamp": "...", "suite": "parallel",
+         "host": {"cpus": 1, ...}, "results": {...}},
+        ...]}
+
+A legacy single-snapshot file (the pre-trajectory ``BENCH_nondet.json``
+format) is adopted on first append: the old payload becomes entry 0,
+flagged ``"legacy": true``.
+
+Two canonical suites:
+
+* ``nondet`` — object engine vs the single-process vectorized fast
+  path (the PR-1 speedup, kept honest over time);
+* ``parallel`` — single-process vectorized vs the shared-memory process
+  backend at 1/2/4/8 workers.  ``config.threads`` *is* the worker
+  count, and changing it changes the racy schedule itself — so every
+  cell compares the two execution strategies **under the same model
+  configuration** (same bits out, see tests/test_nondet_parallel.py);
+  cross-worker rows are different schedules and are reported as a
+  scaling curve, not a like-for-like speedup.
+
+Every entry embeds a host fingerprint (CPU count, platform): a scaling
+curve measured on a single-core container documents backend overhead,
+not hardware parallelism, and readers must be able to tell.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import platform
+import time
+
+from ..algorithms import BFS, SSSP, PageRank, SpMV, WeaklyConnectedComponents
+from ..engine import EngineConfig, run
+from ..graph import generators
+
+__all__ = [
+    "SCHEMA",
+    "SUITES",
+    "append_trajectory",
+    "host_fingerprint",
+    "run_nondet_suite",
+    "run_parallel_suite",
+    "run_bench",
+]
+
+SCHEMA = "bench-trajectory/v1"
+
+#: Repo root (the BENCH_*.json home) — three levels above this module.
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+ALGORITHMS = {
+    "wcc": WeaklyConnectedComponents,
+    "pagerank": lambda: PageRank(epsilon=1e-3),
+    "sssp": lambda: SSSP(source=0),
+    "bfs": lambda: BFS(source=0),
+    "spmv": SpMV,
+}
+
+GRAPH_SPEC = "rmat(scale, 8.0, seed=3)"
+
+
+def host_fingerprint() -> dict:
+    return {
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def append_trajectory(path, entry: dict) -> dict:
+    """Append ``entry`` to the trajectory at ``path`` (atomic, adoptive).
+
+    Returns the full payload written.  A missing file starts a fresh
+    trajectory; an existing non-trajectory JSON payload (legacy
+    snapshot) is preserved as entry 0 with ``"legacy": true``.
+    """
+    path = pathlib.Path(path)
+    payload = {"schema": SCHEMA, "entries": []}
+    if path.exists():
+        old = json.loads(path.read_text())
+        if isinstance(old, dict) and old.get("schema") == SCHEMA:
+            payload = old
+        else:
+            payload["entries"].append({"legacy": True, "results": old})
+    entry = dict(entry)
+    entry.setdefault(
+        "timestamp",
+        datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"),
+    )
+    entry.setdefault("host", host_fingerprint())
+    payload["entries"].append(entry)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
+    return payload
+
+
+def _timed(factory, graph, config: EngineConfig, **run_kwargs) -> dict:
+    t0 = time.perf_counter()
+    res = run(factory(), graph, mode="nondeterministic", config=config,
+              **run_kwargs)
+    elapsed = time.perf_counter() - t0
+    updates = sum(s.num_active for s in res.iterations)
+    return {
+        "seconds": elapsed,
+        "iterations": res.num_iterations,
+        "updates": updates,
+        "updates_per_s": updates / elapsed if elapsed > 0 else float("inf"),
+        "converged": res.converged,
+    }
+
+
+def run_nondet_suite(scales=(8, 10, 12), *, object_max_scale: int = 10,
+                     progress=None) -> dict:
+    """Object engine vs vectorized fast path, per algorithm and scale."""
+    config = EngineConfig(threads=8, seed=0, jitter=0.5)
+    results: dict = {"graph": GRAPH_SPEC,
+                     "config": {"threads": 8, "seed": 0, "jitter": 0.5},
+                     "scales": {}}
+    for scale in scales:
+        if progress:
+            progress(f"nondet scale {scale}")
+        graph = generators.rmat(scale, 8.0, seed=3)
+        row = {"vertices": graph.num_vertices, "edges": graph.num_edges,
+               "algorithms": {}}
+        for name, factory in ALGORITHMS.items():
+            cell = {"vectorized": _timed(factory, graph, config,
+                                         vectorized="require")}
+            if scale <= object_max_scale:
+                cell["object"] = _timed(factory, graph, config)
+                cell["speedup"] = (cell["object"]["seconds"]
+                                   / cell["vectorized"]["seconds"])
+            row["algorithms"][name] = cell
+        results["scales"][str(scale)] = row
+    return results
+
+
+def run_parallel_suite(scales=(10, 12), workers=(1, 2, 4, 8),
+                       algorithms=("pagerank",), *, progress=None) -> dict:
+    """Vectorized fast path vs the process backend across worker counts.
+
+    Per (scale, algorithm, P): wall time of ``vectorized=True`` and of
+    ``backend="process"`` under the *same* ``threads=P`` configuration
+    (bit-identical outputs), their ratio (``speedup`` > 1 means the
+    backend won), and a ``scaling`` curve of backend throughput
+    normalised to its own P=1 run.
+    """
+    workers = tuple(workers)
+    results: dict = {"graph": GRAPH_SPEC,
+                     "config": {"seed": 0, "jitter": 0.5},
+                     "workers": list(workers), "scales": {}}
+    for scale in scales:
+        graph = generators.rmat(scale, 8.0, seed=3)
+        row = {"vertices": graph.num_vertices, "edges": graph.num_edges,
+               "algorithms": {}}
+        for name in algorithms:
+            factory = ALGORITHMS[name]
+            cell: dict = {"workers": {}}
+            for p in workers:
+                if progress:
+                    progress(f"parallel scale {scale} {name} P={p}")
+                config = EngineConfig(threads=p, seed=0, jitter=0.5)
+                vec = _timed(factory, graph, config, vectorized="require")
+                proc = _timed(factory, graph, config, backend="process")
+                cell["workers"][str(p)] = {
+                    "vectorized": vec,
+                    "process": proc,
+                    "speedup": vec["seconds"] / proc["seconds"],
+                }
+            base = cell["workers"][str(workers[0])]["process"]
+            cell["scaling"] = {
+                str(p): (cell["workers"][str(p)]["process"]["updates_per_s"]
+                         / base["updates_per_s"])
+                for p in workers
+            }
+            row["algorithms"][name] = cell
+        results["scales"][str(scale)] = row
+    return results
+
+
+SUITES = {
+    "nondet": ("BENCH_nondet.json", run_nondet_suite),
+    "parallel": ("BENCH_parallel.json", run_parallel_suite),
+}
+
+
+def run_bench(suites=("nondet", "parallel"), *, out_dir=None,
+              progress=None, **suite_kwargs) -> dict[str, dict]:
+    """Run the named suites and append one trajectory entry each.
+
+    Returns ``{suite: payload-written}``.  ``suite_kwargs`` (e.g.
+    ``scales=``, ``workers=``) are forwarded to every suite that
+    accepts them.
+    """
+    out_dir = pathlib.Path(out_dir) if out_dir is not None else REPO_ROOT
+    written: dict[str, dict] = {}
+    for suite in suites:
+        try:
+            filename, runner = SUITES[suite]
+        except KeyError:
+            raise ValueError(
+                f"unknown bench suite {suite!r}; choose from {sorted(SUITES)}"
+            ) from None
+        import inspect
+
+        accepted = {
+            k: v for k, v in suite_kwargs.items()
+            if k in inspect.signature(runner).parameters
+        }
+        results = runner(progress=progress, **accepted)
+        entry = {"suite": suite, "results": results}
+        written[suite] = append_trajectory(out_dir / filename, entry)
+    return written

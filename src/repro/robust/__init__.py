@@ -28,6 +28,7 @@ from .errors import (
     InjectedCrash,
     RobustError,
     WatchdogAlarm,
+    WorkerDied,
     WorkerTimeout,
 )
 from .faults import FAULT_KINDS, Fault, FaultPlan
@@ -41,6 +42,7 @@ from .watchdog import (
 __all__ = [
     "RobustError",
     "WorkerTimeout",
+    "WorkerDied",
     "InjectedCrash",
     "WatchdogAlarm",
     "ConvergenceFailure",

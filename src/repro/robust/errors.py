@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "RobustError",
     "WorkerTimeout",
+    "WorkerDied",
     "InjectedCrash",
     "WatchdogAlarm",
     "ConvergenceFailure",
@@ -35,6 +36,24 @@ class WorkerTimeout(RobustError):
         super().__init__(message)
         self.iteration = iteration
         self.stuck = tuple(stuck)
+
+
+class WorkerDied(WorkerTimeout):
+    """An OS worker process of the parallel backend died mid-run.
+
+    Raised by :class:`~repro.engine.nondet_parallel.ParallelEngine` when
+    an iteration barrier breaks because a worker crashed (segfault,
+    SIGKILL, unhandled exception).  Subclasses :class:`WorkerTimeout` so
+    the supervised degradation ladder recovers it with the same
+    restart-with-backoff path it already uses for wedged workers — the
+    master's state is barrier-consistent at the point of the raise, so a
+    memory-token restart is valid.
+    """
+
+    def __init__(self, message: str, *, iteration: int = -1,
+                 workers: tuple[int, ...] = ()):
+        super().__init__(message, iteration=iteration, stuck=workers)
+        self.workers = tuple(workers)
 
 
 class InjectedCrash(RobustError):

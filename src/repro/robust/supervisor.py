@@ -352,10 +352,19 @@ def _scale_delay_model(dm: DelayModel, factor: float) -> DelayModel:
 # the supervised loop
 # ----------------------------------------------------------------------
 def _dispatch(program, graph, *, mode, config, state, observer, vectorized,
-              telemetry, record, supervisor):
+              backend, telemetry, record, supervisor):
     """Engine dispatch mirroring :func:`repro.engine.runner.run`."""
     from ..engine.runner import ENGINES
 
+    if backend == "process":
+        if mode != "nondeterministic":
+            raise ValueError(
+                "backend='process' applies to mode='nondeterministic' only")
+        from ..engine.nondet_parallel import ParallelEngine
+
+        return ParallelEngine().run(
+            program, graph, config, state=state, observer=observer,
+            telemetry=telemetry, record=record, supervisor=supervisor)
     if vectorized:
         if mode != "nondeterministic":
             raise ValueError(
@@ -400,7 +409,8 @@ def _emit_degradation(telemetry, record, degradations: list, event: dict) -> Non
 
 def supervised_run(program, graph, *, mode: str = "nondeterministic",
                    config: EngineConfig | None = None, state=None,
-                   observer=None, vectorized=False, telemetry=None,
+                   observer=None, vectorized=False, backend=None,
+                   telemetry=None,
                    record=None, faults=None,
                    watchdog: ConvergenceWatchdog | None = None,
                    policy: DegradationPolicy | None = None,
@@ -445,6 +455,7 @@ def supervised_run(program, graph, *, mode: str = "nondeterministic",
 
     cur_state = state if state is not None else program.make_state(graph)
     cur_mode, cur_config, cur_vectorized = mode, config, vectorized
+    cur_backend = backend
     degradations: list[dict] = []
     restarts = 0
     escalated = False
@@ -457,6 +468,7 @@ def supervised_run(program, graph, *, mode: str = "nondeterministic",
             result = _dispatch(program, graph, mode=cur_mode,
                                config=cur_config, state=cur_state,
                                observer=observer, vectorized=cur_vectorized,
+                               backend=cur_backend,
                                telemetry=telemetry, record=record,
                                supervisor=sup)
             break
@@ -520,6 +532,7 @@ def supervised_run(program, graph, *, mode: str = "nondeterministic",
                 fell_back = True
                 cur_mode = policy.fallback_mode
                 cur_vectorized = False
+                cur_backend = None
                 event["action"] = f"fallback:{policy.fallback_mode}"
             else:
                 event["action"] = "give-up"

@@ -99,3 +99,46 @@ class TestRegistry:
         for name, factory in ALGORITHMS.items():
             program = factory()
             assert hasattr(program, "traits"), name
+
+
+class TestBackendAndBench:
+    def test_run_process_backend(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "PageRank", "--scale", "6", "--threads", "2",
+            "--backend", "process", "--audit",
+        )
+        assert code == 0
+        assert "CLEAN" in out
+
+    def test_bench_appends_trajectory_entries(self, capsys, tmp_path):
+        import json
+
+        argv = ("bench", "--suite", "nondet", "--scales", "4",
+                "--out-dir", str(tmp_path))
+        code, out = run_cli(capsys, *argv)
+        assert code == 0
+        assert "BENCH_nondet.json" in out
+        payload = json.loads((tmp_path / "BENCH_nondet.json").read_text())
+        assert payload["schema"] == "bench-trajectory/v1"
+        assert len(payload["entries"]) == 1
+        assert payload["entries"][0]["host"]["cpus"]
+        # appending, not overwriting: a second run grows the trajectory
+        code, _ = run_cli(capsys, *argv)
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_nondet.json").read_text())
+        assert len(payload["entries"]) == 2
+
+    def test_bench_parallel_suite(self, capsys, tmp_path):
+        import json
+
+        code, out = run_cli(
+            capsys, "bench", "--suite", "parallel", "--scales", "4",
+            "--workers", "1", "2", "--out-dir", str(tmp_path),
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_parallel.json").read_text())
+        entry = payload["entries"][-1]["results"]
+        cell = entry["scales"]["4"]["algorithms"]["pagerank"]
+        assert set(cell["workers"]) == {"1", "2"}
+        for stat in cell["workers"].values():
+            assert stat["speedup"] > 0

@@ -1,0 +1,219 @@
+"""Backend equivalence for the shared-memory process backend.
+
+The process backend distributes the vectorized nondeterministic model
+across OS workers, each owning the thread intervals BLOCK dispatch
+assigns it.  Because every edge slot has exactly one writing owner (the
+paper's §II scope rule: only the endpoints touch an edge), the workers
+never race on real memory, and the distributed run is *bit-identical*
+to the single-process vectorized engine — which is itself bit-identical
+to the object engine.  These tests pin that chain, the runner plumbing,
+and the robustness ladder (worker death → WorkerDied → supervised
+restart from barrier-consistent state).
+"""
+
+import multiprocessing as mp
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, WeaklyConnectedComponents
+from repro.engine import EngineConfig, ParallelEngine, parallel_fallback_reasons, run
+from repro.graph import generators
+from repro.obs import Recorder
+from repro.robust import DegradationPolicy, WorkerDied, WorkerTimeout
+from repro.theory import audit_run
+
+from .test_nondet_vectorized import ALGORITHMS, assert_bit_identical
+
+pytestmark = pytest.mark.parallel_backend
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return generators.rmat(6, 8.0, seed=3)
+
+
+def run_backend_pair(factory, graph, config, **run_kwargs):
+    """One vectorized run and one process-backend run, same configuration."""
+    vec = run(factory(), graph, mode="nondeterministic", config=config,
+              vectorized="require", **run_kwargs)
+    proc = run(factory(), graph, mode="nondeterministic", config=config,
+               backend="process", **run_kwargs)
+    return vec, proc
+
+
+# ---------------------------------------------------------------------------
+# bit-identity: process backend == vectorized == object engine
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+@pytest.mark.parametrize("workers", [1, 4])
+def test_process_backend_bit_identical(small_graph, algo, workers):
+    config = EngineConfig(threads=workers, seed=0, jitter=0.5)
+    vec, proc = run_backend_pair(ALGORITHMS[algo], small_graph, config)
+    assert proc.extra.get("backend") == "process"
+    assert proc.extra.get("workers") == workers
+    assert proc.extra.get("vectorized") is True
+    assert proc.mode == "nondeterministic"
+    assert_bit_identical(vec, proc)
+    # the fix-point decomposition must not change the pass count either
+    assert proc.extra["fixpoint_passes"] == vec.extra["fixpoint_passes"]
+
+
+def test_process_backend_state_reachable_by_object_engine(small_graph):
+    """Satellite check: the distributed run's final state passes the
+    Lemma-2 audit, i.e. it is a state the object engine could reach."""
+    config = EngineConfig(threads=4, seed=1, jitter=0.5)
+    proc = run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+               config=config, backend="process")
+    assert audit_run(proc) == []
+
+
+def test_process_backend_jitter_zero_and_many_workers():
+    graph = generators.rmat(4, 8.0, seed=5)
+    # 64 workers > |V|: some workers own no vertices in every iteration
+    for workers in (2, 64):
+        config = EngineConfig(threads=workers, seed=2, jitter=0.0)
+        vec, proc = run_backend_pair(WeaklyConnectedComponents, graph, config)
+        assert_bit_identical(vec, proc)
+
+
+# ---------------------------------------------------------------------------
+# runner plumbing
+# ---------------------------------------------------------------------------
+
+def test_runner_rejects_unknown_backend(small_graph):
+    with pytest.raises(ValueError, match="not understood"):
+        run(PageRank(), small_graph, mode="nondeterministic",
+            backend="gpu")
+
+
+def test_runner_rejects_backend_outside_nondeterministic(small_graph):
+    with pytest.raises(ValueError, match="nondeterministic"):
+        run(PageRank(), small_graph, mode="sync", backend="process")
+
+
+def test_runner_rejects_backend_plus_vectorized(small_graph):
+    with pytest.raises(ValueError, match="not both"):
+        run(PageRank(), small_graph, mode="nondeterministic",
+            backend="process", vectorized=True)
+
+
+def test_backend_rejects_ineligible_config(small_graph):
+    reasons = parallel_fallback_reasons(
+        PageRank(), EngineConfig(keep_conflict_events=True))
+    assert reasons  # the config is genuinely ineligible
+    with pytest.raises(ValueError, match="keep_conflict_events"):
+        run(PageRank(), small_graph, mode="nondeterministic",
+            backend="process",
+            config=EngineConfig(threads=2, keep_conflict_events=True))
+
+
+def test_empty_backend_string_means_in_process(small_graph):
+    res = run(PageRank(epsilon=1e-2), small_graph, mode="nondeterministic",
+              config=EngineConfig(threads=2, seed=0), backend="")
+    assert "backend" not in res.extra
+
+
+def test_engine_instance_is_reusable(small_graph):
+    """A ParallelEngine can run twice (pool torn down between runs)."""
+    engine = ParallelEngine()
+    config = EngineConfig(threads=2, seed=0, jitter=0.5)
+    a = engine.run(PageRank(epsilon=1e-3), small_graph, config)
+    b = engine.run(PageRank(epsilon=1e-3), small_graph, config)
+    assert_bit_identical(a, b)
+
+
+# ---------------------------------------------------------------------------
+# observability: recorder provenance and checkpoint/resume
+# ---------------------------------------------------------------------------
+
+def test_recorder_events_identical_to_vectorized(small_graph):
+    config = EngineConfig(threads=3, seed=0, jitter=0.5)
+    rec_vec, rec_proc = Recorder(), Recorder()
+    vec = run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+              config=config, vectorized="require", record=rec_vec)
+    proc = run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+               config=config, backend="process", record=rec_proc)
+    assert_bit_identical(vec, proc)
+    assert len(rec_vec.events) > 0
+    assert rec_vec.events == rec_proc.events
+
+
+def test_checkpoint_resume_across_backends(small_graph, tmp_path):
+    """A checkpoint written by the process backend resumes on the
+    single-process engine bit-identically (and vice versa): the
+    barrier-consistent master state is backend-agnostic."""
+    ck = str(tmp_path / "par.ckpt")
+    config = EngineConfig(threads=2, seed=0, jitter=0.5)
+    with pytest.raises(Exception):
+        run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+            config=config, backend="process", faults="crash@2",
+            checkpoint=ck, policy=DegradationPolicy(max_restarts=0))
+    resumed = run(PageRank(epsilon=1e-3), small_graph,
+                  mode="nondeterministic", resume_from=ck,
+                  vectorized="require")
+    clean = run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+                config=config, vectorized="require")
+    # A resumed result only reports post-resume iteration stats; the
+    # committed state and global trajectory must still match exactly.
+    assert resumed.converged and resumed.num_iterations == clean.num_iterations
+    for f in clean.state.vertex_field_names:
+        assert np.array_equal(resumed.state.vertex(f), clean.state.vertex(f))
+    for f in clean.state.edge_field_names:
+        assert np.array_equal(resumed.state.edge(f), clean.state.edge(f))
+
+
+# ---------------------------------------------------------------------------
+# robustness ladder: worker death
+# ---------------------------------------------------------------------------
+
+def _kill_one_worker_at(iteration_to_kill):
+    """Observer that SIGKILLs one backend worker once, mid-run."""
+    state = {"done": False}
+
+    def observer(iteration, _state, _next_ids):
+        if state["done"] or iteration < iteration_to_kill:
+            return
+        victims = [p for p in mp.active_children()
+                   if p.name.startswith("repro-nondet-worker")]
+        if victims:
+            state["done"] = True
+            os.kill(victims[0].pid, signal.SIGKILL)
+
+    return observer
+
+
+def test_worker_sigkill_raises_worker_died(small_graph):
+    config = EngineConfig(threads=2, seed=0, jitter=0.5)
+    with pytest.raises(WorkerDied) as exc:
+        run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+            config=config, backend="process",
+            observer=_kill_one_worker_at(1))
+    # WorkerDied extends WorkerTimeout so the existing robustness ladder
+    # (watchdog classification, restart policy) applies unchanged.
+    assert isinstance(exc.value, WorkerTimeout)
+    assert exc.value.workers  # names the culprit, not clean-exit siblings
+
+
+def test_supervised_restart_recovers_from_worker_death(small_graph):
+    config = EngineConfig(threads=2, seed=0, jitter=0.5)
+    res = run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+              config=config, backend="process",
+              observer=_kill_one_worker_at(1),
+              policy=DegradationPolicy(max_restarts=2, backoff_s=0.0))
+    actions = [d["action"] for d in res.extra["degradations"]]
+    assert "restart" in actions
+    assert res.extra["degradations"][0]["cause"] == "WorkerDied"
+    clean = run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+                config=config, vectorized="require")
+    # A restarted run replays from the last barrier: final state and the
+    # global trajectory match the uninterrupted run bit-for-bit (the
+    # post-restart stats list necessarily starts at the resume point).
+    assert res.converged and res.num_iterations == clean.num_iterations
+    for f in clean.state.vertex_field_names:
+        assert np.array_equal(res.state.vertex(f), clean.state.vertex(f))
+    for f in clean.state.edge_field_names:
+        assert np.array_equal(res.state.edge(f), clean.state.edge(f))

@@ -1,0 +1,150 @@
+"""Shared-memory segment lifecycle for the process backend.
+
+One `multiprocessing.shared_memory` segment per run carries CSR
+topology, vertex/edge state and per-worker counters.  The pool must be
+unlinked on *every* exit path — clean convergence, worker SIGKILL,
+KeyboardInterrupt — and attaching workers must never register with the
+stdlib resource_tracker (whose set-based cache turns N attachers into
+KeyError noise at interpreter exit, cpython gh-82300).
+"""
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank
+from repro.engine import EngineConfig, run
+from repro.graph import generators
+from repro.robust import WorkerDied
+from repro.storage.shm import SEGMENT_PREFIX, ArrayLayout, SharedArrayPool
+
+pytestmark = pytest.mark.parallel_backend
+
+SHM_DIR = "/dev/shm"
+
+
+def _leftover_segments():
+    if not os.path.isdir(SHM_DIR):  # non-Linux: nothing observable
+        return []
+    return glob.glob(os.path.join(SHM_DIR, SEGMENT_PREFIX + "*"))
+
+
+@pytest.fixture(autouse=True)
+def no_preexisting_segments():
+    assert _leftover_segments() == []
+    yield
+    assert _leftover_segments() == [], "run leaked a shared-memory segment"
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return generators.rmat(6, 8.0, seed=3)
+
+
+# ---------------------------------------------------------------------------
+# pool / layout unit behaviour
+# ---------------------------------------------------------------------------
+
+def test_layout_alignment_and_round_trip():
+    layout = ArrayLayout.build({
+        "a": ((3,), np.int8),
+        "b": ((4, 2), np.float64),   # must start 8-byte aligned
+        "c": ((0,), np.int64),       # empty arrays are legal
+    })
+    off_b = layout.entries["b"][0]
+    assert off_b % 8 == 0 and off_b >= 3
+    with SharedArrayPool.create(layout) as pool:
+        b = pool.array("b")
+        b[:] = 7.5
+        other = SharedArrayPool.attach(pool.name, layout)
+        assert np.array_equal(other.array("b"), b)
+        assert other.array("c").size == 0
+        other.release_views()
+        other.close()
+
+
+def test_unlink_is_idempotent_and_attachers_never_unlink():
+    layout = ArrayLayout.build({"x": ((8,), np.int64)})
+    pool = SharedArrayPool.create(layout)
+    name = pool.name
+    attacher = SharedArrayPool.attach(name, layout)
+    attacher.release_views()
+    attacher.close()
+    attacher.unlink()          # no-op: not the owner
+    assert _leftover_segments()  # still alive
+    pool.close()
+    pool.unlink()
+    pool.unlink()              # idempotent
+    assert _leftover_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# engine exit paths
+# ---------------------------------------------------------------------------
+
+def test_clean_run_unlinks_segment(small_graph):
+    res = run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+              config=EngineConfig(threads=2, seed=0, jitter=0.5),
+              backend="process")
+    assert res.converged
+    # the autouse fixture asserts no leftover segment on teardown
+
+
+def test_worker_sigkill_unlinks_segment(small_graph):
+    import multiprocessing as mp
+
+    def kill_observer(iteration, _state, _next_ids):
+        if iteration != 1:
+            return
+        for p in mp.active_children():
+            if p.name.startswith("repro-nondet-worker"):
+                os.kill(p.pid, signal.SIGKILL)
+                return
+
+    with pytest.raises(WorkerDied):
+        run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+            config=EngineConfig(threads=2, seed=0, jitter=0.5),
+            backend="process", observer=kill_observer)
+
+
+def test_keyboard_interrupt_unlinks_segment(small_graph):
+    def interrupting_observer(iteration, _state, _next_ids):
+        if iteration >= 1:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        run(PageRank(epsilon=1e-3), small_graph, mode="nondeterministic",
+            config=EngineConfig(threads=2, seed=0, jitter=0.5),
+            backend="process", observer=interrupting_observer)
+
+
+def test_no_resource_tracker_noise_at_interpreter_exit():
+    """Workers attach without resource_tracker registration: a full run
+    in a fresh interpreter must exit 0 with a silent stderr (gh-82300
+    would print KeyError tracebacks from the tracker at shutdown)."""
+    code = textwrap.dedent("""
+        from repro.algorithms import PageRank
+        from repro.engine import EngineConfig, run
+        from repro.graph import generators
+
+        graph = generators.rmat(6, 8.0, seed=3)
+        res = run(PageRank(epsilon=1e-3), graph, mode="nondeterministic",
+                  config=EngineConfig(threads=4, seed=0, jitter=0.5),
+                  backend="process")
+        assert res.converged
+    """)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.path.dirname(__file__), "..", "src"),
+                      env.get("PYTHONPATH", "")]))
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "Traceback" not in proc.stderr, proc.stderr
