@@ -130,5 +130,39 @@ def test_process_backend_reuses_pool_across_iterations():
     )
 
 
+@pytest.mark.perfsmoke
+def test_warm_pool_reuse_across_runs_is_cheaper():
+    """Tier-2 floor for cross-run pool reuse.
+
+    A second ``run()`` on the same (graph, program, P) engine must hit
+    the warm pool (``pool_reused=True``) and skip fork + segment
+    creation: its wall time stays within 1.5x of the cold run's
+    post-startup cost, i.e. strictly below the cold run itself plus a
+    safety margin measured in the same process.
+    """
+    from repro.engine import ParallelEngine
+
+    graph = generators.rmat(10, 8.0, seed=3)
+    engine = ParallelEngine()
+    try:
+        config = EngineConfig(threads=2, seed=0, jitter=0.5)
+
+        def timed():
+            t0 = time.perf_counter()
+            res = engine.run(PageRank(epsilon=1e-3), graph, config)
+            return time.perf_counter() - t0, res
+
+        t_cold, cold = timed()
+        t_warm, warm = timed()
+        assert cold.extra["pool_reused"] is False
+        assert warm.extra["pool_reused"] is True
+        assert t_warm <= t_cold * 1.5, (
+            f"warm run took {t_warm:.3f}s vs {t_cold:.3f}s cold — pool "
+            f"reuse should at minimum not cost more than a cold start"
+        )
+    finally:
+        engine.close()
+
+
 if __name__ == "__main__":
     main()

@@ -138,6 +138,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         "vectorized model across --threads OS worker "
                         "processes over shared memory (bit-identical to the "
                         "single-process fast path)")
+    p.add_argument("--out-of-core", default=None, metavar="DIR",
+                   help="nondeterministic mode only: preprocess the graph "
+                        "into a PSW shard store under DIR (reused if already "
+                        "built) and execute interval-by-interval in bounded "
+                        "RAM — bit-identical to the in-memory fast path")
+    p.add_argument("--num-intervals", type=int, default=8, metavar="K",
+                   help="with --out-of-core: vertex intervals / shards "
+                        "(default 8)")
     p.add_argument("--delay", type=float, default=2.0)
     p.add_argument("--run-seed", type=int, default=0)
     p.add_argument("--max-iterations", type=int, default=100_000)
@@ -190,6 +198,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, nargs="+", default=None,
                    metavar="P",
                    help="worker counts for the parallel suite")
+    p.add_argument("--out-of-core", action="store_true",
+                   help="parallel suite: run the process backend against a "
+                        "PSW shard store (bounded-RAM interval-sliced "
+                        "execution) instead of the in-memory graph")
+    p.add_argument("--num-intervals", type=int, default=8, metavar="K",
+                   help="with --out-of-core: vertex intervals / shards "
+                        "(default 8)")
     p.add_argument("--out-dir", default=None, metavar="DIR",
                    help="directory of the BENCH_*.json files "
                         "(default: the repo root)")
@@ -318,6 +333,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("-" * 72)
     elif args.command == "run":
         graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        if args.out_of_core is not None:
+            import pathlib
+
+            from .storage import ShardStore
+
+            if args.mode != "nondeterministic":
+                print("--out-of-core requires --mode nondeterministic",
+                      file=sys.stderr)
+                return 1
+            store_path = (pathlib.Path(args.out_of_core)
+                          / f"{args.dataset}-s{args.scale}-k{args.num_intervals}.shards")
+            if store_path.exists():
+                graph = ShardStore.open(store_path)
+            else:
+                store_path.parent.mkdir(parents=True, exist_ok=True)
+                print(f"building shard store {store_path} "
+                      f"(K={args.num_intervals})", file=sys.stderr)
+                graph = ShardStore.build(graph, store_path, args.num_intervals)
         config = EngineConfig(
             threads=args.threads,
             delay=args.delay,
@@ -371,6 +404,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                      **robust_kwargs)
         print(format_table([{"dataset": args.dataset, **result.summary()}],
                            title=f"{args.algorithm} on {args.dataset}"))
+        if args.out_of_core is not None:
+            io = result.extra.get("io", {})
+            print(f"out-of-core: K={result.extra.get('num_intervals')}, "
+                  f"read {io.get('bytes_read', 0):,} B, "
+                  f"wrote {io.get('bytes_written', 0):,} B",
+                  file=sys.stderr)
+            graph.nondet_runner().close()
         for event in result.extra.get("degradations", ()):
             detail = ", ".join(f"{k}={v}" for k, v in event.items())
             print(f"degradation: {detail}", file=sys.stderr)
@@ -404,6 +444,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             kwargs["scales"] = tuple(args.scales)
         if args.workers is not None:
             kwargs["workers"] = tuple(args.workers)
+        if args.out_of_core:
+            kwargs["out_of_core"] = True
+            kwargs["num_intervals"] = args.num_intervals
         written = run_bench(
             suites, out_dir=args.out_dir,
             progress=lambda m: print(f"... {m}", file=sys.stderr),

@@ -15,6 +15,7 @@ from .chromatic import ChromaticEngine
 from .gauss_seidel import DeterministicEngine
 from .delaymodel import DelayModel
 from .nondet_engine import NondeterministicEngine
+from .nondet_outofcore import OutOfCoreNondetRunner
 from .nondet_parallel import ParallelEngine, parallel_fallback_reasons
 from .nondet_vectorized import (
     NondetKernel,
@@ -54,6 +55,7 @@ __all__ = [
     "guarantees_atomicity",
     "tear",
     "EngineConfig",
+    "OutOfCoreNondetRunner",
     "AccessRecord",
     "ConflictEvent",
     "ConflictLog",

@@ -64,6 +64,7 @@ import signal
 import threading
 import time
 import traceback
+import weakref
 from multiprocessing import connection as mp_connection
 
 import numpy as np
@@ -314,6 +315,7 @@ def _worker_main(wid: int, seg_name: str, layout: ArrayLayout,
     try:
         pool = SharedArrayPool.attach(seg_name, layout)
         worker = _Worker(wid, pool, graph, program, barrier, barrier_timeout)
+        dm = None
         while True:
             # Poll so an orphaned worker (master SIGKILLed between
             # iterations) notices the reparent and exits on its own.
@@ -323,7 +325,9 @@ def _worker_main(wid: int, seg_name: str, layout: ArrayLayout,
             msg = conn.recv()
             if msg[0] == "stop":
                 return
-            worker.iterate(msg[2])
+            if msg[1] is not None:  # delay model shipped only on change
+                dm = msg[1]
+            worker.iterate(dm)
     except threading.BrokenBarrierError:
         # Master aborted (its timeout, its shutdown, or a sibling died):
         # nothing to report, just leave.
@@ -348,6 +352,56 @@ def _worker_main(wid: int, seg_name: str, layout: ArrayLayout,
 # ----------------------------------------------------------------------
 # master side
 # ----------------------------------------------------------------------
+def _engine_watch(stop_event, barrier, sentinels) -> None:
+    """Abort the barrier the moment any worker dies unexpectedly.
+
+    Module-level on purpose: a bound-method watcher would be held by
+    ``threading._active`` and keep the engine (and its shm segment)
+    alive past its last reference, defeating teardown-at-GC.
+    """
+    while not stop_event.is_set():
+        ready = mp_connection.wait(sentinels, timeout=0.2)
+        if stop_event.is_set():
+            return
+        if ready:
+            try:
+                barrier.abort()
+            except Exception:  # pragma: no cover
+                pass
+            return
+
+
+def _destroy_engine_pool(procs, conns, barrier, shm_pool, stop_event):
+    """Teardown shared by explicit shutdown and the GC finalizer."""
+    stop_event.set()
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except Exception:
+            pass
+    if barrier is not None:
+        try:
+            barrier.abort()  # unstick anything mid-barrier
+        except Exception:
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+    for proc in procs:
+        if proc.is_alive():  # pragma: no cover - last resort
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    if shm_pool is not None:
+        shm_pool.close()  # releases views, unlinks, unmaps
+
+
 class ParallelEngine:
     """Shared-memory process backend for the nondeterministic model.
 
@@ -367,6 +421,11 @@ class ParallelEngine:
         self._watcher: threading.Thread | None = None
         self._stop_event = threading.Event()
         self._timeout: float | None = None
+        self._finalizer: weakref.finalize | None = None
+        self._sh: dict[str, np.ndarray] = {}
+        self._pool_key = None
+        self._graph_ref = None
+        self._last_dm = None
 
     # -- process management ------------------------------------------------
     def _start_workers(self, graph: DiGraph, program: VertexProgram,
@@ -391,22 +450,31 @@ class ParallelEngine:
             self._workers.append(proc)
             self._conns.append(parent)
         self._watcher = threading.Thread(
-            target=self._watch, name="repro-worker-watcher", daemon=True)
+            target=_engine_watch, name="repro-worker-watcher", daemon=True,
+            args=(self._stop_event, self._barrier,
+                  [p_.sentinel for p_ in self._workers]))
         self._watcher.start()
+        # The finalizer (not __del__) guarantees teardown when the last
+        # reference to a pooled engine dies — no cycles through self.
+        self._finalizer = weakref.finalize(
+            self, _destroy_engine_pool, self._workers, self._conns,
+            self._barrier, self._pool, self._stop_event)
 
-    def _watch(self) -> None:
-        """Abort the barrier the moment any worker dies unexpectedly."""
-        sentinels = [p.sentinel for p in self._workers]
-        while not self._stop_event.is_set():
-            ready = mp_connection.wait(sentinels, timeout=0.2)
-            if self._stop_event.is_set():
-                return
-            if ready:
-                try:
-                    self._barrier.abort()
-                except Exception:  # pragma: no cover
-                    pass
-                return
+    @staticmethod
+    def _program_sig(program: VertexProgram) -> tuple:
+        items = []
+        for k in sorted(vars(program)):
+            v = vars(program)[k]
+            if isinstance(v, np.ndarray):
+                items.append((k, v.dtype.str, v.shape, hash(v.tobytes())))
+            else:
+                items.append((k, repr(v)))
+        return (type(program), tuple(items))
+
+    def _pool_alive(self) -> bool:
+        return (self._pool is not None
+                and self._finalizer is not None and self._finalizer.alive
+                and all(proc.is_alive() for proc in self._workers))
 
     def _barrier_sync(self, iteration: int) -> None:
         try:
@@ -449,42 +517,29 @@ class ParallelEngine:
             iteration=iteration, stuck=tuple(range(len(self._workers))))
 
     def _shutdown(self) -> None:
-        """Always-runs teardown: stop workers, unlink the segment."""
-        self._stop_event.set()
-        for conn in self._conns:
-            try:
-                conn.send(("stop",))
-            except Exception:
-                pass
-        if self._barrier is not None:
-            try:
-                self._barrier.abort()  # unstick anything mid-barrier
-            except Exception:
-                pass
-        for proc in self._workers:
-            proc.join(timeout=5.0)
-        for proc in self._workers:
-            if proc.is_alive():  # pragma: no cover - last resort
-                proc.terminate()
-                proc.join(timeout=2.0)
-                if proc.is_alive():
-                    proc.kill()
-                    proc.join(timeout=2.0)
-        for conn in self._conns:
-            try:
-                conn.close()
-            except Exception:
-                pass
+        """Tear the pool down: stop workers, unlink the segment."""
+        self._sh = {}
+        if self._finalizer is not None:
+            self._finalizer()  # idempotent: no-op if already dead
+        elif self._pool is not None:  # pragma: no cover - startup failure
+            _destroy_engine_pool(self._workers, self._conns, self._barrier,
+                                 self._pool, self._stop_event)
         if self._watcher is not None:
             self._watcher.join(timeout=2.0)
-        if self._pool is not None:
-            self._pool.close()  # releases views, unlinks, unmaps
         # Reset so the same instance can run again (fresh segment/pool).
         self._workers, self._conns = [], []
         self._pool = None
         self._barrier = None
         self._watcher = None
         self._stop_event = threading.Event()
+        self._finalizer = None
+        self._pool_key = None
+        self._graph_ref = None
+        self._last_dm = None
+
+    def close(self) -> None:
+        """Explicitly tear down a persistent worker pool."""
+        self._shutdown()
 
     # -- the run loop ------------------------------------------------------
     def run(
@@ -550,7 +605,21 @@ class ParallelEngine:
         vertex_fields = tuple(state.vertex_field_names)
         edge_fields = tuple(state.edge_field_names)
         layout = _build_layout(graph, state, written, p)
-        sh: dict[str, np.ndarray] = {}
+        # Pool reuse: keep the forked workers (and the segment) across
+        # run() calls on the same (graph, program, layout, P, timeout) —
+        # the per-run cost drops to array copies.  Anything else tears
+        # the old pool down first.
+        pool_key = (self._program_sig(program), p, self._timeout,
+                    tuple(sorted(layout.entries.items())))
+        preexisting = (
+            self._pool_alive()
+            and self._graph_ref is not None and self._graph_ref() is graph
+            and self._pool_key == pool_key
+        )
+        if self._pool is not None and not preexisting:
+            self._shutdown()
+        pool_reused = False
+        sh = self._sh
         try:
             while iteration < config.max_iterations:
                 if frontier_ids.size == 0:
@@ -560,13 +629,22 @@ class ParallelEngine:
                     # Lazy setup: a run that converges immediately never
                     # creates a segment or forks a worker.
                     self._pool = SharedArrayPool.create(layout)
-                    sh = {name: self._pool.array(name)
-                          for name in layout.names()}
+                    sh = self._sh = {name: self._pool.array(name)
+                                     for name in layout.names()}
                     sh["src"][:] = src
                     sh["dst"][:] = dst
                     sh["in_order"][:] = np.lexsort((src, dst))
                     sh["out_degrees"][:] = graph.out_degrees()
                     self._start_workers(graph, program, layout, p)
+                    self._pool_key = pool_key
+                    try:
+                        self._graph_ref = weakref.ref(graph)
+                    except TypeError:
+                        # DiGraph has no __weakref__ slot; pin it for the
+                        # pool's lifetime (the segment mirrors its arrays).
+                        self._graph_ref = lambda _g=graph: _g
+                elif preexisting:
+                    pool_reused = True
                 if supervisor is not None:
                     supervisor.pre_iteration(iteration)
                     dm_i = supervisor.iteration_delay_model(
@@ -594,9 +672,15 @@ class ParallelEngine:
                     sh["ws:" + f].fill(False)
                     sh["wd:" + f].fill(False)
                 sh["flags"].fill(0)
+                # Batched barrier message: the delay model rides along
+                # only when it changed (it is pickled per send; the rest
+                # of the iteration state travels through the segment).
+                payload = dm_i if dm_i != self._last_dm else None
+                if payload is not None:
+                    self._last_dm = dm_i
                 for conn in self._conns:
                     try:
-                        conn.send(("iter", iteration, dm_i))
+                        conn.send(("iter", payload))
                     except (BrokenPipeError, OSError):
                         self._raise_worker_failure(iteration)
                 # Fix-point rounds: barrier A (pass-k writes visible),
@@ -701,9 +785,12 @@ class ParallelEngine:
                 iteration += 1
             else:
                 converged = frontier_ids.size == 0
-        finally:
-            sh = {}
+        except BaseException:
+            # Exceptional exit: never leave workers (or the segment)
+            # behind.  A clean return keeps the pool warm for the next
+            # run() on this engine instance; GC finalizes it otherwise.
             self._shutdown()
+            raise
 
         result = RunResult(
             program=program,
@@ -716,7 +803,8 @@ class ParallelEngine:
             config=config,
             extra={"vectorized": True, "backend": "process", "workers": p,
                    "fixpoint_passes": total_passes,
-                   "plan_cache_hits": plan_cache.hits},
+                   "plan_cache_hits": plan_cache.hits,
+                   "pool_reused": pool_reused},
         )
         if record is not None:
             record.end_run(result)

@@ -74,6 +74,7 @@ __all__ = [
     "register_nondet_kernel",
     "resolve_nondet_kernel",
     "fallback_reasons",
+    "emit_edge_provenance",
 ]
 
 
@@ -351,6 +352,95 @@ def fallback_reasons(program: VertexProgram, config: EngineConfig) -> list[str]:
     return reasons
 
 
+def emit_edge_provenance(
+    record, iteration, f, e, *, u, v, selfloop,
+    ws, wd, wvs, wvd, rs, rd, pre,
+    vis_s2d, vis_d2s, dst_wins, t_s, t_d, thr_s, thr_d, wants_reads,
+) -> None:
+    """Canonical provenance events for one written edge (scalar inputs).
+
+    Factored out of :meth:`VectorizedNondetEngine._emit_provenance` so
+    engines that hold edge data in interval-local layouts (the
+    out-of-core runner) can gather their sparse per-edge tuples into
+    canonical order and replay the identical event stream.
+    """
+    if selfloop:
+        # One task, one effective writer; reader==writer pairs are
+        # skipped by the object engine too.
+        record.commit_event(
+            iteration=iteration, field=f, eid=e,
+            writer=u, writer_thread=thr_s,
+            value=wvs if ws else wvd, lost=[], rule="uncontended",
+        )
+        return
+    pairs = []
+    if rs > 0 and wd:
+        pairs.append((u, v))
+    if rd > 0 and ws:
+        pairs.append((v, u))
+    if wants_reads:
+        for reader, writer in sorted(pairs):
+            if reader == u:  # src reads dst's write
+                visible = vis_d2s
+                issued = t_d <= t_s
+                observed = wvd if visible else pre
+                count = rs
+                thread_r, thread_w = thr_s, thr_d
+            else:  # dst reads src's write
+                visible = vis_s2d
+                issued = t_s <= t_d
+                observed = wvs if visible else pre
+                count = rd
+                thread_r, thread_w = thr_d, thr_s
+            if visible:
+                order, rule = "before", "lemma1-fresh"
+            elif issued:
+                order, rule = "concurrent", "lemma1-stale"
+            else:
+                order, rule = "after", "lemma1-old"
+            record.read_event(
+                iteration=iteration, field=f, eid=e,
+                reader=reader, reader_thread=thread_r,
+                writer=writer, writer_thread=thread_w,
+                count=count, order=order, rule=rule,
+                value=observed,
+            )
+    if ws and wd:
+        if dst_wins:
+            winner, winner_thread, value = v, thr_d, wvd
+            loser, loser_thread, loser_value = u, thr_s, wvs
+            vis_lw, vis_wl = vis_s2d, vis_d2s
+        else:
+            winner, winner_thread, value = u, thr_s, wvs
+            loser, loser_thread, loser_value = v, thr_d, wvd
+            vis_lw, vis_wl = vis_d2s, vis_s2d
+        if vis_lw:
+            order = "before"
+        elif vis_wl:
+            order = "after"
+        else:
+            order = "concurrent"
+        lost = [{"vid": loser, "thread": loser_thread,
+                 "value": loser_value, "order": order}]
+        record.commit_event(
+            iteration=iteration, field=f, eid=e,
+            writer=winner, writer_thread=winner_thread,
+            value=value, lost=lost, rule="lemma2",
+        )
+    elif ws:
+        record.commit_event(
+            iteration=iteration, field=f, eid=e,
+            writer=u, writer_thread=thr_s,
+            value=wvs, lost=[], rule="uncontended",
+        )
+    else:
+        record.commit_event(
+            iteration=iteration, field=f, eid=e,
+            writer=v, writer_thread=thr_d,
+            value=wvd, lost=[], rule="uncontended",
+        )
+
+
 class VectorizedNondetEngine:
     """Whole-graph racy iterations, bit-for-bit equal to the object engine."""
 
@@ -383,89 +473,18 @@ class VectorizedNondetEngine:
             wants_reads = record.wants_reads
             for e in np.flatnonzero(ws | wd):
                 e = int(e)
-                u, v = int(src[e]), int(dst[e])
-                if selfloop[e]:
-                    # One task, one effective writer; reader==writer pairs
-                    # are skipped by the object engine too.
-                    value = float(wvs[e]) if ws[e] else float(wvd[e])
-                    record.commit_event(
-                        iteration=iteration, field=f, eid=e,
-                        writer=u, writer_thread=int(thr_s[e]),
-                        value=value, lost=[], rule="uncontended",
-                    )
-                    continue
-                pairs = []
-                if rs[e] > 0 and wd[e]:
-                    pairs.append((u, v))
-                if rd[e] > 0 and ws[e]:
-                    pairs.append((v, u))
-                if wants_reads:
-                    for reader, writer in sorted(pairs):
-                        if reader == u:  # src reads dst's write
-                            visible = bool(vis_d2s[e])
-                            issued = t_d[e] <= t_s[e]
-                            observed = float(wvd[e]) if visible else float(pre[e])
-                            count = int(rs[e])
-                            thread_r, thread_w = int(thr_s[e]), int(thr_d[e])
-                        else:  # dst reads src's write
-                            visible = bool(vis_s2d[e])
-                            issued = t_s[e] <= t_d[e]
-                            observed = float(wvs[e]) if visible else float(pre[e])
-                            count = int(rd[e])
-                            thread_r, thread_w = int(thr_d[e]), int(thr_s[e])
-                        if visible:
-                            order, rule = "before", "lemma1-fresh"
-                        elif issued:
-                            order, rule = "concurrent", "lemma1-stale"
-                        else:
-                            order, rule = "after", "lemma1-old"
-                        record.read_event(
-                            iteration=iteration, field=f, eid=e,
-                            reader=reader, reader_thread=thread_r,
-                            writer=writer, writer_thread=thread_w,
-                            count=count, order=order, rule=rule,
-                            value=observed,
-                        )
-                if ws[e] and wd[e]:
-                    if dst_wins[e]:
-                        winner, winner_thread = v, int(thr_d[e])
-                        value = float(wvd[e])
-                        loser, loser_thread = u, int(thr_s[e])
-                        loser_value = float(wvs[e])
-                        vis_lw, vis_wl = bool(vis_s2d[e]), bool(vis_d2s[e])
-                    else:
-                        winner, winner_thread = u, int(thr_s[e])
-                        value = float(wvs[e])
-                        loser, loser_thread = v, int(thr_d[e])
-                        loser_value = float(wvd[e])
-                        vis_lw, vis_wl = bool(vis_d2s[e]), bool(vis_s2d[e])
-                    if vis_lw:
-                        order = "before"
-                    elif vis_wl:
-                        order = "after"
-                    else:
-                        order = "concurrent"
-                    lost = [
-                        {"vid": loser, "thread": loser_thread,
-                         "value": loser_value, "order": order}
-                    ]
-                    record.commit_event(
-                        iteration=iteration, field=f, eid=e,
-                        writer=winner, writer_thread=winner_thread,
-                        value=value, lost=lost, rule="lemma2",
-                    )
-                elif ws[e]:
-                    record.commit_event(
-                        iteration=iteration, field=f, eid=e,
-                        writer=u, writer_thread=int(thr_s[e]),
-                        value=float(wvs[e]), lost=[], rule="uncontended",
-                    )
-                else:
-                    record.commit_event(
-                        iteration=iteration, field=f, eid=e,
-                        writer=v, writer_thread=int(thr_d[e]),
-                        value=float(wvd[e]), lost=[], rule="uncontended",
-                    )
+                emit_edge_provenance(
+                    record, iteration, f, e,
+                    u=int(src[e]), v=int(dst[e]), selfloop=bool(selfloop[e]),
+                    ws=bool(ws[e]), wd=bool(wd[e]),
+                    wvs=float(wvs[e]), wvd=float(wvd[e]),
+                    rs=int(rs[e]), rd=int(rd[e]), pre=float(pre[e]),
+                    vis_s2d=bool(vis_s2d[e]), vis_d2s=bool(vis_d2s[e]),
+                    dst_wins=bool(dst_wins[e]),
+                    t_s=float(t_s[e]), t_d=float(t_d[e]),
+                    thr_s=int(thr_s[e]), thr_d=int(thr_d[e]),
+                    wants_reads=wants_reads,
+                )
 
     def run(
         self,

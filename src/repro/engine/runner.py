@@ -273,6 +273,23 @@ def run(
             checkpoint=checkpoint, checkpoint_every=checkpoint_every,
             resume_from=resume_from, deadline_s=deadline_s,
         )
+    # Out-of-core dispatch: a ShardStore stands in for the graph and
+    # routes the run through its interval-sliced runner (always the
+    # vectorized execution model; backend="process" fans the intervals
+    # out to its worker pool).
+    from ..storage.shards import ShardStore  # lazy: pulls the container
+
+    if isinstance(graph, ShardStore):
+        if mode != "nondeterministic":
+            raise ValueError(
+                "out-of-core execution (a ShardStore graph) supports "
+                "mode='nondeterministic' only"
+            )
+        return graph.nondet_runner().run(
+            program, config, state=state, observer=observer,
+            telemetry=telemetry, record=record, supervisor=supervisor,
+            backend=backend,
+        )
     try:
         engine_cls = ENGINES[mode]
     except KeyError:

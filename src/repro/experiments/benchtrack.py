@@ -42,6 +42,9 @@ import json
 import os
 import pathlib
 import platform
+import resource
+import sys
+import tempfile
 import time
 
 from ..algorithms import BFS, SSSP, PageRank, SpMV, WeaklyConnectedComponents
@@ -53,6 +56,7 @@ __all__ = [
     "SUITES",
     "append_trajectory",
     "host_fingerprint",
+    "peak_rss_bytes",
     "run_nondet_suite",
     "run_parallel_suite",
     "run_bench",
@@ -111,19 +115,42 @@ def append_trajectory(path, entry: dict) -> dict:
     return payload
 
 
+def peak_rss_bytes() -> int:
+    """Process-lifetime resident-set high-water mark, in bytes.
+
+    ``ru_maxrss`` is monotone over the process life, so within one
+    ``repro bench`` invocation the number attached to a cell is "the
+    peak so far", not the peak of that cell alone; the isolated
+    bounded-RAM measurement lives in the subprocess-based RLIMIT test
+    and the EXPERIMENTS.md scale run.
+    """
+    ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(ru) * (1 if sys.platform == "darwin" else 1024)
+
+
 def _timed(factory, graph, config: EngineConfig, **run_kwargs) -> dict:
+    from ..storage.shards import ShardStore
+
+    residency = "out-of-core" if isinstance(graph, ShardStore) else "in-memory"
     t0 = time.perf_counter()
     res = run(factory(), graph, mode="nondeterministic", config=config,
               **run_kwargs)
     elapsed = time.perf_counter() - t0
     updates = sum(s.num_active for s in res.iterations)
-    return {
+    out = {
         "seconds": elapsed,
         "iterations": res.num_iterations,
         "updates": updates,
         "updates_per_s": updates / elapsed if elapsed > 0 else float("inf"),
         "converged": res.converged,
+        "residency": residency,
+        "peak_rss_bytes": peak_rss_bytes(),
     }
+    if "io" in res.extra:
+        out["io"] = res.extra["io"]
+    if "pool_reused" in res.extra:
+        out["pool_reused"] = res.extra["pool_reused"]
+    return out
 
 
 def run_nondet_suite(scales=(8, 10, 12), *, object_max_scale: int = 10,
@@ -152,7 +179,9 @@ def run_nondet_suite(scales=(8, 10, 12), *, object_max_scale: int = 10,
 
 
 def run_parallel_suite(scales=(10, 12), workers=(1, 2, 4, 8),
-                       algorithms=("pagerank",), *, progress=None) -> dict:
+                       algorithms=("pagerank",), *, out_of_core=False,
+                       num_intervals=8, store_dir=None,
+                       progress=None) -> dict:
     """Vectorized fast path vs the process backend across worker counts.
 
     Per (scale, algorithm, P): wall time of ``vectorized=True`` and of
@@ -160,36 +189,68 @@ def run_parallel_suite(scales=(10, 12), workers=(1, 2, 4, 8),
     (bit-identical outputs), their ratio (``speedup`` > 1 means the
     backend won), and a ``scaling`` curve of backend throughput
     normalised to its own P=1 run.
+
+    ``out_of_core=True`` points the process backend at a PSW
+    :class:`~repro.storage.shards.ShardStore` built per scale (the
+    interval-sliced runner), so the comparison becomes in-memory
+    vectorized vs bounded-RAM sharded execution; the in-memory run
+    stays the baseline.  Stores land in ``store_dir`` (a temp
+    directory by default) and are removed afterwards unless
+    ``store_dir`` is given.
     """
     workers = tuple(workers)
     results: dict = {"graph": GRAPH_SPEC,
                      "config": {"seed": 0, "jitter": 0.5},
-                     "workers": list(workers), "scales": {}}
+                     "workers": list(workers),
+                     "residency": "out-of-core" if out_of_core else "in-memory",
+                     "scales": {}}
+    if out_of_core:
+        results["num_intervals"] = num_intervals
     for scale in scales:
         graph = generators.rmat(scale, 8.0, seed=3)
         row = {"vertices": graph.num_vertices, "edges": graph.num_edges,
                "algorithms": {}}
-        for name in algorithms:
-            factory = ALGORITHMS[name]
-            cell: dict = {"workers": {}}
-            for p in workers:
-                if progress:
-                    progress(f"parallel scale {scale} {name} P={p}")
-                config = EngineConfig(threads=p, seed=0, jitter=0.5)
-                vec = _timed(factory, graph, config, vectorized="require")
-                proc = _timed(factory, graph, config, backend="process")
-                cell["workers"][str(p)] = {
-                    "vectorized": vec,
-                    "process": proc,
-                    "speedup": vec["seconds"] / proc["seconds"],
+        store = tmp_dir = None
+        target = graph
+        if out_of_core:
+            from ..storage.shards import ShardStore
+
+            if store_dir is None:
+                tmp_dir = tempfile.TemporaryDirectory(prefix="repro-bench-shards-")
+                base = pathlib.Path(tmp_dir.name)
+            else:
+                base = pathlib.Path(store_dir)
+                base.mkdir(parents=True, exist_ok=True)
+            store = ShardStore.build(graph, base / f"scale{scale}.shards",
+                                     num_intervals)
+            target = store
+        try:
+            for name in algorithms:
+                factory = ALGORITHMS[name]
+                cell: dict = {"workers": {}}
+                for p in workers:
+                    if progress:
+                        progress(f"parallel scale {scale} {name} P={p}")
+                    config = EngineConfig(threads=p, seed=0, jitter=0.5)
+                    vec = _timed(factory, graph, config, vectorized="require")
+                    proc = _timed(factory, target, config, backend="process")
+                    cell["workers"][str(p)] = {
+                        "vectorized": vec,
+                        "process": proc,
+                        "speedup": vec["seconds"] / proc["seconds"],
+                    }
+                base_cell = cell["workers"][str(workers[0])]["process"]
+                cell["scaling"] = {
+                    str(p): (cell["workers"][str(p)]["process"]["updates_per_s"]
+                             / base_cell["updates_per_s"])
+                    for p in workers
                 }
-            base = cell["workers"][str(workers[0])]["process"]
-            cell["scaling"] = {
-                str(p): (cell["workers"][str(p)]["process"]["updates_per_s"]
-                         / base["updates_per_s"])
-                for p in workers
-            }
-            row["algorithms"][name] = cell
+                row["algorithms"][name] = cell
+        finally:
+            if store is not None:
+                store.nondet_runner().close()
+            if tmp_dir is not None:
+                tmp_dir.cleanup()
         results["scales"][str(scale)] = row
     return results
 

@@ -351,11 +351,31 @@ def _scale_delay_model(dm: DelayModel, factor: float) -> DelayModel:
 # ----------------------------------------------------------------------
 # the supervised loop
 # ----------------------------------------------------------------------
+def _make_state(program, graph):
+    """Initial state for ``graph`` — out-of-core aware."""
+    from ..storage.shards import ShardStore
+
+    if isinstance(graph, ShardStore):
+        return graph.nondet_runner().make_state(program)
+    return program.make_state(graph)
+
+
 def _dispatch(program, graph, *, mode, config, state, observer, vectorized,
               backend, telemetry, record, supervisor):
     """Engine dispatch mirroring :func:`repro.engine.runner.run`."""
     from ..engine.runner import ENGINES
+    from ..storage.shards import ShardStore
 
+    if isinstance(graph, ShardStore):
+        if mode != "nondeterministic":
+            raise ValueError(
+                "out-of-core execution (a ShardStore graph) supports "
+                "mode='nondeterministic' only — degradation fallback to "
+                f"{mode!r} needs an in-memory graph")
+        return graph.nondet_runner().run(
+            program, config, state=state, observer=observer,
+            telemetry=telemetry, record=record, supervisor=supervisor,
+            backend=backend)
     if backend == "process":
         if mode != "nondeterministic":
             raise ValueError(
@@ -453,7 +473,7 @@ def supervised_run(program, graph, *, mode: str = "nondeterministic",
                      telemetry=telemetry, record=record)
     sup.pending_resume = resume_ckpt
 
-    cur_state = state if state is not None else program.make_state(graph)
+    cur_state = state if state is not None else _make_state(program, graph)
     cur_mode, cur_config, cur_vectorized = mode, config, vectorized
     cur_backend = backend
     degradations: list[dict] = []
@@ -509,7 +529,7 @@ def supervised_run(program, graph, *, mode: str = "nondeterministic",
             if cur_mode in _NO_MEMORY_RESTART:
                 # zombie daemon workers of a timed-out attempt may still
                 # be writing to the old arrays — never reuse them
-                cur_state = program.make_state(graph)
+                cur_state = _make_state(program, graph)
             sup.pending_resume = restore
             _emit_degradation(telemetry, record, degradations, event)
             time.sleep(policy.backoff_for(restarts))

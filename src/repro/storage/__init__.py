@@ -3,7 +3,14 @@ and shared-memory array pools for the multi-process backend."""
 
 from .binfmt import load_graph, save_graph
 from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
-from .shards import IOStats, OutOfCoreRunner, Shard, ShardedGraph
+from .shards import (
+    IOStats,
+    OutOfCoreRunner,
+    Shard,
+    ShardStore,
+    ShardedGraph,
+    StoreGraphView,
+)
 from .shm import ArrayLayout, SharedArrayPool
 
 __all__ = [
@@ -17,5 +24,7 @@ __all__ = [
     "IOStats",
     "OutOfCoreRunner",
     "Shard",
+    "ShardStore",
     "ShardedGraph",
+    "StoreGraphView",
 ]

@@ -1,11 +1,13 @@
-"""Compact binary graph format.
+"""Compact binary graph containers.
 
 GraphChi preprocesses text edge lists into binary shards once and then
 reuses them; this module provides the equivalent first stage — a
 single-file binary container for a :class:`~repro.graph.DiGraph` plus
 optional named per-edge and per-vertex value arrays.
 
-Layout (little-endian)::
+Two on-disk versions exist:
+
+Version 1 (legacy, still readable; write with ``version=1``)::
 
     magic   8 bytes   b"RPROGRF1"
     header  3 x u64   num_vertices, num_edges, num_arrays
@@ -15,12 +17,27 @@ Layout (little-endian)::
                       kind u8 (0 = vertex, 1 = edge),
                       dtype_len u16, dtype str, raw data
 
-The format is intentionally simple and self-describing so tests can
-byte-poke corruption scenarios.
+Version 2 (default) adds a table of contents and page-aligned blocks so
+:func:`load_graph` can hand back zero-copy ``np.memmap`` views::
+
+    magic   8 bytes   b"RPROGRF2"
+    header  4 x u64   num_vertices, num_edges, num_arrays, toc_bytes
+    toc     repeated: name_len u16, name utf-8, kind u8,
+                      dtype_len u16, dtype str, count u64, offset u64
+    blocks  raw array data, each starting at an offset that is a
+            multiple of ``mmap.ALLOCATIONGRANULARITY``
+
+Version-2 kinds extend the v1 set: 2/3 carry the canonical edge-source
+and edge-destination topology and 4 is an arbitrary-length metadata
+block (used by the PSW shard store for interval indexes).  The format
+stays self-describing and byte-pokeable so tests can exercise
+corruption scenarios, including a torn header (a file that ends inside
+the fixed header or the TOC).
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
 import os
 import struct
 
@@ -28,12 +45,158 @@ import numpy as np
 
 from ..graph import DiGraph
 
-__all__ = ["save_graph", "load_graph", "MAGIC"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "write_container",
+    "open_container",
+    "MAGIC",
+    "MAGIC2",
+    "KIND_VERTEX",
+    "KIND_EDGE",
+    "KIND_TOPO_SRC",
+    "KIND_TOPO_DST",
+    "KIND_META",
+]
 
 MAGIC = b"RPROGRF1"
-_KIND_VERTEX = 0
-_KIND_EDGE = 1
+MAGIC2 = b"RPROGRF2"
 
+KIND_VERTEX = 0
+KIND_EDGE = 1
+KIND_TOPO_SRC = 2
+KIND_TOPO_DST = 3
+KIND_META = 4
+
+_V1_HEADER = struct.Struct("<QQQ")
+_V2_HEADER = struct.Struct("<QQQQ")
+_ALIGN = _mmap.ALLOCATIONGRANULARITY
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# ---------------------------------------------------------------------------
+# low-level v2 container
+# ---------------------------------------------------------------------------
+
+def write_container(
+    path: str | os.PathLike,
+    *,
+    num_vertices: int,
+    num_edges: int,
+    arrays: list[tuple[str, int, np.ndarray]],
+) -> None:
+    """Write a v2 container holding ``(name, kind, array)`` blocks.
+
+    Every block is 1-D and starts page-aligned so a reader can map it
+    zero-copy.  ``KIND_VERTEX``/``KIND_EDGE`` blocks must match the
+    vertex/edge counts; ``KIND_META`` blocks may have any length.
+    """
+    prepared: list[tuple[bytes, int, bytes, np.ndarray]] = []
+    for name, kind, arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        if arr.ndim != 1:
+            raise ValueError(f"container array {name!r} must be 1-D, got shape {arr.shape}")
+        if kind == KIND_VERTEX and arr.size != num_vertices:
+            raise ValueError(f"vertex array {name!r} has shape {arr.shape}")
+        if kind in (KIND_EDGE, KIND_TOPO_SRC, KIND_TOPO_DST) and arr.size != num_edges:
+            raise ValueError(f"edge array {name!r} has shape {arr.shape}")
+        prepared.append((name.encode("utf-8"), int(kind), arr.dtype.str.encode("ascii"), arr))
+
+    toc_bytes = sum(2 + len(nb) + 1 + 2 + len(db) + 16 for nb, _, db, _ in prepared)
+    offset = _align(len(MAGIC2) + _V2_HEADER.size + toc_bytes)
+    offsets: list[int] = []
+    for _, _, _, arr in prepared:
+        offsets.append(offset)
+        offset = _align(offset + arr.nbytes)
+
+    with open(path, "wb") as fh:
+        fh.write(MAGIC2)
+        fh.write(_V2_HEADER.pack(num_vertices, num_edges, len(prepared), toc_bytes))
+        for (nb, kind, db, arr), off in zip(prepared, offsets):
+            fh.write(struct.pack("<H", len(nb)))
+            fh.write(nb)
+            fh.write(struct.pack("<B", kind))
+            fh.write(struct.pack("<H", len(db)))
+            fh.write(db)
+            fh.write(struct.pack("<QQ", arr.size, off))
+        for (_, _, _, arr), off in zip(prepared, offsets):
+            pad = off - fh.tell()
+            if pad:
+                fh.write(b"\x00" * pad)
+            fh.write(arr.tobytes())
+
+
+def open_container(
+    path: str | os.PathLike,
+    *,
+    mmap: bool = False,
+) -> tuple[int, int, list[tuple[str, int, np.ndarray]]]:
+    """Open a v2 container; returns ``(n, m, [(name, kind, array), ...])``.
+
+    With ``mmap=True`` every array is a read-only zero-copy
+    :class:`np.memmap` view; otherwise arrays are private writable
+    copies.  Raises :class:`ValueError` on a torn header (file ends
+    inside the fixed header or the TOC) or a truncated block.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC2))
+        if magic != MAGIC2:
+            raise ValueError(f"{path}: not a v2 container (bad magic {magic!r})")
+        head = fh.read(_V2_HEADER.size)
+        if len(head) != _V2_HEADER.size:
+            raise ValueError(f"{path}: torn header (file ends inside the fixed header)")
+        n, m, num_arrays, toc_bytes = _V2_HEADER.unpack(head)
+        if size < len(MAGIC2) + _V2_HEADER.size + toc_bytes:
+            raise ValueError(f"{path}: torn header (file ends inside the TOC)")
+        toc = fh.read(toc_bytes)
+
+        entries: list[tuple[str, int, np.dtype, int, int]] = []
+        pos = 0
+
+        def take(k: int) -> bytes:
+            nonlocal pos
+            if pos + k > len(toc):
+                raise ValueError(f"{path}: torn header (TOC entry overruns toc_bytes)")
+            piece = toc[pos:pos + k]
+            pos += k
+            return piece
+
+        for _ in range(num_arrays):
+            (name_len,) = struct.unpack("<H", take(2))
+            name = take(name_len).decode("utf-8")
+            (kind,) = struct.unpack("<B", take(1))
+            (dtype_len,) = struct.unpack("<H", take(2))
+            dtype = np.dtype(take(dtype_len).decode("ascii"))
+            count, offset = struct.unpack("<QQ", take(16))
+            entries.append((name, kind, dtype, count, offset))
+
+        out: list[tuple[str, int, np.ndarray]] = []
+        for name, kind, dtype, count, offset in entries:
+            nbytes = dtype.itemsize * count
+            if offset + nbytes > size:
+                raise ValueError(f"{path}: truncated block {name!r}")
+            if count == 0:
+                arr: np.ndarray = np.empty(0, dtype=dtype)
+            elif mmap:
+                arr = np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=(count,))
+            else:
+                fh.seek(offset)
+                raw = fh.read(nbytes)
+                if len(raw) != nbytes:
+                    raise ValueError(f"{path}: truncated block {name!r}")
+                arr = np.frombuffer(raw, dtype=dtype).copy()
+            out.append((name, kind, arr))
+    return int(n), int(m), out
+
+
+# ---------------------------------------------------------------------------
+# graph-level API
+# ---------------------------------------------------------------------------
 
 def save_graph(
     graph: DiGraph,
@@ -41,6 +204,7 @@ def save_graph(
     *,
     vertex_arrays: dict[str, np.ndarray] | None = None,
     edge_arrays: dict[str, np.ndarray] | None = None,
+    version: int = 2,
 ) -> None:
     """Serialize ``graph`` (and optional value arrays) to ``path``."""
     vertex_arrays = vertex_arrays or {}
@@ -52,11 +216,81 @@ def save_graph(
         if arr.shape != (graph.num_edges,):
             raise ValueError(f"edge array {name!r} has shape {arr.shape}")
 
+    if version == 1:
+        _save_graph_v1(graph, path, vertex_arrays, edge_arrays)
+        return
+    if version != 2:
+        raise ValueError(f"unknown container version {version}")
+
+    arrays: list[tuple[str, int, np.ndarray]] = [
+        ("src", KIND_TOPO_SRC, graph.edge_src.astype("<i8")),
+        ("dst", KIND_TOPO_DST, graph.edge_dst.astype("<i8")),
+    ]
+    for name, arr in vertex_arrays.items():
+        arrays.append((name, KIND_VERTEX, arr))
+    for name, arr in edge_arrays.items():
+        arrays.append((name, KIND_EDGE, arr))
+    write_container(
+        path, num_vertices=graph.num_vertices, num_edges=graph.num_edges, arrays=arrays
+    )
+
+
+def load_graph(
+    path: str | os.PathLike,
+    *,
+    mmap: bool = False,
+) -> tuple[DiGraph, dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Load a graph container; returns ``(graph, vertex_arrays, edge_arrays)``.
+
+    ``mmap=True`` (v2 containers only) returns the value arrays as
+    read-only zero-copy ``np.memmap`` views of page-aligned blocks.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+    if magic == MAGIC:
+        if mmap:
+            raise ValueError(f"{path}: mmap=True requires a v2 (RPROGRF2) container")
+        return _load_graph_v1(path)
+    if magic != MAGIC2:
+        raise ValueError(f"{path}: not a repro graph file (bad magic {magic!r})")
+
+    n, m, blocks = open_container(path, mmap=mmap)
+    src = dst = None
+    vertex_arrays: dict[str, np.ndarray] = {}
+    edge_arrays: dict[str, np.ndarray] = {}
+    for name, kind, arr in blocks:
+        if kind == KIND_TOPO_SRC:
+            src = arr
+        elif kind == KIND_TOPO_DST:
+            dst = arr
+        elif kind == KIND_VERTEX:
+            if arr.size != n:
+                raise ValueError(f"{path}: truncated array {name!r}")
+            vertex_arrays[name] = arr
+        elif kind == KIND_EDGE:
+            if arr.size != m:
+                raise ValueError(f"{path}: truncated array {name!r}")
+            edge_arrays[name] = arr
+        elif kind == KIND_META:
+            continue  # interval indexes etc.; read via open_container
+        else:
+            raise ValueError(f"{path}: unknown array kind {kind}")
+    if src is None or dst is None or src.size != m or dst.size != m:
+        raise ValueError(f"{path}: truncated edge section")
+    graph = DiGraph(n, src, dst)
+    return graph, vertex_arrays, edge_arrays
+
+
+# ---------------------------------------------------------------------------
+# v1 (legacy)
+# ---------------------------------------------------------------------------
+
+def _save_graph_v1(graph, path, vertex_arrays, edge_arrays) -> None:
     with open(path, "wb") as fh:
         fh.write(MAGIC)
         fh.write(
-            struct.pack(
-                "<QQQ",
+            _V1_HEADER.pack(
                 graph.num_vertices,
                 graph.num_edges,
                 len(vertex_arrays) + len(edge_arrays),
@@ -64,7 +298,7 @@ def save_graph(
         )
         fh.write(graph.edge_src.astype("<i8").tobytes())
         fh.write(graph.edge_dst.astype("<i8").tobytes())
-        for kind, arrays in ((_KIND_VERTEX, vertex_arrays), (_KIND_EDGE, edge_arrays)):
+        for kind, arrays in ((KIND_VERTEX, vertex_arrays), (KIND_EDGE, edge_arrays)):
             for name, arr in arrays.items():
                 name_b = name.encode("utf-8")
                 dtype_b = arr.dtype.str.encode("ascii")
@@ -76,15 +310,10 @@ def save_graph(
                 fh.write(np.ascontiguousarray(arr).tobytes())
 
 
-def load_graph(
-    path: str | os.PathLike,
-) -> tuple[DiGraph, dict[str, np.ndarray], dict[str, np.ndarray]]:
-    """Load a graph container; returns ``(graph, vertex_arrays, edge_arrays)``."""
+def _load_graph_v1(path):
     with open(path, "rb") as fh:
-        magic = fh.read(len(MAGIC))
-        if magic != MAGIC:
-            raise ValueError(f"{path}: not a repro graph file (bad magic {magic!r})")
-        n, m, num_arrays = struct.unpack("<QQQ", fh.read(24))
+        fh.read(len(MAGIC))
+        n, m, num_arrays = _V1_HEADER.unpack(fh.read(_V1_HEADER.size))
         src = np.frombuffer(fh.read(8 * m), dtype="<i8")
         dst = np.frombuffer(fh.read(8 * m), dtype="<i8")
         if src.size != m or dst.size != m:
@@ -98,14 +327,14 @@ def load_graph(
             (kind,) = struct.unpack("<B", fh.read(1))
             (dtype_len,) = struct.unpack("<H", fh.read(2))
             dtype = np.dtype(fh.read(dtype_len).decode("ascii"))
-            count = n if kind == _KIND_VERTEX else m
+            count = n if kind == KIND_VERTEX else m
             raw = fh.read(dtype.itemsize * count)
             arr = np.frombuffer(raw, dtype=dtype)
             if arr.size != count:
                 raise ValueError(f"{path}: truncated array {name!r}")
-            if kind == _KIND_VERTEX:
+            if kind == KIND_VERTEX:
                 vertex_arrays[name] = arr.copy()
-            elif kind == _KIND_EDGE:
+            elif kind == KIND_EDGE:
                 edge_arrays[name] = arr.copy()
             else:
                 raise ValueError(f"{path}: unknown array kind {kind}")

@@ -36,9 +36,26 @@ from ..engine.frontier import Frontier, initial_frontier
 from ..engine.program import UpdateContext, VertexProgram
 from ..engine.result import IterationStats, RunResult
 from ..engine.state import State
-from .binfmt import load_graph, save_graph
+from .binfmt import (
+    KIND_EDGE,
+    KIND_META,
+    KIND_TOPO_DST,
+    KIND_TOPO_SRC,
+    KIND_VERTEX,
+    load_graph,
+    open_container,
+    save_graph,
+    write_container,
+)
 
-__all__ = ["Shard", "ShardedGraph", "OutOfCoreRunner", "IOStats"]
+__all__ = [
+    "Shard",
+    "ShardedGraph",
+    "ShardStore",
+    "StoreGraphView",
+    "OutOfCoreRunner",
+    "IOStats",
+]
 
 
 @dataclass(frozen=True)
@@ -162,6 +179,238 @@ def _reorder_for(sub: DiGraph, shard: Shard) -> np.ndarray:
     """Map the sub-graph's canonical edge order back to parent edge ids."""
     order = np.lexsort((shard.dst, shard.src))
     return shard.eid[order].astype(np.int64)
+
+
+class StoreGraphView:
+    """Read-only graph facade over a :class:`ShardStore`'s topology.
+
+    Exposes exactly the surface :class:`~repro.engine.state.FieldSpec`
+    initializers and ``initial_frontier`` implementations use —
+    ``num_vertices``/``num_edges``, zero-copy canonical ``edge_src`` /
+    ``edge_dst`` memmap views, and the degree vectors — without
+    materializing a :class:`~repro.graph.DiGraph` CSR in memory.
+    """
+
+    __slots__ = ("_store", "_in_degrees")
+
+    def __init__(self, store: "ShardStore"):
+        self._store = store
+        self._in_degrees: np.ndarray | None = None
+
+    @property
+    def num_vertices(self) -> int:
+        return self._store.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._store.num_edges
+
+    @property
+    def edge_src(self) -> np.ndarray:
+        """Canonical-order edge sources (read-only memmap)."""
+        return self._store.canon_src
+
+    @property
+    def edge_dst(self) -> np.ndarray:
+        """Canonical-order edge destinations (read-only memmap)."""
+        return self._store.canon_dst
+
+    def out_degrees(self) -> np.ndarray:
+        return self._store.out_degrees
+
+    def in_degrees(self) -> np.ndarray:
+        if self._in_degrees is None:
+            self._in_degrees = np.bincount(
+                self._store.canon_dst, minlength=self._store.num_vertices
+            ).astype(np.int64)
+        return self._in_degrees
+
+
+class ShardStore:
+    """On-disk PSW shard store in a single aligned v2 container.
+
+    The canonical edge list is reordered *shard-major*: slot ``i`` of the
+    store belongs to shard ``shard(i)`` (the interval owning the edge's
+    destination), and within a shard slots are sorted by source with ties
+    broken by canonical edge id — so within a shard the canonical ids are
+    strictly ascending, which keeps duplicate-edge accumulation order and
+    provenance ordering identical to the in-memory engines.
+
+    Container blocks::
+
+        src, dst                 canonical topology (kinds 2/3)
+        psw_src, psw_dst         shard-major endpoints     (edge kind)
+        psw_eid                  slot -> canonical edge id (edge kind)
+        out_degrees              per-vertex out-degree     (vertex kind)
+        bounds                   K+1 interval boundaries   (meta)
+        shard_offsets            K+1 slot offsets of shards (meta)
+        window_index             (K, K+1) flattened: window_index[j, k]
+                                 is the first slot of shard j whose
+                                 source is >= bounds[k]       (meta)
+
+    Everything is opened as read-only ``np.memmap`` views; an execution
+    touches only the slot ranges of the interval it is currently
+    running, so resident set stays bounded by the largest interval.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        n, m, blocks = open_container(self.path, mmap=True)
+        self.num_vertices = n
+        self.num_edges = m
+        named = {name: arr for name, _, arr in blocks}
+        try:
+            self.canon_src = named["src"]
+            self.canon_dst = named["dst"]
+            self.psw_src = named["psw_src"]
+            self.psw_dst = named["psw_dst"]
+            self.psw_eid = named["psw_eid"]
+            self.out_degrees = named["out_degrees"]
+            # The small index arrays are copied into private memory: they
+            # are consulted constantly and must survive release_pages().
+            self.bounds = np.asarray(named["bounds"]).copy()
+            self.shard_offsets = np.asarray(named["shard_offsets"]).copy()
+            window_flat = np.asarray(named["window_index"]).copy()
+        except KeyError as exc:
+            raise ValueError(f"{self.path}: not a shard store (missing block {exc})") from None
+        self.num_intervals = int(self.bounds.size - 1)
+        self.window_index = window_flat.reshape(self.num_intervals, self.num_intervals + 1)
+        self._runner = None
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        path: str | os.PathLike,
+        num_intervals: int,
+    ) -> "ShardStore":
+        """Preprocess ``graph`` into a shard store at ``path``."""
+        if num_intervals < 1:
+            raise ValueError("num_intervals must be >= 1")
+        n, m = graph.num_vertices, graph.num_edges
+        k = int(num_intervals)
+        bounds = np.linspace(0, n, k + 1).astype(np.int64)
+        src = np.asarray(graph.edge_src, dtype=np.int64)
+        dst = np.asarray(graph.edge_dst, dtype=np.int64)
+        shard_id = np.searchsorted(bounds, dst, side="right") - 1
+        # Shard-major, source-sorted, canonical-id tie-break: ascending
+        # canonical ids within every (shard, source) group.
+        perm = np.lexsort((np.arange(m), src, shard_id))
+        psw_src = src[perm]
+        psw_dst = dst[perm]
+        shard_offsets = np.searchsorted(shard_id[perm], np.arange(k + 1)).astype(np.int64)
+        window_index = np.empty((k, k + 1), dtype=np.int64)
+        for j in range(k):
+            a, b = shard_offsets[j], shard_offsets[j + 1]
+            window_index[j] = a + np.searchsorted(psw_src[a:b], bounds)
+        write_container(
+            path,
+            num_vertices=n,
+            num_edges=m,
+            arrays=[
+                ("src", KIND_TOPO_SRC, src),
+                ("dst", KIND_TOPO_DST, dst),
+                ("psw_src", KIND_EDGE, psw_src),
+                ("psw_dst", KIND_EDGE, psw_dst),
+                ("psw_eid", KIND_EDGE, perm.astype(np.int64)),
+                ("out_degrees", KIND_VERTEX, graph.out_degrees().astype(np.int64)),
+                ("bounds", KIND_META, bounds),
+                ("shard_offsets", KIND_META, shard_offsets),
+                ("window_index", KIND_META, window_index.reshape(-1)),
+            ],
+        )
+        return cls(path)
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "ShardStore":
+        return cls(path)
+
+    # -- interval access -------------------------------------------------
+    def interval(self, k: int) -> tuple[int, int]:
+        """Vertex range ``[lo, hi)`` of interval ``k``."""
+        return int(self.bounds[k]), int(self.bounds[k + 1])
+
+    def interval_ranges(self, k: int) -> list[tuple[int, int]]:
+        """Slot ranges covering every edge incident to interval ``k``:
+        the full shard ``k`` (in-edges) plus one sliding window from
+        every other shard (out-edges).  Ranges are disjoint, ascending,
+        and non-empty."""
+        ranges: list[tuple[int, int]] = []
+        for j in range(self.num_intervals):
+            if j == k:
+                lo, hi = int(self.shard_offsets[j]), int(self.shard_offsets[j + 1])
+            else:
+                lo, hi = int(self.window_index[j, k]), int(self.window_index[j, k + 1])
+            if hi > lo:
+                ranges.append((lo, hi))
+        return ranges
+
+    def graph_view(self) -> StoreGraphView:
+        return StoreGraphView(self)
+
+    def nondet_runner(self):
+        """The (cached) out-of-core nondeterministic runner for this
+        store.  Cached so supervised restarts resume against the same
+        live scratch state."""
+        if self._runner is None:
+            from ..engine.nondet_outofcore import OutOfCoreNondetRunner
+
+            self._runner = OutOfCoreNondetRunner(self)
+        return self._runner
+
+    # -- hygiene ---------------------------------------------------------
+    def release_pages(self) -> None:
+        """Advise the kernel to drop resident pages of the big mmaps —
+        keeps measured RSS bounded between interval sweeps."""
+        import mmap as _mmap
+
+        for arr in (self.canon_src, self.canon_dst, self.psw_src,
+                    self.psw_dst, self.psw_eid, self.out_degrees):
+            mm = getattr(arr, "_mmap", None)
+            if mm is not None and hasattr(mm, "madvise"):
+                try:
+                    mm.madvise(_mmap.MADV_DONTNEED)
+                except (ValueError, OSError):  # closed or unsupported
+                    pass
+
+    def validate(self) -> None:
+        """PSW invariants, raising :class:`ValueError` on violation."""
+        n, m, k = self.num_vertices, self.num_edges, self.num_intervals
+        eid = np.asarray(self.psw_eid)
+        if not np.array_equal(np.sort(eid), np.arange(m)):
+            raise ValueError("psw_eid is not a permutation of the canonical ids")
+        if not (np.array_equal(self.psw_src, np.asarray(self.canon_src)[eid])
+                and np.array_equal(self.psw_dst, np.asarray(self.canon_dst)[eid])):
+            raise ValueError("shard-major endpoints disagree with canonical topology")
+        if self.shard_offsets[0] != 0 or self.shard_offsets[-1] != m:
+            raise ValueError("shard_offsets do not cover the edge list")
+        for j in range(k):
+            a, b = int(self.shard_offsets[j]), int(self.shard_offsets[j + 1])
+            lo, hi = self.interval(j)
+            d = self.psw_dst[a:b]
+            if d.size and not np.all((d >= lo) & (d < hi)):
+                raise ValueError(f"shard {j} holds a destination outside [{lo}, {hi})")
+            s = self.psw_src[a:b]
+            if s.size and np.any(np.diff(s) < 0):
+                raise ValueError(f"shard {j} is not source-sorted")
+            e = eid[a:b]
+            if e.size and np.any(np.diff(e) <= 0):
+                raise ValueError(f"shard {j} canonical ids are not strictly ascending")
+            if self.window_index[j, 0] != a or self.window_index[j, k] != b:
+                raise ValueError(f"shard {j} window index does not span the shard")
+            if np.any(np.diff(self.window_index[j]) < 0):
+                raise ValueError(f"shard {j} window index is not monotone")
+            for t in range(k):
+                wa, wb = int(self.window_index[j, t]), int(self.window_index[j, t + 1])
+                w = self.psw_src[wa:wb]
+                tlo, thi = self.interval(t)
+                if w.size and not np.all((w >= tlo) & (w < thi)):
+                    raise ValueError(f"window ({j}, {t}) holds a source outside [{tlo}, {thi})")
+        deg = np.bincount(np.asarray(self.canon_src), minlength=n).astype(np.int64) \
+            if m else np.zeros(n, dtype=np.int64)
+        if not np.array_equal(deg, np.asarray(self.out_degrees)):
+            raise ValueError("stored out_degrees disagree with topology")
 
 
 @dataclass

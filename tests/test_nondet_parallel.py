@@ -118,12 +118,59 @@ def test_empty_backend_string_means_in_process(small_graph):
 
 
 def test_engine_instance_is_reusable(small_graph):
-    """A ParallelEngine can run twice (pool torn down between runs)."""
+    """A ParallelEngine can run twice and reuses its warm worker pool."""
     engine = ParallelEngine()
-    config = EngineConfig(threads=2, seed=0, jitter=0.5)
-    a = engine.run(PageRank(epsilon=1e-3), small_graph, config)
-    b = engine.run(PageRank(epsilon=1e-3), small_graph, config)
-    assert_bit_identical(a, b)
+    try:
+        config = EngineConfig(threads=2, seed=0, jitter=0.5)
+        a = engine.run(PageRank(epsilon=1e-3), small_graph, config)
+        b = engine.run(PageRank(epsilon=1e-3), small_graph, config)
+        assert a.extra["pool_reused"] is False
+        assert b.extra["pool_reused"] is True
+        assert_bit_identical(a, b)
+    finally:
+        engine.close()
+
+
+def test_pool_reuse_survives_config_changes(small_graph):
+    """Seed/jitter/delay changes reuse the pool (the plan is re-broadcast
+    every iteration); changing P or the program tears it down."""
+    engine = ParallelEngine()
+    try:
+        base = EngineConfig(threads=2, seed=0)
+        engine.run(WeaklyConnectedComponents(), small_graph, base)
+        jittered = engine.run(WeaklyConnectedComponents(), small_graph,
+                              EngineConfig(threads=2, seed=5, jitter=0.5))
+        assert jittered.extra["pool_reused"] is True
+        solo = run(WeaklyConnectedComponents(), small_graph,
+                   mode="nondeterministic",
+                   config=EngineConfig(threads=2, seed=5, jitter=0.5),
+                   vectorized="require")
+        assert_bit_identical(solo, jittered)
+        wider = engine.run(WeaklyConnectedComponents(), small_graph,
+                           EngineConfig(threads=3, seed=0))
+        assert wider.extra["pool_reused"] is False
+        other = engine.run(PageRank(epsilon=1e-3), small_graph,
+                           EngineConfig(threads=3, seed=0))
+        assert other.extra["pool_reused"] is False
+    finally:
+        engine.close()
+
+
+def test_pool_reuse_keeps_delay_model_in_sync(small_graph):
+    """The batched barrier message only ships the delay model when it
+    changes; a fault-injection schedule that flips it per iteration must
+    still match the single-process run."""
+    from repro.robust import supervised_run
+
+    config = EngineConfig(threads=2, seed=3, jitter=0.25)
+    plan = "delay@1:x3;delay@3:x7"
+    solo = supervised_run(WeaklyConnectedComponents(), small_graph,
+                          mode="nondeterministic", config=config,
+                          faults=plan, vectorized="require")
+    proc = supervised_run(WeaklyConnectedComponents(), small_graph,
+                          mode="nondeterministic", config=config,
+                          faults=plan, backend="process")
+    assert_bit_identical(solo, proc)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,382 @@
+"""Out-of-core sharded execution: container v2, PSW shards, and the
+interval-sliced nondeterministic runner.
+
+Three layers are pinned here:
+
+* the RPROGRF2 container — page-aligned blocks, zero-copy ``np.memmap``
+  views, torn-header rejection;
+* the :class:`~repro.storage.shards.ShardStore` PSW layout — interval
+  coverage, source-sort, and the single-writer slot ownership that makes
+  the §II scope rule compose across intervals;
+* the :class:`~repro.engine.nondet_outofcore.OutOfCoreNondetRunner` —
+  bit-identical to the in-memory vectorized engine (which is itself
+  bit-identical to the object engine) for every kernel, in both the
+  single-process and the persistent-pool process backends, including
+  fix-point pass counts, conflict accounting, and recorder provenance.
+
+The ``outofcore`` marker selects the bounded-RAM scale test the CI
+out-of-core job runs (`pytest -m outofcore`).
+"""
+
+import mmap as _mmap
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, WeaklyConnectedComponents
+from repro.engine import EngineConfig, OutOfCoreNondetRunner, run
+from repro.graph import generators
+from repro.obs import Recorder
+from repro.storage import ShardStore
+from repro.storage.binfmt import MAGIC2, load_graph, save_graph
+
+from .test_nondet_vectorized import ALGORITHMS, assert_bit_identical
+
+
+# ---------------------------------------------------------------------------
+# container v2: mmap views and torn headers
+# ---------------------------------------------------------------------------
+
+class TestContainerV2:
+    def test_mmap_views_are_zero_copy_and_page_aligned(self, tmp_path, rmat_small):
+        path = tmp_path / "g.rpro"
+        rng = np.random.default_rng(0)
+        vx = rng.random(rmat_small.num_vertices)
+        ew = rng.random(rmat_small.num_edges)
+        save_graph(rmat_small, path, vertex_arrays={"vx": vx},
+                   edge_arrays={"ew": ew})
+        g1, va1, ea1 = load_graph(path)
+        g2, va2, ea2 = load_graph(path, mmap=True)
+        assert g1 == g2 == rmat_small
+        assert np.array_equal(va1["vx"], va2["vx"])
+        assert np.array_equal(ea1["ew"], ea2["ew"])
+        for arr in (va2["vx"], ea2["ew"]):
+            assert isinstance(arr, np.memmap)
+            assert not arr.flags.writeable
+            assert arr.offset % _mmap.ALLOCATIONGRANULARITY == 0
+        assert not isinstance(va1["vx"], np.memmap)
+        va1["vx"][0] = -1.0  # plain load stays privately writable
+
+    def test_v1_still_readable_but_not_mappable(self, tmp_path, rmat_small):
+        path = tmp_path / "g.rpro"
+        save_graph(rmat_small, path, version=1)
+        back, _, _ = load_graph(path)
+        assert back == rmat_small
+        with pytest.raises(ValueError, match="mmap=True requires a v2"):
+            load_graph(path, mmap=True)
+
+    def test_torn_fixed_header_rejected(self, tmp_path, rmat_small):
+        path = tmp_path / "g.rpro"
+        save_graph(rmat_small, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(MAGIC2) + 4])
+        with pytest.raises(ValueError, match="torn header"):
+            load_graph(path)
+
+    def test_torn_toc_rejected(self, tmp_path, rmat_small):
+        path = tmp_path / "g.rpro"
+        save_graph(rmat_small, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(MAGIC2) + 24 + 3])
+        with pytest.raises(ValueError, match="torn header"):
+            load_graph(path)
+
+    def test_byte_poke_in_payload_detected(self, tmp_path, rmat_small):
+        path = tmp_path / "g.rpro"
+        save_graph(rmat_small, path)
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError):
+            load_graph(path)
+
+
+# ---------------------------------------------------------------------------
+# PSW shard-store invariants (property tests over rmat scales)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("scale,num_intervals",
+                         [(8, 4), (11, 7), (14, 16)])
+def test_psw_invariants_on_rmat(tmp_path, scale, num_intervals):
+    """Interval coverage, source-sort, and single-writer ownership,
+    re-derived from the canonical topology independently of validate()."""
+    g = generators.rmat(scale, 8.0, seed=scale)
+    store = ShardStore.build(g, tmp_path / "g.shards", num_intervals)
+    store.validate()
+
+    src = np.asarray(store.canon_src)
+    dst = np.asarray(store.canon_dst)
+    eid = np.asarray(store.psw_eid)
+    n, m, k = store.num_vertices, store.num_edges, store.num_intervals
+
+    # Intervals partition the vertex set.
+    bounds = [store.interval(j) for j in range(k)]
+    assert bounds[0][0] == 0 and bounds[-1][1] == n
+    for (a, b), (c, d) in zip(bounds, bounds[1:]):
+        assert b == c
+
+    interval_of = np.searchsorted(store.bounds, np.arange(n), side="right") - 1
+    slot_owner_dst = np.full(m, -1)   # interval whose shard holds the slot
+    slot_owner_src = np.full(m, -1)   # interval whose window holds the slot
+    for j in range(k):
+        a, b = int(store.shard_offsets[j]), int(store.shard_offsets[j + 1])
+        assert slot_owner_dst[a:b].max(initial=-1) == -1, "shard overlap"
+        slot_owner_dst[a:b] = j
+        # Source-sorted within the shard, canonical id ascending overall.
+        assert np.all(np.diff(np.asarray(store.psw_src[a:b])) >= 0)
+        for t in range(k):
+            wa, wb = int(store.window_index[j, t]), int(store.window_index[j, t + 1])
+            assert slot_owner_src[wa:wb].max(initial=-1) == -1, "window overlap"
+            slot_owner_src[wa:wb] = t
+    # Every slot has exactly one dst-side and one src-side owner, and they
+    # are the endpoint intervals — the cross-interval scope rule.
+    assert np.all(slot_owner_dst >= 0) and np.all(slot_owner_src >= 0)
+    assert np.array_equal(slot_owner_dst, interval_of[dst[eid]])
+    assert np.array_equal(slot_owner_src, interval_of[src[eid]])
+
+    # Coverage: interval k's ranges are exactly the slots incident to it.
+    for j in range(k):
+        covered = np.zeros(m, dtype=bool)
+        for (a, b) in store.interval_ranges(j):
+            assert not covered[a:b].any(), "ranges overlap"
+            covered[a:b] = True
+        incident = (slot_owner_dst == j) | (slot_owner_src == j)
+        assert np.array_equal(covered, incident)
+
+
+def test_store_rejects_corrupted_layout(tmp_path, rmat_small):
+    store = ShardStore.build(rmat_small, tmp_path / "g.shards", 4)
+    store.validate()
+    with pytest.raises(ValueError):
+        ShardStore.build(rmat_small, tmp_path / "bad.shards", 0)
+
+
+def test_graph_view_matches_source_graph(tmp_path, rmat_small):
+    store = ShardStore.build(rmat_small, tmp_path / "g.shards", 4)
+    view = store.graph_view()
+    assert view.num_vertices == rmat_small.num_vertices
+    assert view.num_edges == rmat_small.num_edges
+    assert np.array_equal(view.edge_src, rmat_small.edge_src)
+    assert np.array_equal(view.edge_dst, rmat_small.edge_dst)
+    assert np.array_equal(view.out_degrees(), rmat_small.out_degrees())
+
+
+# ---------------------------------------------------------------------------
+# bit-identity: out-of-core == in-memory vectorized == object engine
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def ooc_graph():
+    return generators.rmat(6, 8.0, seed=3)
+
+
+@pytest.fixture
+def ooc_store(ooc_graph, tmp_path):
+    store = ShardStore.build(ooc_graph, tmp_path / "g.shards", 4)
+    yield store
+    runner = store.nondet_runner()
+    runner.close()
+
+
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_out_of_core_bit_identical(ooc_graph, ooc_store, algo, seed):
+    config = EngineConfig(threads=4, seed=seed, jitter=0.5)
+    vec = run(ALGORITHMS[algo](), ooc_graph, mode="nondeterministic",
+              config=config, vectorized="require")
+    ooc = run(ALGORITHMS[algo](), ooc_store, mode="nondeterministic",
+              config=config)
+    assert ooc.extra.get("out_of_core") is True
+    assert ooc.extra.get("vectorized") is True
+    assert ooc.extra["num_intervals"] == 4
+    assert ooc.extra["io"]["bytes_read"] > 0
+    assert_bit_identical(vec, ooc)
+    assert ooc.extra["fixpoint_passes"] == vec.extra["fixpoint_passes"]
+
+
+def test_out_of_core_zero_jitter_single_interval(ooc_graph, tmp_path):
+    """K=1 degenerates to the in-memory schedule exactly."""
+    store = ShardStore.build(ooc_graph, tmp_path / "one.shards", 1)
+    config = EngineConfig(threads=3, seed=0)
+    vec = run(WeaklyConnectedComponents(), ooc_graph, mode="nondeterministic",
+              config=config, vectorized="require")
+    ooc = run(WeaklyConnectedComponents(), store, mode="nondeterministic",
+              config=config)
+    assert_bit_identical(vec, ooc)
+    store.nondet_runner().close()
+
+
+def test_recorder_provenance_identical(ooc_graph, ooc_store):
+    config = EngineConfig(threads=3, seed=0, jitter=0.5)
+    rec_vec, rec_ooc = Recorder(), Recorder()
+    vec = run(PageRank(epsilon=1e-3), ooc_graph, mode="nondeterministic",
+              config=config, vectorized="require", record=rec_vec)
+    ooc = run(PageRank(epsilon=1e-3), ooc_store, mode="nondeterministic",
+              config=config, record=rec_ooc)
+    assert_bit_identical(vec, ooc)
+    assert len(rec_vec.events) > 0
+    assert rec_vec.events == rec_ooc.events
+
+
+def test_out_of_core_rejects_other_modes(ooc_store):
+    with pytest.raises(ValueError, match="nondeterministic"):
+        run(WeaklyConnectedComponents(), ooc_store, mode="deterministic")
+
+
+def test_out_of_core_rejects_unknown_backend(ooc_store):
+    with pytest.raises(ValueError, match="backend"):
+        run(WeaklyConnectedComponents(), ooc_store, mode="nondeterministic",
+            config=EngineConfig(threads=2, seed=0), backend="threads")
+
+
+# ---------------------------------------------------------------------------
+# process backend: interval dispatch + persistent pool
+# ---------------------------------------------------------------------------
+
+def test_process_backend_bit_identical_and_pool_reused(ooc_graph, ooc_store):
+    config = EngineConfig(threads=4, seed=0, jitter=0.5)
+    vec = run(PageRank(epsilon=1e-3), ooc_graph, mode="nondeterministic",
+              config=config, vectorized="require")
+    first = run(PageRank(epsilon=1e-3), ooc_store, mode="nondeterministic",
+                config=config, backend="process")
+    second = run(PageRank(epsilon=1e-3), ooc_store, mode="nondeterministic",
+                 config=config, backend="process")
+    assert first.extra["backend"] == "process"
+    assert first.extra["pool_reused"] is False
+    assert second.extra["pool_reused"] is True
+    assert first.extra["workers"] == min(4, 4)
+    assert_bit_identical(vec, first)
+    assert_bit_identical(vec, second)
+    assert first.extra["fixpoint_passes"] == vec.extra["fixpoint_passes"]
+
+
+def test_process_backend_recorder_identical(ooc_graph, ooc_store):
+    config = EngineConfig(threads=2, seed=1, jitter=0.5)
+    rec_vec, rec_proc = Recorder(), Recorder()
+    vec = run(WeaklyConnectedComponents(), ooc_graph, mode="nondeterministic",
+              config=config, vectorized="require", record=rec_vec)
+    proc = run(WeaklyConnectedComponents(), ooc_store, mode="nondeterministic",
+               config=config, backend="process", record=rec_proc)
+    assert_bit_identical(vec, proc)
+    assert rec_vec.events == rec_proc.events
+
+
+def test_pool_torn_down_with_runner(ooc_graph, tmp_path):
+    import glob as _glob
+
+    store = ShardStore.build(ooc_graph, tmp_path / "g.shards", 4)
+    config = EngineConfig(threads=2, seed=0)
+    run(WeaklyConnectedComponents(), store, mode="nondeterministic",
+        config=config, backend="process")
+    store.nondet_runner().close()
+    assert _glob.glob("/dev/shm/repro-pool-*") == []
+
+
+# ---------------------------------------------------------------------------
+# robustness: checkpoints round-trip interval state
+# ---------------------------------------------------------------------------
+
+def test_checkpoint_resume_roundtrip(ooc_graph, ooc_store, tmp_path):
+    """A checkpoint cut mid-run out-of-core resumes — out-of-core or
+    in-memory — to the exact uninterrupted trajectory."""
+    from repro.robust import DegradationPolicy
+
+    ck = str(tmp_path / "ooc.ckpt")
+    config = EngineConfig(threads=2, seed=0, jitter=0.5)
+    with pytest.raises(Exception):
+        run(PageRank(epsilon=1e-3), ooc_store, mode="nondeterministic",
+            config=config, faults="crash@2", checkpoint=ck,
+            policy=DegradationPolicy(max_restarts=0))
+    clean = run(PageRank(epsilon=1e-3), ooc_graph, mode="nondeterministic",
+                config=config, vectorized="require")
+    for resume_graph in (ooc_store, ooc_graph):
+        resumed = run(PageRank(epsilon=1e-3), resume_graph,
+                      mode="nondeterministic", resume_from=ck)
+        assert resumed.converged
+        assert resumed.num_iterations == clean.num_iterations
+        for f in clean.state.vertex_field_names:
+            assert np.array_equal(resumed.state.vertex(f), clean.state.vertex(f))
+        for f in clean.state.edge_field_names:
+            assert np.array_equal(resumed.state.edge(f), clean.state.edge(f))
+
+
+def test_torn_write_fault_parity(ooc_graph, ooc_store):
+    """Fault injection mutates the interval-sliced state identically to
+    the in-memory engine — the supervisor's writes flush to scratch."""
+    from repro.robust import supervised_run
+
+    config = EngineConfig(threads=2, seed=3, jitter=0.25)
+    solo = supervised_run(WeaklyConnectedComponents(), ooc_graph,
+                          mode="nondeterministic", config=config,
+                          faults="torn@1;delay@2:x3", vectorized="require")
+    ooc = supervised_run(WeaklyConnectedComponents(), ooc_store,
+                         mode="nondeterministic", config=config,
+                         faults="torn@1;delay@2:x3")
+    assert_bit_identical(solo, ooc)
+
+
+# ---------------------------------------------------------------------------
+# bounded RAM at scale (CI out-of-core job)
+# ---------------------------------------------------------------------------
+
+_RLIMIT_CHILD = textwrap.dedent("""
+    import resource, sys
+    import numpy as np
+    from repro.engine import EngineConfig, run
+    from repro.storage import ShardStore
+    from repro.algorithms import WeaklyConnectedComponents
+    from repro.graph import DiGraph
+
+    store_path, mode = sys.argv[1], sys.argv[2]
+    store = ShardStore.open(store_path)
+    # Cap the address space at the current footprint plus a headroom
+    # that the interval-sliced runner fits in but a full in-memory
+    # materialization (topology + per-slot scratch arrays) cannot.
+    with open("/proc/self/statm") as fh:
+        vm_pages = int(fh.read().split()[0])
+    base = vm_pages * resource.getpagesize()
+    headroom = int(sys.argv[3])
+    resource.setrlimit(resource.RLIMIT_AS, (base + headroom, resource.RLIM_INFINITY))
+    config = EngineConfig(threads=4, seed=0, max_iterations=3)
+    if mode == "in-memory":
+        src = np.array(store.canon_src)       # materialize topology
+        dst = np.array(store.canon_dst)
+        g = DiGraph(store.num_vertices, src, dst)
+        run(WeaklyConnectedComponents(), g, mode="nondeterministic",
+            config=config, vectorized="require")
+    else:
+        res = run(WeaklyConnectedComponents(), store, mode="nondeterministic",
+                  config=config)
+        assert res.extra["out_of_core"] is True
+    print("OK", mode)
+""")
+
+
+@pytest.mark.outofcore
+def test_scale16_wcc_bounded_ram(tmp_path):
+    """Scale-16 WCC under RLIMIT_AS: the out-of-core runner completes in
+    an address-space budget the in-memory engine provably exceeds."""
+    g = generators.rmat(16, 16.0, seed=7)
+    store_path = tmp_path / "scale16.shards"
+    ShardStore.build(g, store_path, 16)
+    del g
+    env = dict(os.environ, PYTHONPATH="src")
+    headroom = 192 * 1024 * 1024
+
+    def child(mode):
+        return subprocess.run(
+            [sys.executable, "-c", _RLIMIT_CHILD, str(store_path), mode,
+             str(headroom)],
+            capture_output=True, text=True, cwd=os.getcwd(), env=env)
+
+    ooc = child("out-of-core")
+    assert ooc.returncode == 0, ooc.stderr
+    assert "OK out-of-core" in ooc.stdout
+    mem = child("in-memory")
+    assert mem.returncode != 0, (
+        "in-memory run unexpectedly fit the capped address space")
+    assert "MemoryError" in mem.stderr or "_ArrayMemoryError" in mem.stderr
