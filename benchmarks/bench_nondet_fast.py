@@ -45,7 +45,7 @@ SCALES = (8, 10, 12)
 CONFIG = dict(threads=8, seed=0, jitter=0.5)
 
 
-def _timed(factory, graph, *, vectorized):
+def _timed(factory, graph, *, vectorized, direction="pull"):
     t0 = time.perf_counter()
     res = run(
         factory(),
@@ -53,6 +53,7 @@ def _timed(factory, graph, *, vectorized):
         mode="nondeterministic",
         config=EngineConfig(**CONFIG),
         vectorized="require" if vectorized else False,
+        direction=direction,
     )
     elapsed = time.perf_counter() - t0
     updates = sum(s.num_active for s in res.iterations)
@@ -124,6 +125,28 @@ def test_vectorized_speedup_floor_scale10():
             f"{name}: vectorized fast path only "
             f"{cell['speedup']:.1f}x over the object engine"
         )
+
+
+@pytest.mark.perfsmoke
+def test_direction_auto_floor_scale12_bfs():
+    """Tier-2 floor for the direction-optimizing hybrid: ``auto`` must
+    stay within 10% of the better of pull-only and push-only on scale-12
+    BFS, measured in the same process back-to-back so host load cancels.
+    The heuristic is allowed to be imperfect; it is not allowed to make
+    the run materially slower than either fixed direction.
+    """
+    graph = generators.rmat(12, 8.0, seed=3)
+    cells = {
+        d: _timed(ALGORITHMS["bfs"], graph, vectorized=True, direction=d)
+        for d in ("pull", "push", "auto")
+    }
+    assert all(c["converged"] for c in cells.values())
+    best = min(cells["pull"]["seconds"], cells["push"]["seconds"])
+    assert cells["auto"]["seconds"] <= best / 0.9, (
+        f"auto {cells['auto']['seconds']:.3f}s fell below 0.9x of the best "
+        f"fixed direction ({best:.3f}s; pull {cells['pull']['seconds']:.3f}s, "
+        f"push {cells['push']['seconds']:.3f}s)"
+    )
 
 
 @pytest.mark.perfsmoke

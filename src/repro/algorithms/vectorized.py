@@ -29,6 +29,7 @@ from ..engine.nondet_vectorized import (
     NondetPassContext,
     register_nondet_kernel,
 )
+from ..engine.push import CombineOp
 from ..engine.state import INF, FieldSpec, State
 from ..engine.vectorized import VectorizedProgram
 from .pagerank import PageRank
@@ -276,6 +277,28 @@ class _WCCNondetKernel(NondetKernel):
         ctx.wd["label"][sub_d] = ((seen_d > mn[dst]) & ~ctx.selfloop)[sub_d]
         ctx.wvd["label"][sub_d] = mn[dst[sub_d]]
 
+    # Every scatter is a fetch-and-min of the gathered minimum — an
+    # idempotent atomic combine, so the push direction may re-derive the
+    # identical values over the frontier's touched edges only.
+    push_combines = {"label": CombineOp.MIN}
+
+    def run_push_pass(self, ctx: NondetPassContext, sub_ids: np.ndarray,
+                      es: np.ndarray, ed: np.ndarray) -> None:
+        src, dst = ctx.src, ctx.dst
+        seen_s, seen_d = ctx.seen_s["label"], ctx.seen_d["label"]
+        # Same gather as run_pass restricted to the touched edge slices:
+        # min over the same multiset of seen labels, order-independent.
+        mn = ctx.v0["label"].copy()
+        np.minimum.at(mn, dst[ed], seen_d[ed])
+        np.minimum.at(mn, src[es], seen_s[es])
+        ctx.vout["label"][sub_ids] = mn[sub_ids]
+        ctx.rd["label"][ed] = 1
+        ctx.rs["label"][es] = 1
+        ctx.ws["label"][es] = seen_s[es] > mn[src[es]]
+        ctx.wvs["label"][es] = mn[src[es]]
+        ctx.wd["label"][ed] = (seen_d[ed] > mn[dst[ed]]) & ~ctx.selfloop[ed]
+        ctx.wvd["label"][ed] = mn[dst[ed]]
+
 
 class _PageRankNondetKernel(NondetKernel):
     """Racy float32 PageRank pass with local convergence."""
@@ -342,6 +365,31 @@ class _SSSPNondetKernel(NondetKernel):
         ctx.ws["dist"][sub_s] = (scat & (seen_out > best[src]))[sub_s]
         ctx.wvs["dist"][sub_s] = best[src[sub_s]]
         ctx.wd["dist"][sub_d] = False  # only the source endpoint writes
+
+    # Relaxation scatters are fetch-and-min over (dist + weight) — an
+    # idempotent atomic combine; see _WCCNondetKernel.push_combines.
+    push_combines = {"dist": CombineOp.MIN}
+
+    def run_push_pass(self, ctx: NondetPassContext, sub_ids: np.ndarray,
+                      es: np.ndarray, ed: np.ndarray) -> None:
+        src, dst = ctx.src, ctx.dst
+        seen_in = ctx.seen_d["dist"]
+        weight = ctx.committed["weight"]
+        sd = seen_in[ed]
+        fin = np.isfinite(sd)
+        er = ed[fin]
+        best = ctx.v0["dist"].copy()
+        np.minimum.at(best, dst[er], sd[fin] + weight[er])
+        ctx.vout["dist"][sub_ids] = best[sub_ids]
+        ctx.rd["dist"][ed] = 1
+        ctx.rd["weight"][ed] = fin
+        bs = best[src[es]]
+        scat = np.isfinite(bs)
+        seen_out = ctx.seen_s["dist"]
+        ctx.rs["dist"][es] = scat
+        ctx.ws["dist"][es] = scat & (seen_out[es] > bs)
+        ctx.wvs["dist"][es] = bs
+        ctx.wd["dist"][ed] = False  # only the source endpoint writes
 
 
 class _SpMVNondetKernel(NondetKernel):

@@ -138,6 +138,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         "vectorized model across --threads OS worker "
                         "processes over shared memory (bit-identical to the "
                         "single-process fast path)")
+    p.add_argument("--direction", default="pull",
+                   choices=["pull", "push", "auto"],
+                   help="nondeterministic mode only: per-iteration execution "
+                        "direction — 'pull' (dense whole-graph masks, the "
+                        "default), 'push' (sparse frontier-driven scatter), "
+                        "or 'auto' (Beamer-style hybrid); all three are "
+                        "bit-identical for push-eligible algorithms")
     p.add_argument("--out-of-core", default=None, metavar="DIR",
                    help="nondeterministic mode only: preprocess the graph "
                         "into a PSW shard store under DIR (reused if already "
@@ -198,6 +205,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, nargs="+", default=None,
                    metavar="P",
                    help="worker counts for the parallel suite")
+    p.add_argument("--direction", default=None,
+                   choices=["push", "auto"],
+                   help="nondet suite: additionally time the vectorized "
+                        "engine in this direction for push-eligible "
+                        "algorithms and record the hybrid speedup")
     p.add_argument("--out-of-core", action="store_true",
                    help="parallel suite: run the process backend against a "
                         "PSW shard store (bounded-RAM interval-sliced "
@@ -400,10 +412,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             recorder = Recorder(policy=args.record_policy, trace_path=args.record)
         result = run(ALGORITHMS[args.algorithm](), graph, mode=args.mode,
                      config=config, backend=args.backend,
+                     direction=args.direction,
                      telemetry=sink, record=recorder,
                      **robust_kwargs)
         print(format_table([{"dataset": args.dataset, **result.summary()}],
                            title=f"{args.algorithm} on {args.dataset}"))
+        if args.direction != "pull":
+            trace = result.extra.get("direction_trace", [])
+            glyphs = "".join("P" if t == "push" else "-" for t in trace)
+            print(f"direction={args.direction}: "
+                  f"{result.extra.get('push_iterations', 0)}/{len(trace)} "
+                  f"push iterations [{glyphs}] (P=push, -=pull)",
+                  file=sys.stderr)
         if args.out_of_core is not None:
             io = result.extra.get("io", {})
             print(f"out-of-core: K={result.extra.get('num_intervals')}, "
@@ -447,6 +467,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.out_of_core:
             kwargs["out_of_core"] = True
             kwargs["num_intervals"] = args.num_intervals
+        if args.direction is not None:
+            kwargs["direction"] = args.direction
         written = run_bench(
             suites, out_dir=args.out_dir,
             progress=lambda m: print(f"... {m}", file=sys.stderr),
@@ -467,9 +489,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                     else:  # nondet suite
                         spd = cell.get("speedup")
                         spd_txt = f"{spd:8.1f}x" if spd is not None else "   -"
+                        hybrid = ""
+                        dspd = cell.get("direction_speedup")
+                        if dspd is not None:
+                            d = results.get("direction", "auto")
+                            hcell = cell[f"vectorized_{d}"]
+                            hybrid = (f"  {d} {hcell['seconds']:7.3f}s "
+                                      f"({hcell.get('push_iterations', 0)} "
+                                      f"push it., {dspd:.2f}x)")
                         print(f"  scale {scale} {name:9s} "
                               f"vec {cell['vectorized']['seconds']:7.3f}s"
-                              f" {spd_txt}")
+                              f" {spd_txt}{hybrid}")
     elif args.command == "report":
         from .experiments import generate_report
 

@@ -62,6 +62,16 @@ class EngineConfig:
         :class:`~repro.robust.errors.WorkerTimeout` with a
         ``stuck_worker`` diagnostic event.  ``None`` waits forever
         (the pre-fault-tolerance behaviour).
+    direction_alpha / direction_beta:
+        Beamer-style thresholds of the direction-optimizing heuristic
+        (``run(..., direction="auto")``).  An iteration runs *push*
+        (sparse, frontier-driven) when the frontier's incident-edge mass
+        is below ``m / direction_alpha`` **and** the frontier holds
+        fewer than ``n / direction_beta`` vertices; otherwise it runs
+        *pull* (dense whole-graph masks).  Both must be > 0; the
+        defaults are Beamer's published 14 / 24.  The decision is a pure
+        function of (frontier, graph, config), so it never perturbs
+        bit-reproducibility.
     """
 
     threads: int = 4
@@ -77,6 +87,8 @@ class EngineConfig:
     keep_conflict_events: bool = False
     validate_scope: bool = False
     worker_timeout_s: float | None = 60.0
+    direction_alpha: float = 14.0
+    direction_beta: float = 24.0
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -92,6 +104,11 @@ class EngineConfig:
         if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
             raise ValueError(
                 "worker_timeout_s must be > 0 (or None to wait forever)"
+            )
+        if self.direction_alpha <= 0 or self.direction_beta <= 0:
+            raise ValueError(
+                "direction_alpha and direction_beta must be > 0, got "
+                f"{self.direction_alpha} / {self.direction_beta}"
             )
 
     def effective_delay_model(self) -> DelayModel:

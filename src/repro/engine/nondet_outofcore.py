@@ -1338,8 +1338,9 @@ class OutOfCoreNondetRunner:
                     observer(iteration, state, {int(v) for v in next_ids})
                 frontier_ids = next_ids
                 iteration += 1
-            else:
-                converged = frontier_ids.size == 0
+            # At-cap accounting: converged stays False unless the confirming
+            # empty-frontier check at the top of an iteration ran (see
+            # tests/test_convergence_conformance.py).
         except BaseException:
             # Leave no pool behind an exceptional exit; a clean return
             # keeps it warm for the next run() on this runner.

@@ -76,10 +76,13 @@ from .config import EngineConfig
 from .conflicts import ConflictLog
 from .frontier import initial_frontier
 from .nondet_vectorized import (
+    DIRECTIONS,
     NondetPassContext,
     PlanCache,
     VectorizedNondetEngine,
+    choose_direction,
     fallback_reasons,
+    push_fallback_reasons,
     resolve_nondet_kernel,
 )
 from .program import VertexProgram
@@ -146,6 +149,7 @@ class _Worker:
                  program: VertexProgram, barrier, barrier_timeout):
         self.wid = wid
         self.pool = pool
+        self.graph = graph  # CSR/CSC edge-id slices for push iterations
         self.barrier = barrier
         self.timeout = barrier_timeout
         self.kernel = resolve_nondet_kernel(program)(program)
@@ -216,12 +220,22 @@ class _Worker:
         dt = both & (th_s != th_d)
         return vis_s2d, vis_d2s, lex_sd, lex_ds, dt
 
-    def iterate(self, dm) -> None:
+    def iterate(self, dm, push: bool = False) -> None:
         wid, ctx = self.wid, self.ctx
         src, dst = self.src, self.dst
         owned = self.active & (self.thr_v == wid)
-        es = np.flatnonzero(owned[src])
-        ed = np.flatnonzero(owned[dst])
+        if push:
+            # Sparse (push) direction: the same racy iteration over my
+            # owned vertices' incident edge-id slices only.  es is the
+            # identical edge set flatnonzero(owned[src]) yields; ed is
+            # set-equal in CSC order — everything downstream is either
+            # positional within (es, ed) or order-independent.
+            owned_ids = np.flatnonzero(owned).astype(np.int64)
+            es = self.graph.out_edge_ids(owned_ids)
+            ed = self.graph.in_edge_ids(owned_ids)
+        else:
+            es = np.flatnonzero(owned[src])
+            ed = np.flatnonzero(owned[dst])
         vis_s2d_es, vis_d2s_es, lex_sd_es, lex_ds_es, dt_es = \
             self._predicates(es, dm)
         vis_s2d_ed, vis_d2s_ed, lex_sd_ed, lex_ds_ed, dt_ed = \
@@ -230,13 +244,21 @@ class _Worker:
         prev_d: dict[str, np.ndarray] = {}
         for f in self.written:
             com = self.committed[f]
-            np.copyto(self._seen_s[f], com)
-            np.copyto(self._seen_d[f], com)
+            if push:
+                # The kernel only reads seen values on (es, ed).
+                self._seen_s[f][es] = com[es]
+                self._seen_d[f][ed] = com[ed]
+            else:
+                np.copyto(self._seen_s[f], com)
+                np.copyto(self._seen_d[f], com)
             ctx.seen_s[f] = self._seen_s[f]
             ctx.seen_d[f] = self._seen_d[f]
             prev_s[f] = com[es]
             prev_d[f] = com[ed]
-        self.kernel.run_pass(ctx, owned)
+        if push:
+            self.kernel.run_push_pass(ctx, owned_ids, es, ed)
+        else:
+            self.kernel.run_pass(ctx, owned)
         while True:
             self.barrier.wait(self.timeout)  # A: pass-k writes visible
             dirty = None
@@ -266,7 +288,15 @@ class _Worker:
             if not self.flags.any():
                 break
             if dirty is not None:
-                self.kernel.run_pass(ctx, dirty)
+                if push:
+                    dirty_ids = np.flatnonzero(dirty).astype(np.int64)
+                    self.kernel.run_push_pass(
+                        ctx, dirty_ids,
+                        self.graph.out_edge_ids(dirty_ids),
+                        self.graph.in_edge_ids(dirty_ids),
+                    )
+                else:
+                    self.kernel.run_pass(ctx, dirty)
         # Conflict totals on my interval.  Src-side terms are mine via
         # ``es`` (a read/write by the src task implies active src, which
         # I own); whole-edge terms (write–write, contended) via ``ed``
@@ -327,7 +357,7 @@ def _worker_main(wid: int, seg_name: str, layout: ArrayLayout,
                 return
             if msg[1] is not None:  # delay model shipped only on change
                 dm = msg[1]
-            worker.iterate(dm)
+            worker.iterate(dm, push=bool(msg[2]) if len(msg) > 2 else False)
     except threading.BrokenBarrierError:
         # Master aborted (its timeout, its shutdown, or a sibling died):
         # nothing to report, just leave.
@@ -553,6 +583,7 @@ class ParallelEngine:
         telemetry=None,
         record=None,
         supervisor=None,
+        direction: str = "pull",
     ) -> RunResult:
         config = config or EngineConfig()
         reasons = parallel_fallback_reasons(program, config)
@@ -561,6 +592,19 @@ class ParallelEngine:
                 "program/config not eligible for the process backend "
                 "(it executes the vectorized kernels): " + "; ".join(reasons)
             )
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}"
+            )
+        push_ok = False
+        if direction != "pull":
+            push_reasons = push_fallback_reasons(program)
+            if push_reasons and direction == "push":
+                raise ValueError(
+                    "program not eligible for the push direction: "
+                    + "; ".join(push_reasons)
+                )
+            push_ok = not push_reasons
         sink = telemetry
         if sink is not None:
             sink.begin_engine_run(self.mode, program, config)
@@ -573,6 +617,8 @@ class ParallelEngine:
         n, m = graph.num_vertices, graph.num_edges
         src, dst = graph.edge_src, graph.edge_dst
         selfloop = src == dst
+        out_degrees = graph.out_degrees()
+        in_degrees = graph.in_degrees() if push_ok else None
         delay_model = config.effective_delay_model()
         jitter_rng = (
             np.random.default_rng(np.random.SeedSequence([config.seed, 2]))
@@ -594,6 +640,8 @@ class ParallelEngine:
             )
         converged = False
         total_passes = 0
+        push_iterations = 0
+        dir_trace: list[str] = []
         p = config.threads
         # The master only needs the plan + the Lemma-2 tiebreak; the
         # full-graph visibility masks are recomputed lazily for the
@@ -654,6 +702,20 @@ class ParallelEngine:
                 t0 = time.perf_counter() if sink is not None else 0.0
                 rw0, ww0 = log.read_write, log.write_write
                 active_ids = frontier_ids
+                # Per-iteration direction decision (pure function of the
+                # frontier, graph, and config — identical across reruns
+                # and backends).  The master's own bookkeeping stays
+                # dense either way: the shared write-mask arrays are
+                # zero-filled per iteration, so they are always valid
+                # dense masks; only the workers execute sparsely.
+                dir_i = choose_direction(
+                    direction, active_ids, out_degrees, in_degrees,
+                    m, n, config, push_ok,
+                )
+                if direction != "pull":
+                    dir_trace.append(dir_i)
+                if dir_i == "push":
+                    push_iterations += 1
                 plan = plan_cache.plan(active_ids, dm_i)
                 # Publish the plan and the pre-iteration state snapshot.
                 np.copyto(sh["thr_v"], plan.thr_v)
@@ -680,7 +742,7 @@ class ParallelEngine:
                     self._last_dm = dm_i
                 for conn in self._conns:
                     try:
-                        conn.send(("iter", payload))
+                        conn.send(("iter", payload, dir_i == "push"))
                     except (BrokenPipeError, OSError):
                         self._raise_worker_failure(iteration)
                 # Fix-point rounds: barrier A (pass-k writes visible),
@@ -778,13 +840,16 @@ class ParallelEngine:
                         read_write=log.read_write - rw0,
                         write_write=log.write_write - ww0,
                         fixpoint_passes=passes,
+                        **({"direction": dir_i}
+                           if direction != "pull" else {}),
                     )
                 if observer is not None:
                     observer(iteration, state, {int(v) for v in next_ids})
                 frontier_ids = next_ids
                 iteration += 1
-            else:
-                converged = frontier_ids.size == 0
+            # At-cap accounting: converged stays False unless the confirming
+            # empty-frontier check at the top of an iteration ran (see
+            # tests/test_convergence_conformance.py).
         except BaseException:
             # Exceptional exit: never leave workers (or the segment)
             # behind.  A clean return keeps the pool warm for the next
@@ -792,6 +857,14 @@ class ParallelEngine:
             self._shutdown()
             raise
 
+        extra = {"vectorized": True, "backend": "process", "workers": p,
+                 "fixpoint_passes": total_passes,
+                 "plan_cache_hits": plan_cache.hits,
+                 "pool_reused": pool_reused}
+        if direction != "pull":
+            extra["direction"] = direction
+            extra["push_iterations"] = push_iterations
+            extra["direction_trace"] = dir_trace
         result = RunResult(
             program=program,
             state=state,
@@ -801,10 +874,7 @@ class ParallelEngine:
             iterations=stats,
             conflicts=log,
             config=config,
-            extra={"vectorized": True, "backend": "process", "workers": p,
-                   "fixpoint_passes": total_passes,
-                   "plan_cache_hits": plan_cache.hits,
-                   "pool_reused": pool_reused},
+            extra=extra,
         )
         if record is not None:
             record.end_run(result)

@@ -70,12 +70,45 @@ __all__ = [
     "NondetKernel",
     "NondetPassContext",
     "PlanCache",
+    "SparsePlan",
     "VectorizedNondetEngine",
     "register_nondet_kernel",
     "resolve_nondet_kernel",
     "fallback_reasons",
+    "push_fallback_reasons",
+    "choose_direction",
     "emit_edge_provenance",
 ]
+
+DIRECTIONS = ("pull", "push", "auto")
+
+
+def choose_direction(direction: str, active_ids: np.ndarray,
+                     out_degrees: np.ndarray, in_degrees: np.ndarray,
+                     num_edges: int, num_vertices: int,
+                     config: EngineConfig, push_ok: bool) -> str:
+    """Pick this iteration's execution direction: ``"push"`` or ``"pull"``.
+
+    A pure function of (frontier, graph, config) — no run state, no
+    randomness — so the per-iteration decision is identical across
+    reruns and backends, preserving bit-reproducibility per (mode,
+    seed).  The Beamer-style rule: run the sparse frontier-driven
+    *push* strategy when the frontier's incident-edge mass is under
+    ``m / direction_alpha`` and the frontier holds fewer than
+    ``n / direction_beta`` vertices; run the dense whole-graph *pull*
+    strategy otherwise.  Both strategies execute the same racy
+    iteration bit for bit — direction is purely a performance knob.
+    """
+    if direction == "pull" or not push_ok:
+        return "pull"
+    if direction == "push":
+        return "push"
+    touched = int(out_degrees[active_ids].sum()) + int(
+        in_degrees[active_ids].sum())
+    if (touched * config.direction_alpha < num_edges
+            and active_ids.size * config.direction_beta < num_vertices):
+        return "push"
+    return "pull"
 
 
 class PlanCache:
@@ -101,6 +134,15 @@ class PlanCache:
     callers that only need the plan and the Lemma-2 tiebreak (the
     process-backend master, whose workers evaluate visibility on their
     own edge intervals).
+
+    Direction-optimizing callers pass ``eidx=`` (the sorted union of the
+    frontier's out- and in-edge ids) to :meth:`plan`: the vertex-level
+    plan — and crucially the jitter stream position, one draw of size
+    ``ids.size`` per iteration — is shared between directions, while the
+    edge-level predicates are evaluated only on the touched slice (a
+    :class:`SparsePlan` stored at :attr:`sparse`).  Dense edge arrays
+    are rebuilt lazily the next time a pull iteration needs them, so
+    alternating directions under ``direction="auto"`` stays bit-stable.
     """
 
     def __init__(self, graph: DiGraph, num_threads: int, *, policy,
@@ -117,16 +159,13 @@ class PlanCache:
         self._ids: np.ndarray | None = None
         self._dm = None
         self._d_pair = None
+        self._d_pair_dm = None
+        self._dense_valid = False
+        self._dense_time_fresh = False
+        self.sparse: SparsePlan | None = None
 
     def _rebuild_structure(self) -> None:
-        n, src, dst = self.n, self.src, self.dst
-        self.thr_v = np.full(n, -1, dtype=np.int64)
-        self.pi_v = np.zeros(n, dtype=np.int64)
-        self.time_v = np.zeros(n, dtype=np.float64)
-        self.active = np.zeros(n, dtype=bool)
-        self.thr_v[self._ids] = self.thr_a
-        self.pi_v[self._ids] = self.pi_a
-        self.active[self._ids] = True
+        src, dst = self.src, self.dst
         self.thr_s, self.thr_d = self.thr_v[src], self.thr_v[dst]
         pi_s, pi_d = self.pi_v[src], self.pi_v[dst]
         self.both = self.active[src] & self.active[dst] & (src != dst)
@@ -153,8 +192,24 @@ class PlanCache:
         )
         self.lex_ds = both & ~self.lex_sd
 
-    def plan(self, active_ids: np.ndarray, dm) -> "PlanCache":
-        """(Re)compute the plan for ``active_ids`` under delay model ``dm``."""
+    def _rebuild_vertex(self) -> None:
+        n = self.n
+        self.thr_v = np.full(n, -1, dtype=np.int64)
+        self.pi_v = np.zeros(n, dtype=np.int64)
+        self.time_v = np.zeros(n, dtype=np.float64)
+        self.active = np.zeros(n, dtype=bool)
+        self.thr_v[self._ids] = self.thr_a
+        self.pi_v[self._ids] = self.pi_a
+        self.active[self._ids] = True
+
+    def plan(self, active_ids: np.ndarray, dm,
+             eidx: np.ndarray | None = None) -> "PlanCache":
+        """(Re)compute the plan for ``active_ids`` under delay model ``dm``.
+
+        With ``eidx`` (sorted edge-id subset) only the vertex-level plan
+        and the sparse predicates at :attr:`sparse` are produced; the
+        dense edge arrays are left alone and marked stale.
+        """
         ids = np.asarray(active_ids, dtype=np.int64)
         hit = (
             self._ids is not None
@@ -175,15 +230,76 @@ class PlanCache:
                 ids, self.p, policy=self.policy, jitter=self.jitter,
                 rng=self.rng,
             )
-            self._rebuild_structure()
+            self._rebuild_vertex()
             self.time_v[self._ids] = self.time_a
-        if dm_changed or not hit:
+            self._dense_valid = False
+        if dm_changed:
             self._dm = dm
+        time_stale = (not hit) or self.jitter > 0 or dm_changed
+        if time_stale:
+            self._dense_time_fresh = False
+        if eidx is not None:
+            self.sparse = SparsePlan(self, eidx, dm)
+            return self
+        self.sparse = None
+        if not self._dense_valid:
+            self._rebuild_structure()
+            self._dense_valid = True
+            self._dense_time_fresh = False
+            self._d_pair_dm = None  # thr_s/thr_d changed under _d_pair
+        if self._d_pair_dm != dm or self._d_pair is None:
             self._d_pair = dm.intra if dm.is_uniform else dm.delays(
                 self.thr_s, self.thr_d)
-        if (not hit) or self.jitter > 0 or dm_changed:
+            self._d_pair_dm = dm
+        if not self._dense_time_fresh:
             self._rebuild_time_dependent()
+            self._dense_time_fresh = True
         return self
+
+
+class SparsePlan:
+    """Edge-level plan predicates evaluated on a touched-edge slice.
+
+    Same formulas as :meth:`PlanCache._rebuild_structure` /
+    :meth:`PlanCache._rebuild_time_dependent`, gathered per element of
+    ``eidx`` instead of over all ``m`` edges — the push direction's
+    analogue of the dense edge arrays.  All attributes are aligned with
+    ``eidx`` (length ``len(eidx)``).  Visibility/order masks are only
+    computed when the owning cache was built with ``visibility=True``.
+    """
+
+    __slots__ = (
+        "eidx", "thr_s", "thr_d", "t_s", "t_d", "dst_wins",
+        "both", "same", "dt", "vis_s2d", "vis_d2s", "lex_sd", "lex_ds",
+    )
+
+    def __init__(self, cache: PlanCache, eidx: np.ndarray, dm):
+        self.eidx = eidx
+        s = cache.src[eidx]
+        d = cache.dst[eidx]
+        thr_s, thr_d = cache.thr_v[s], cache.thr_v[d]
+        t_s, t_d = cache.time_v[s], cache.time_v[d]
+        self.thr_s, self.thr_d = thr_s, thr_d
+        self.t_s, self.t_d = t_s, t_d
+        # Lemma-2 tiebreak: later time wins; equal time → larger vid.
+        self.dst_wins = (t_d > t_s) | ((t_d == t_s) & (d > s))
+        if not cache.visibility:
+            return
+        pi_s, pi_d = cache.pi_v[s], cache.pi_v[d]
+        active = cache.active
+        both = active[s] & active[d] & (s != d)
+        same = thr_s == thr_d
+        self.both, self.same = both, same
+        self.dt = both & ~same
+        d_pair = dm.intra if dm.is_uniform else dm.delays(thr_s, thr_d)
+        pi_sd = pi_s < pi_d
+        self.vis_s2d = both & np.where(same, pi_sd, (t_d - t_s) >= d_pair)
+        self.vis_d2s = both & np.where(same, pi_d < pi_s, (t_s - t_d) >= d_pair)
+        self.lex_sd = both & (
+            (t_s < t_d)
+            | ((t_s == t_d) & (pi_sd | ((pi_s == pi_d) & (thr_s < thr_d))))
+        )
+        self.lex_ds = both & ~self.lex_sd
 
 
 class NondetPassContext:
@@ -280,9 +396,34 @@ class NondetKernel(abc.ABC):
 
     written_fields: tuple[str, ...] = ()
 
+    #: field -> :class:`~repro.engine.push.CombineOp` when every scatter
+    #: of the kernel is an order-independent atomic combine (so the
+    #: sparse push direction can re-run the same racy iteration over the
+    #: frontier's touched edges only, bit for bit).  ``None`` = pull-only;
+    #: :func:`push_fallback_reasons` additionally demands the combines
+    #: be idempotent, since a non-idempotent float combine (ADD) leaks
+    #: delivery order into the result.
+    push_combines: dict[str, object] | None = None
+
     @abc.abstractmethod
     def run_pass(self, ctx: NondetPassContext, sub: np.ndarray) -> None:
         ...
+
+    def run_push_pass(self, ctx: NondetPassContext, sub_ids: np.ndarray,
+                      es: np.ndarray, ed: np.ndarray) -> None:
+        """Sparse (push-direction) equivalent of :meth:`run_pass`.
+
+        ``sub_ids`` are the sorted vertex ids to (re)compute; ``es`` /
+        ``ed`` are their out- / in-edge ids (``graph.out_edge_ids`` /
+        ``graph.in_edge_ids``).  The kernel must write exactly the
+        positions a dense :meth:`run_pass` over the same vertices would
+        — ``vout[sub_ids]``, ``ws/wvs/rs`` at ``es``, ``wd/wvd/rd`` at
+        ``ed`` — with bitwise-identical values.  Only kernels declaring
+        :attr:`push_combines` implement this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is pull-only (push_combines is None)"
+        )
 
 
 # -- kernel registry ------------------------------------------------------
@@ -350,6 +491,69 @@ def fallback_reasons(program: VertexProgram, config: EngineConfig) -> list[str]:
     if config.keep_conflict_events:
         reasons.append("keep_conflict_events records individual events")
     return reasons
+
+
+class _PushShadow:
+    """Adapter presenting a pull-mode program's scatter semantics to
+    :func:`repro.theory.eligibility.check_push_program`."""
+
+    def __init__(self, traits, accumulators):
+        self.traits = traits
+        self._accumulators = accumulators
+
+    def accumulators(self):
+        return self._accumulators
+
+
+def push_fallback_reasons(program: VertexProgram) -> list[str]:
+    """Why ``program`` cannot run in the sparse *push* direction.
+
+    Empty list means push-eligible.  Three gates, in order:
+
+    1. a vectorized kernel must exist (push reuses the kernel registry);
+    2. the kernel must declare :attr:`NondetKernel.push_combines` — a
+       per-field :class:`~repro.engine.push.CombineOp` asserting every
+       scatter is an atomic combine — and the §IV push-eligibility
+       checker (:func:`~repro.theory.eligibility.check_push_program`)
+       must return ``ELIGIBLE_PUSH`` for those combines under the
+       program's declared traits;
+    3. every combine must additionally be *idempotent* (MIN/MAX, not
+       ADD): push re-derives each frontier vertex's value from its
+       touched edges only, so an order-dependent float reduction would
+       break the bit-reproducibility contract the engine promises per
+       (mode, seed).
+    """
+    factory = resolve_nondet_kernel(program)
+    if factory is None:
+        return [
+            f"no vectorized nondet kernel registered for {type(program).__name__}"
+        ]
+    combines = factory(program).push_combines
+    if not combines:
+        return [
+            f"kernel for {type(program).__name__} has no push-mode scatter "
+            "(push_combines is None: its scatters are not atomic combines)"
+        ]
+    from ..theory.eligibility import Verdict, check_push_program
+    from .push import AccumulatorSpec
+
+    shadow = _PushShadow(
+        program.traits,
+        {f: AccumulatorSpec(op) for f, op in combines.items()},
+    )
+    report = check_push_program(shadow)
+    if report.verdict is not Verdict.ELIGIBLE_PUSH:
+        return list(report.reasons) or [
+            f"check_push_program verdict is {report.verdict.name}"
+        ]
+    non_idem = [f for f, op in sorted(combines.items()) if not op.idempotent]
+    if non_idem:
+        return [
+            "combine for field(s) " + ", ".join(non_idem) + " is not "
+            "idempotent: float delivery order would leak into the result, "
+            "breaking per-(mode, seed) bit-reproducibility"
+        ]
+    return []
 
 
 def emit_edge_provenance(
@@ -486,6 +690,288 @@ class VectorizedNondetEngine:
                     wants_reads=wants_reads,
                 )
 
+    @staticmethod
+    def _emit_provenance_sparse(record, ctx, state, iteration, written,
+                                eidx, sp) -> None:
+        """Push-direction provenance: identical event stream, sparse walk.
+
+        All writes land inside ``eidx`` (kernels only touch the
+        frontier's out-/in-edge slices) and ``eidx`` is sorted, so
+        walking its written positions visits edges in the same ascending
+        canonical order the dense emitter uses — recorder byte-parity
+        between directions.
+        """
+        src, dst = ctx.src, ctx.dst
+        selfloop = ctx.selfloop
+        for f in sorted(written):
+            ws, wd = ctx.ws[f][eidx], ctx.wd[f][eidx]
+            wvs, wvd = ctx.wvs[f][eidx], ctx.wvd[f][eidx]
+            rs, rd = ctx.rs[f][eidx], ctx.rd[f][eidx]
+            pre = state.edge(f)
+            wants_reads = record.wants_reads
+            for pos in np.flatnonzero(ws | wd):
+                pos = int(pos)
+                e = int(eidx[pos])
+                emit_edge_provenance(
+                    record, iteration, f, e,
+                    u=int(src[e]), v=int(dst[e]), selfloop=bool(selfloop[e]),
+                    ws=bool(ws[pos]), wd=bool(wd[pos]),
+                    wvs=float(wvs[pos]), wvd=float(wvd[pos]),
+                    rs=int(rs[pos]), rd=int(rd[pos]), pre=float(pre[e]),
+                    vis_s2d=bool(sp.vis_s2d[pos]), vis_d2s=bool(sp.vis_d2s[pos]),
+                    dst_wins=bool(sp.dst_wins[pos]),
+                    t_s=float(sp.t_s[pos]), t_d=float(sp.t_d[pos]),
+                    thr_s=int(sp.thr_s[pos]), thr_d=int(sp.thr_d[pos]),
+                    wants_reads=wants_reads,
+                )
+
+    def _push_iteration(self, kernel, graph, state, plan_cache, dm_i,
+                        active_ids, written, in_order, out_degrees, log,
+                        record, iteration, p, total_passes):
+        """One racy iteration in the sparse *push* direction.
+
+        Executes the identical iteration :meth:`_pull_iteration` would —
+        same seen values, same fix-point schedule, same Lemma-2 commits,
+        same conflict totals, same recorder events — but every edge
+        computation runs only over the frontier's touched edges
+        (out-edges ∪ in-edges of the active set) instead of all ``m``.
+        """
+        n = graph.num_vertices
+        src, dst = graph.edge_src, graph.edge_dst
+        es_all = graph.out_edge_ids(active_ids)
+        ed_all = graph.in_edge_ids(active_ids)
+        eidx = np.union1d(es_all, ed_all)
+        plan = plan_cache.plan(active_ids, dm_i, eidx)
+        sp = plan.sparse
+        active = plan.active
+
+        ctx = NondetPassContext(
+            graph, state, active, written,
+            in_order=in_order, out_degrees=out_degrees,
+        )
+        prev_seen_s = {f: ctx.committed[f][eidx] for f in written}
+        prev_seen_d = {f: ctx.committed[f][eidx] for f in written}
+        kernel.run_push_pass(ctx, active_ids, es_all, ed_all)
+        total_passes += 1
+        for _ in range(int(active_ids.size) + 2):
+            dirty = np.zeros(n, dtype=bool)
+            changed_any = False
+            for f in written:
+                seen_d = np.where(
+                    sp.vis_s2d & ctx.ws[f][eidx],
+                    ctx.wvs[f][eidx], ctx.committed[f][eidx],
+                )
+                seen_s = np.where(
+                    sp.vis_d2s & ctx.wd[f][eidx],
+                    ctx.wvd[f][eidx], ctx.committed[f][eidx],
+                )
+                d_changed = seen_d != prev_seen_d[f]
+                s_changed = seen_s != prev_seen_s[f]
+                if d_changed.any() or s_changed.any():
+                    changed_any = True
+                    # Outside eidx nothing was written, so seen ==
+                    # committed there; materialize private full-size
+                    # buffers lazily on first divergence.
+                    if ctx.seen_d[f] is ctx.committed[f]:
+                        ctx.seen_d[f] = ctx.committed[f].copy()
+                        ctx.seen_s[f] = ctx.committed[f].copy()
+                    ctx.seen_d[f][eidx] = seen_d
+                    ctx.seen_s[f][eidx] = seen_s
+                    dirty[dst[eidx[d_changed]]] = True
+                    dirty[src[eidx[s_changed]]] = True
+                prev_seen_d[f] = seen_d
+                prev_seen_s[f] = seen_s
+            if not changed_any:
+                break
+            sub_ids = np.flatnonzero(dirty & active).astype(np.int64)
+            kernel.run_push_pass(
+                ctx, sub_ids,
+                graph.out_edge_ids(sub_ids), graph.in_edge_ids(sub_ids),
+            )
+            total_passes += 1
+        else:  # pragma: no cover - DAG depth bound violated
+            raise RuntimeError("nondet fix-point failed to converge")
+
+        next_mask = np.zeros(n, dtype=bool)
+        if record is not None:
+            self._emit_provenance_sparse(
+                record, ctx, state, iteration, written, eidx, sp)
+        dt = sp.dt
+        dst_wins = sp.dst_wins
+        for f in written:
+            ws, wd = ctx.ws[f][eidx], ctx.wd[f][eidx]
+            wvs, wvd = ctx.wvs[f][eidx], ctx.wvd[f][eidx]
+            arr = state.edge(f)
+            both_w = ws & wd
+            only = ws & ~wd
+            arr[eidx[only]] = wvs[only]
+            only = wd & ~ws
+            arr[eidx[only]] = wvd[only]
+            sel = both_w & dst_wins
+            arr[eidx[sel]] = wvd[sel]
+            sel = both_w & ~dst_wins
+            arr[eidx[sel]] = wvs[sel]
+            next_mask[dst[eidx[ws]]] = True
+            next_mask[src[eidx[wd]]] = True
+
+            rs, rd = ctx.rs[f][eidx], ctx.rd[f][eidx]
+            rw = int(rs[wd & dt].sum()) + int(rd[ws & dt].sum())
+            ww_mask = both_w & dt
+            ww = int(np.count_nonzero(ww_mask))
+            contended = int(
+                np.count_nonzero(
+                    ((rs > 0) & wd & dt) | ((rd > 0) & ws & dt) | ww_mask
+                )
+            )
+            stale = int(rs[wd & sp.lex_ds & ~sp.vis_d2s].sum()) + int(
+                rd[ws & sp.lex_sd & ~sp.vis_s2d].sum()
+            )
+            log.read_write += rw
+            log.write_write += ww
+            log.contended_edges += contended
+            log.lost_writes += ww
+            log.stale_reads += stale
+            if rw + ww:
+                log.per_iteration[iteration] += rw + ww
+
+        upd_t = np.bincount(plan.thr_a, minlength=p)
+        reads_t = np.zeros(p, dtype=np.int64)
+        writes_t = np.zeros(p, dtype=np.int64)
+        for f in state.edge_field_names:
+            for counts, thr_e in (
+                (ctx.rs[f][eidx], sp.thr_s), (ctx.rd[f][eidx], sp.thr_d)
+            ):
+                mask = counts > 0
+                if mask.any():
+                    reads_t += np.bincount(
+                        thr_e[mask], weights=counts[mask], minlength=p
+                    ).astype(np.int64)
+        for f in written:
+            writes_t += np.bincount(sp.thr_s[ctx.ws[f][eidx]], minlength=p)
+            writes_t += np.bincount(sp.thr_d[ctx.wd[f][eidx]], minlength=p)
+        return ctx, next_mask, upd_t, reads_t, writes_t, total_passes
+
+    def _pull_iteration(self, kernel, graph, state, plan_cache, dm_i,
+                        active_ids, written, in_order, out_degrees, log,
+                        record, iteration, p, total_passes):
+        """One racy iteration in the dense *pull* direction (all m edges)."""
+        n = graph.num_vertices
+        src, dst = graph.edge_src, graph.edge_dst
+        plan = plan_cache.plan(active_ids, dm_i)
+        active = plan.active
+        thr_s, thr_d = plan.thr_s, plan.thr_d
+        t_s, t_d = plan.t_s, plan.t_d
+        vis_s2d, vis_d2s = plan.vis_s2d, plan.vis_d2s
+        lex_sd, lex_ds = plan.lex_sd, plan.lex_ds
+
+        ctx = NondetPassContext(
+            graph, state, active, written,
+            in_order=in_order, out_degrees=out_degrees,
+        )
+        prev_seen_s = {f: ctx.committed[f] for f in written}
+        prev_seen_d = {f: ctx.committed[f] for f in written}
+        # Pass 1 computes every active vertex against the committed
+        # snapshot; repair passes recompute only vertices whose seen
+        # inputs changed.  Visibility implies strict precedence in
+        # the execution order, so the dependence relation is a DAG
+        # and this chaotic iteration reaches the exact per-access
+        # semantics in at most depth+1 passes.
+        kernel.run_pass(ctx, active)
+        total_passes += 1
+        for _ in range(int(active_ids.size) + 2):
+            dirty = np.zeros(n, dtype=bool)
+            changed_any = False
+            for f in written:
+                seen_d = np.where(
+                    vis_s2d & ctx.ws[f], ctx.wvs[f], ctx.committed[f]
+                )
+                seen_s = np.where(
+                    vis_d2s & ctx.wd[f], ctx.wvd[f], ctx.committed[f]
+                )
+                d_changed = seen_d != prev_seen_d[f]
+                s_changed = seen_s != prev_seen_s[f]
+                if d_changed.any():
+                    dirty[dst[d_changed]] = True
+                    changed_any = True
+                if s_changed.any():
+                    dirty[src[s_changed]] = True
+                    changed_any = True
+                ctx.seen_d[f] = prev_seen_d[f] = seen_d
+                ctx.seen_s[f] = prev_seen_s[f] = seen_s
+            if not changed_any:
+                break
+            kernel.run_pass(ctx, dirty & active)
+            total_passes += 1
+        else:  # pragma: no cover - DAG depth bound violated
+            raise RuntimeError("nondet fix-point failed to converge")
+
+        # Barrier: Lemma-2 winners, conflict totals, work profile.
+        next_mask = np.zeros(n, dtype=bool)
+        dt = plan.dt
+        dst_wins = plan.dst_wins
+        if record is not None:
+            # Provenance must flow *before* the commit assignments:
+            # ctx.committed aliases the live state arrays, and the
+            # events need each edge's pre-commit value.
+            self._emit_provenance(
+                record, ctx, state, iteration, written,
+                vis_s2d, vis_d2s, dst_wins, t_s, t_d, thr_s, thr_d,
+            )
+        for f in written:
+            ws, wd = ctx.ws[f], ctx.wd[f]
+            wvs, wvd = ctx.wvs[f], ctx.wvd[f]
+            arr = state.edge(f)
+            both_w = ws & wd
+            only = ws & ~wd
+            arr[only] = wvs[only]
+            only = wd & ~ws
+            arr[only] = wvd[only]
+            sel = both_w & dst_wins
+            arr[sel] = wvd[sel]
+            sel = both_w & ~dst_wins
+            arr[sel] = wvs[sel]
+            # Task-generation rule: a written edge schedules the far
+            # endpoint (a written self-loop re-schedules its vertex).
+            next_mask[dst[ws]] = True
+            next_mask[src[wd]] = True
+
+            rs, rd = ctx.rs[f], ctx.rd[f]
+            rw = int(rs[wd & dt].sum()) + int(rd[ws & dt].sum())
+            ww_mask = both_w & dt
+            ww = int(np.count_nonzero(ww_mask))
+            contended = int(
+                np.count_nonzero(
+                    ((rs > 0) & wd & dt) | ((rd > 0) & ws & dt) | ww_mask
+                )
+            )
+            # A read is stale when the other endpoint's write was
+            # already issued (lex before) yet not visible to it.
+            stale = int(rs[wd & lex_ds & ~vis_d2s].sum()) + int(
+                rd[ws & lex_sd & ~vis_s2d].sum()
+            )
+            log.read_write += rw
+            log.write_write += ww
+            log.contended_edges += contended
+            log.lost_writes += ww
+            log.stale_reads += stale
+            if rw + ww:
+                log.per_iteration[iteration] += rw + ww
+
+        upd_t = np.bincount(plan.thr_a, minlength=p)
+        reads_t = np.zeros(p, dtype=np.int64)
+        writes_t = np.zeros(p, dtype=np.int64)
+        for f in state.edge_field_names:
+            for counts, thr_e in ((ctx.rs[f], thr_s), (ctx.rd[f], thr_d)):
+                mask = counts > 0
+                if mask.any():
+                    reads_t += np.bincount(
+                        thr_e[mask], weights=counts[mask], minlength=p
+                    ).astype(np.int64)
+        for f in written:
+            writes_t += np.bincount(thr_s[ctx.ws[f]], minlength=p)
+            writes_t += np.bincount(thr_d[ctx.wd[f]], minlength=p)
+        return ctx, next_mask, upd_t, reads_t, writes_t, total_passes
+
     def run(
         self,
         program: VertexProgram,
@@ -497,6 +983,7 @@ class VectorizedNondetEngine:
         telemetry=None,
         record=None,
         supervisor=None,
+        direction: str = "pull",
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -506,6 +993,19 @@ class VectorizedNondetEngine:
                 "program/config not eligible for the vectorized nondeterministic "
                 "fast path: " + "; ".join(reasons)
             )
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}"
+            )
+        push_ok = False
+        if direction != "pull":
+            push_reasons = push_fallback_reasons(program)
+            if push_reasons and direction == "push":
+                raise ValueError(
+                    "program not eligible for the push direction: "
+                    + "; ".join(push_reasons)
+                )
+            push_ok = not push_reasons
         if sink is not None:
             sink.begin_engine_run(self.mode, program, config)
         if record is not None:
@@ -517,6 +1017,7 @@ class VectorizedNondetEngine:
         src, dst = graph.edge_src, graph.edge_dst
         in_order = np.lexsort((src, dst))
         out_degrees = graph.out_degrees()
+        in_degrees = graph.in_degrees() if push_ok else None
         written = kernel.written_fields
         delay_model = config.effective_delay_model()
         jitter_rng = (
@@ -537,6 +1038,8 @@ class VectorizedNondetEngine:
             )
         converged = False
         total_passes = 0
+        push_iterations = 0
+        dir_trace: list[str] = []
         p = config.threads
         # Per-iteration plan with frontier-unchanged reuse: Defs. 1–3 for
         # every edge at once (only pairs of *distinct* active endpoints
@@ -558,119 +1061,22 @@ class VectorizedNondetEngine:
             rw0, ww0 = log.read_write, log.write_write
             passes0 = total_passes
             active_ids = frontier_ids
-            plan = plan_cache.plan(active_ids, dm_i)
-            active = plan.active
-            thr_s, thr_d = plan.thr_s, plan.thr_d
-            t_s, t_d = plan.t_s, plan.t_d
-            vis_s2d, vis_d2s = plan.vis_s2d, plan.vis_d2s
-            lex_sd, lex_ds = plan.lex_sd, plan.lex_ds
-
-            ctx = NondetPassContext(
-                graph, state, active, written,
-                in_order=in_order, out_degrees=out_degrees,
+            dir_i = choose_direction(
+                direction, active_ids, out_degrees, in_degrees,
+                m, n, config, push_ok,
             )
-            prev_seen_s = {f: ctx.committed[f] for f in written}
-            prev_seen_d = {f: ctx.committed[f] for f in written}
-            # Pass 1 computes every active vertex against the committed
-            # snapshot; repair passes recompute only vertices whose seen
-            # inputs changed.  Visibility implies strict precedence in
-            # the execution order, so the dependence relation is a DAG
-            # and this chaotic iteration reaches the exact per-access
-            # semantics in at most depth+1 passes.
-            kernel.run_pass(ctx, active)
-            total_passes += 1
-            for _ in range(int(active_ids.size) + 2):
-                dirty = np.zeros(n, dtype=bool)
-                changed_any = False
-                for f in written:
-                    seen_d = np.where(
-                        vis_s2d & ctx.ws[f], ctx.wvs[f], ctx.committed[f]
-                    )
-                    seen_s = np.where(
-                        vis_d2s & ctx.wd[f], ctx.wvd[f], ctx.committed[f]
-                    )
-                    d_changed = seen_d != prev_seen_d[f]
-                    s_changed = seen_s != prev_seen_s[f]
-                    if d_changed.any():
-                        dirty[dst[d_changed]] = True
-                        changed_any = True
-                    if s_changed.any():
-                        dirty[src[s_changed]] = True
-                        changed_any = True
-                    ctx.seen_d[f] = prev_seen_d[f] = seen_d
-                    ctx.seen_s[f] = prev_seen_s[f] = seen_s
-                if not changed_any:
-                    break
-                kernel.run_pass(ctx, dirty & active)
-                total_passes += 1
-            else:  # pragma: no cover - DAG depth bound violated
-                raise RuntimeError("nondet fix-point failed to converge")
-
-            # Barrier: Lemma-2 winners, conflict totals, work profile.
-            next_mask = np.zeros(n, dtype=bool)
-            dt = plan.dt
-            dst_wins = plan.dst_wins
-            if record is not None:
-                # Provenance must flow *before* the commit assignments:
-                # ctx.committed aliases the live state arrays, and the
-                # events need each edge's pre-commit value.
-                self._emit_provenance(
-                    record, ctx, state, iteration, written,
-                    vis_s2d, vis_d2s, dst_wins, t_s, t_d, thr_s, thr_d,
-                )
-            for f in written:
-                ws, wd = ctx.ws[f], ctx.wd[f]
-                wvs, wvd = ctx.wvs[f], ctx.wvd[f]
-                arr = state.edge(f)
-                both_w = ws & wd
-                only = ws & ~wd
-                arr[only] = wvs[only]
-                only = wd & ~ws
-                arr[only] = wvd[only]
-                sel = both_w & dst_wins
-                arr[sel] = wvd[sel]
-                sel = both_w & ~dst_wins
-                arr[sel] = wvs[sel]
-                # Task-generation rule: a written edge schedules the far
-                # endpoint (a written self-loop re-schedules its vertex).
-                next_mask[dst[ws]] = True
-                next_mask[src[wd]] = True
-
-                rs, rd = ctx.rs[f], ctx.rd[f]
-                rw = int(rs[wd & dt].sum()) + int(rd[ws & dt].sum())
-                ww_mask = both_w & dt
-                ww = int(np.count_nonzero(ww_mask))
-                contended = int(
-                    np.count_nonzero(
-                        ((rs > 0) & wd & dt) | ((rd > 0) & ws & dt) | ww_mask
-                    )
-                )
-                # A read is stale when the other endpoint's write was
-                # already issued (lex before) yet not visible to it.
-                stale = int(rs[wd & lex_ds & ~vis_d2s].sum()) + int(
-                    rd[ws & lex_sd & ~vis_s2d].sum()
-                )
-                log.read_write += rw
-                log.write_write += ww
-                log.contended_edges += contended
-                log.lost_writes += ww
-                log.stale_reads += stale
-                if rw + ww:
-                    log.per_iteration[iteration] += rw + ww
-
-            upd_t = np.bincount(plan.thr_a, minlength=p)
-            reads_t = np.zeros(p, dtype=np.int64)
-            writes_t = np.zeros(p, dtype=np.int64)
-            for f in state.edge_field_names:
-                for counts, thr_e in ((ctx.rs[f], thr_s), (ctx.rd[f], thr_d)):
-                    mask = counts > 0
-                    if mask.any():
-                        reads_t += np.bincount(
-                            thr_e[mask], weights=counts[mask], minlength=p
-                        ).astype(np.int64)
-            for f in written:
-                writes_t += np.bincount(thr_s[ctx.ws[f]], minlength=p)
-                writes_t += np.bincount(thr_d[ctx.wd[f]], minlength=p)
+            if direction != "pull":
+                dir_trace.append(dir_i)
+            if dir_i == "push":
+                push_iterations += 1
+                step = self._push_iteration
+            else:
+                step = self._pull_iteration
+            ctx, next_mask, upd_t, reads_t, writes_t, total_passes = step(
+                kernel, graph, state, plan_cache, dm_i, active_ids,
+                written, in_order, out_degrees, log, record,
+                iteration, p, total_passes,
+            )
             stats.append(
                 IterationStats(
                     iteration=iteration,
@@ -701,14 +1107,22 @@ class VectorizedNondetEngine:
                     read_write=log.read_write - rw0,
                     write_write=log.write_write - ww0,
                     fixpoint_passes=total_passes - passes0,
+                    **({"direction": dir_i} if direction != "pull" else {}),
                 )
             if observer is not None:
                 observer(iteration, state, {int(v) for v in next_ids})
             frontier_ids = next_ids
             iteration += 1
-        else:
-            converged = frontier_ids.size == 0
+        # At-cap accounting: converged stays False unless the confirming
+        # empty-frontier check at the top of an iteration ran (see
+        # tests/test_convergence_conformance.py).
 
+        extra = {"vectorized": True, "fixpoint_passes": total_passes,
+                 "plan_cache_hits": plan_cache.hits}
+        if direction != "pull":
+            extra["direction"] = direction
+            extra["push_iterations"] = push_iterations
+            extra["direction_trace"] = dir_trace
         result = RunResult(
             program=program,
             state=state,
@@ -718,8 +1132,7 @@ class VectorizedNondetEngine:
             iterations=stats,
             conflicts=log,
             config=config,
-            extra={"vectorized": True, "fixpoint_passes": total_passes,
-                   "plan_cache_hits": plan_cache.hits},
+            extra=extra,
         )
         if record is not None:
             record.end_run(result)

@@ -87,11 +87,17 @@ class CombineOp(enum.Enum):
         return self in (CombineOp.MIN, CombineOp.MAX)
 
     def fold(self, a: float, b: float) -> float:
+        if self is CombineOp.ADD:
+            return a + b
+        # MIN/MAX: propagate NaN symmetrically.  The naive
+        # ``a if a <= b else b`` answers ``b`` whenever a comparison
+        # involves NaN, so fold(nan, x) != fold(x, nan) — silently
+        # breaking the commutativity check_push_program relies on.
+        if a != a or b != b:
+            return float("nan")
         if self is CombineOp.MIN:
             return a if a <= b else b
-        if self is CombineOp.MAX:
-            return a if a >= b else b
-        return a + b
+        return a if a >= b else b
 
     @property
     def identity(self) -> float:
@@ -175,10 +181,16 @@ class PushContext:
 
     def push(self, target: int, field: str, value: float) -> None:
         """Atomically combine ``value`` into ``target``'s accumulator and
-        schedule ``target`` (the push-mode task-generation rule)."""
+        schedule ``target`` (the push-mode task-generation rule).
+
+        A contribution dropped by a racy non-atomic combine
+        (``AtomicityPolicy.NONE``) never landed anywhere, so it must not
+        fire the task-generation rule: only a delivered push schedules
+        its target.
+        """
         self.n_pushes += 1
-        self._engine.deliver(self.vid, int(target), field, float(value))
-        self._schedule.add(int(target))
+        if self._engine.deliver(self.vid, int(target), field, float(value)):
+            self._schedule.add(int(target))
 
 
 class PushProgram(abc.ABC):
@@ -233,7 +245,13 @@ class PushEngine:
         self.log = ConflictLog()
 
     # -- engine internals used by PushContext ---------------------------
-    def deliver(self, sender: int, target: int, field: str, value: float) -> None:
+    def deliver(self, sender: int, target: int, field: str, value: float) -> bool:
+        """Fold one contribution into ``target``'s pending set.
+
+        Returns whether the contribution landed: ``False`` means a racy
+        non-atomic combine lost it (the classic lost-update), in which
+        case the caller must not schedule the target.
+        """
         slot = self._current_slot
         pushes = self._pending[field].setdefault(target, [])
         racing = any(
@@ -247,8 +265,9 @@ class PushEngine:
             self.log.write_write += 1
             if self._lost_rng is not None and self._lost_rng.random() < self._lost_p:
                 self.log.lost_writes += 1
-                return
+                return False
         pushes.append(_PendingPush(slot.time, slot.thread, sender, value))
+        return True
 
     def fold_visible(self, vid: int, field: str, *, consume: bool) -> float:
         spec = self._acc_specs[field]
@@ -258,7 +277,7 @@ class PushEngine:
         if not pushes:
             return acc
         kept: list[_PendingPush] = []
-        saw_invisible = False
+        invisible = 0
         for p in pushes:
             if p.thread == slot.thread:
                 visible = p.time < slot.time
@@ -271,10 +290,12 @@ class PushEngine:
                 if not consume:
                     kept.append(p)
             else:
-                saw_invisible = True
+                invisible += 1
                 kept.append(p)
-        if saw_invisible:
-            self.log.stale_reads += 1
+        # Per-contribution accounting, matching pull mode's per-access
+        # stale-read counters: every in-flight push this fold failed to
+        # observe is one stale read, not one per fold call.
+        self.log.stale_reads += invisible
         if consume or len(kept) != len(pushes):
             if kept:
                 self._pending[field][vid] = kept
@@ -363,8 +384,13 @@ class PushEngine:
                 observer(iteration, state, next_schedule)
             frontier = Frontier(next_schedule)
             iteration += 1
-        else:
-            converged = not frontier
+        # When the iteration cap expires, ``converged`` stays False even
+        # if the *next* frontier happens to be empty: convergence is only
+        # claimed by the confirming check at the top of an executed
+        # iteration (the barrier merges in-flight holders into the
+        # schedule, so an empty frontier also certifies an empty pending
+        # store).  All engines share this at-cap accounting — see
+        # tests/test_convergence_conformance.py.
 
         return RunResult(
             program=program,  # type: ignore[arg-type] — same duck interface

@@ -60,6 +60,7 @@ def run(
     observer=None,
     vectorized: bool | str = False,
     backend: str | None = None,
+    direction: str = "pull",
     telemetry=None,
     record=None,
     supervisor=None,
@@ -128,6 +129,27 @@ def run(
         :class:`~repro.robust.errors.WorkerDied`, which the supervised
         retry loop (``faults=``/``policy=`` etc.) recovers like any
         other worker timeout.
+    direction:
+        Nondeterministic mode only: the direction-optimizing execution
+        strategy of the vectorized fast path and the process backend.
+        ``"pull"`` (default) runs the dense whole-graph masks;
+        ``"push"`` runs every iteration sparsely over the frontier's
+        touched edges (out-edges ∪ in-edges of the active set), which
+        requires the program's kernel to declare atomic-combine scatter
+        semantics (``push_combines``) that pass the §IV push-eligibility
+        check — otherwise the run raises, listing the reasons;
+        ``"auto"`` picks per iteration with the Beamer-style heuristic
+        (``config.direction_alpha`` / ``direction_beta``), silently
+        pinning pull for push-ineligible programs.  Every direction
+        executes the *same* racy iteration — final state, trajectory,
+        conflict totals, and recorder provenance are bit-identical per
+        (mode, seed) — so direction is purely a performance knob; the
+        decision is a pure function of (frontier, graph, config).
+        Direction is a fast-path concept: requesting ``"push"`` or
+        ``"auto"`` without ``backend="process"`` implies
+        ``vectorized="require"`` (the interpreting object engine has no
+        dense/sparse distinction).  Not yet composable with the
+        fault-tolerance kwargs or out-of-core ShardStore graphs.
     telemetry:
         Optional :class:`~repro.obs.Telemetry` sink.  Every engine
         (including the real-thread backend and the vectorized fast path)
@@ -232,6 +254,17 @@ def run(
                 f"record={record!r} not understood: use a Recorder, a trace "
                 "path, or True"
             )
+    if direction not in ("pull", "push", "auto"):
+        raise ValueError(
+            f"direction={direction!r} not understood: use 'pull', 'push' or 'auto'"
+        )
+    if direction != "pull" and mode != "nondeterministic":
+        raise ValueError("direction= applies to mode='nondeterministic' only")
+    if direction != "pull" and backend is None and not vectorized:
+        # Direction is a fast-path concept — the interpreting object
+        # engine has no dense/sparse distinction, so a non-default
+        # direction must not silently run it.
+        vectorized = "require"
     if config is not None and config_kwargs:
         raise ValueError("pass either config= or individual config kwargs, not both")
     # Up-front validation: catch bad run bounds before any engine (or a
@@ -253,6 +286,11 @@ def run(
     if config is None:
         config = EngineConfig(**config_kwargs)
     if robust:
+        if direction != "pull":
+            raise ValueError(
+                "direction= does not compose with the fault-tolerance "
+                "kwargs yet; run with direction='pull' (the default)"
+            )
         if supervisor is not None:
             raise ValueError(
                 "pass either supervisor= or the fault-tolerance kwargs "
@@ -285,6 +323,12 @@ def run(
                 "out-of-core execution (a ShardStore graph) supports "
                 "mode='nondeterministic' only"
             )
+        if direction != "pull":
+            raise ValueError(
+                "out-of-core execution (a ShardStore graph) supports "
+                "direction='pull' only: its interval slicing is already "
+                "the sparse decomposition"
+            )
         return graph.nondet_runner().run(
             program, config, state=state, observer=observer,
             telemetry=telemetry, record=record, supervisor=supervisor,
@@ -301,6 +345,7 @@ def run(
         return ParallelEngine().run(
             program, graph, config, state=state, observer=observer,
             telemetry=telemetry, record=record, supervisor=supervisor,
+            direction=direction,
         )
     if vectorized:
         if mode != "nondeterministic":
@@ -316,6 +361,7 @@ def run(
             return VectorizedNondetEngine().run(
                 program, graph, config, state=state, observer=observer,
                 telemetry=telemetry, record=record, supervisor=supervisor,
+                direction=direction,
             )
         if vectorized == "require":
             raise ValueError(

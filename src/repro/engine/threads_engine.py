@@ -294,8 +294,9 @@ class ThreadsEngine:
                 )
             frontier = Frontier(next_schedule)
             iteration += 1
-        else:
-            converged = not frontier
+        # At-cap accounting: converged stays False unless the confirming
+        # empty-frontier check at the top of an iteration ran (see
+        # tests/test_convergence_conformance.py).
 
         result = RunResult(
             program=program,

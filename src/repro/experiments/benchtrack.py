@@ -150,16 +150,31 @@ def _timed(factory, graph, config: EngineConfig, **run_kwargs) -> dict:
         out["io"] = res.extra["io"]
     if "pool_reused" in res.extra:
         out["pool_reused"] = res.extra["pool_reused"]
+    if "push_iterations" in res.extra:
+        out["push_iterations"] = res.extra["push_iterations"]
     return out
 
 
 def run_nondet_suite(scales=(8, 10, 12), *, object_max_scale: int = 10,
-                     progress=None) -> dict:
-    """Object engine vs vectorized fast path, per algorithm and scale."""
+                     direction=None, progress=None) -> dict:
+    """Object engine vs vectorized fast path, per algorithm and scale.
+
+    With ``direction="push"`` or ``"auto"``, push-eligible algorithms
+    (MIN-combine kernels: wcc, sssp, bfs) additionally get a
+    ``vectorized_<direction>`` cell timing the same run under the
+    direction-optimizing fast path, plus ``direction_speedup`` —
+    pull-time / hybrid-time, > 1 meaning the hybrid won.  Outputs are
+    bit-identical across directions, so the cells measure strategy
+    cost only.
+    """
+    from ..engine.nondet_vectorized import push_fallback_reasons
+
     config = EngineConfig(threads=8, seed=0, jitter=0.5)
     results: dict = {"graph": GRAPH_SPEC,
                      "config": {"threads": 8, "seed": 0, "jitter": 0.5},
                      "scales": {}}
+    if direction is not None:
+        results["direction"] = direction
     for scale in scales:
         if progress:
             progress(f"nondet scale {scale}")
@@ -169,6 +184,12 @@ def run_nondet_suite(scales=(8, 10, 12), *, object_max_scale: int = 10,
         for name, factory in ALGORITHMS.items():
             cell = {"vectorized": _timed(factory, graph, config,
                                          vectorized="require")}
+            if direction is not None and not push_fallback_reasons(factory()):
+                hybrid = _timed(factory, graph, config,
+                                vectorized="require", direction=direction)
+                cell[f"vectorized_{direction}"] = hybrid
+                cell["direction_speedup"] = (cell["vectorized"]["seconds"]
+                                             / hybrid["seconds"])
             if scale <= object_max_scale:
                 cell["object"] = _timed(factory, graph, config)
                 cell["speedup"] = (cell["object"]["seconds"]
