@@ -191,6 +191,42 @@ def test_disabled_recorder_overhead_floor():
     )
 
 
+@pytest.mark.perfsmoke
+def test_metrics_attached_overhead_floor():
+    """Acceptance: an attached MetricsRegistry costs ≤ 1.05× a bare run.
+
+    The registry records at iteration granularity only (a handful of
+    counter/gauge/histogram updates per iteration, never per edge), and
+    no exporter runs during the loop — so attaching one must stay in
+    the noise.  Min-of-5 timings of the same run, same-process ratio.
+    """
+    import time as _time
+
+    from repro.obs import MetricsRegistry
+
+    graph = generators.rmat(10, 8.0, seed=3)
+
+    def timed(metrics_factory):
+        best = float("inf")
+        for _ in range(5):
+            metrics = metrics_factory()
+            t0 = _time.perf_counter()
+            res = run(PageRank(epsilon=1e-2), graph, mode="nondeterministic",
+                      config=EngineConfig(threads=8, seed=0), metrics=metrics)
+            best = min(best, _time.perf_counter() - t0)
+            assert res.converged
+        return best
+
+    timed(lambda: None)  # warmup
+    t_bare = timed(lambda: None)
+    t_attached = timed(MetricsRegistry)
+    assert t_attached <= t_bare * 1.05 + 0.010, (
+        f"run with a MetricsRegistry attached took {t_attached:.3f}s vs "
+        f"{t_bare:.3f}s bare — metrics recording must stay at iteration "
+        f"granularity"
+    )
+
+
 def test_vectorized_pagerank_scale12(benchmark):
     """Large-scale baseline the object engines cannot reach comfortably."""
     from repro.algorithms import VPageRank

@@ -13,10 +13,19 @@ Commands
 ``speed ALGORITHM``
     Convergence-speed report (iterations vs threads/delay vs the DE and
     BSP baselines).
-``trace {summarize,diff,explain,lint,stitch} TRACE [TRACE]``
+``trace {summarize,diff,explain,lint,stitch,merge} TRACE [TRACE]``
     Query recorded traces: condense one, align two, explain the first
-    divergent race of a pair, validate structure/event orders, or join
-    a killed run's trace with its resumed continuation.
+    divergent race of a pair, validate structure/event orders, join
+    a killed run's trace with its resumed continuation, or interleave
+    per-worker trace segments with their master trace.
+``top TRACE``
+    Live monitor: tail a (possibly still-growing) trace and render the
+    per-iteration phase breakdown, frontier size, conflicts, worker
+    skew, and peak RSS; refreshes until the run ends.  ``--once``
+    prints a single snapshot.
+``report --phases TRACE``
+    Render the phase breakdown of a finished trace as a table
+    (``report`` without ``--phases`` regenerates the evaluation).
 
 Examples
 --------
@@ -33,6 +42,10 @@ Examples
     python -m repro run PageRank --resume pr.ckpt
     python -m repro figure3 --explain --scale 9
     python -m repro speed BFS --dataset cage15-mini --scale 9
+    python -m repro run WCC --backend process --trace t.jsonl --trace-workers
+    python -m repro trace merge t.jsonl -o merged.jsonl
+    python -m repro report --phases merged.jsonl
+    python -m repro top t.jsonl --once
 """
 
 from __future__ import annotations
@@ -158,6 +171,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-iterations", type=int, default=100_000)
     p.add_argument("--audit", action="store_true",
                    help="cross-check conflicts against declared traits")
+    p.add_argument("--trace-workers", action="store_true",
+                   help="with --trace and a process backend: stream each "
+                        "OS worker's trace segment into PATH.workers/ "
+                        "(merge with `repro trace merge`, watch with "
+                        "`repro top`)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="stream a JSONL telemetry trace of the run to PATH")
     p.add_argument("--telemetry", action="store_true",
@@ -220,11 +238,34 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-dir", default=None, metavar="DIR",
                    help="directory of the BENCH_*.json files "
                         "(default: the repo root)")
+    p.add_argument("--allow-schema-skew", action="store_true",
+                   help="permit appending to a BENCH file still carrying "
+                        "the previous trajectory schema (upgrades the "
+                        "file header in place, keeping old entries)")
 
     p = sub.add_parser("report", help="regenerate the full evaluation as markdown")
     add_scale(p)
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--out", default=None, help="write to file instead of stdout")
+    p.add_argument("--phases", default=None, metavar="TRACE",
+                   help="instead of the evaluation: render the phase "
+                        "breakdown of a recorded trace (worker segments "
+                        "in TRACE.workers/ are merged in automatically)")
+
+    p = sub.add_parser(
+        "top",
+        help="live phase monitor over a (possibly still-growing) trace")
+    p.add_argument("trace", help="master JSONL trace path (e.g. the "
+                                 "--trace target of a running repro run)")
+    p.add_argument("--workers", default=None, metavar="DIR",
+                   help="worker segment directory "
+                        "(default: TRACE.workers/ when it exists)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single snapshot and exit")
+    p.add_argument("--refresh", type=float, default=1.0, metavar="S",
+                   help="refresh interval in seconds (default 1.0)")
+    p.add_argument("--last", type=int, default=12, metavar="N",
+                   help="show only the trailing N iterations (default 12)")
 
     p = sub.add_parser("speed", help="convergence-speed report")
     p.add_argument("algorithm", choices=sorted(ALGORITHMS))
@@ -255,6 +296,16 @@ def _build_parser() -> argparse.ArgumentParser:
     t.add_argument("trace_resumed")
     t.add_argument("-o", "--out", required=True, metavar="PATH",
                    help="write the stitched JSONL trace to PATH")
+    t = tsub.add_parser("merge",
+                        help="interleave per-worker trace segments with "
+                             "the master trace on (iteration, barrier "
+                             "epoch) into one coherent JSONL stream")
+    t.add_argument("trace", help="master JSONL trace")
+    t.add_argument("--workers", default=None, metavar="DIR",
+                   help="worker segment directory "
+                        "(default: TRACE.workers/)")
+    t.add_argument("-o", "--out", required=True, metavar="PATH",
+                   help="write the merged JSONL trace to PATH")
 
     return parser
 
@@ -303,10 +354,95 @@ def _cmd_trace(args) -> int:
         print(f"stitched {len(stitched)} records to {args.out} "
               f"(dropped {info['dropped']} replayed/torn records{at})")
         return 0
+    if args.trace_command == "merge":
+        from .obs import merge_worker_traces
+
+        merged = merge_worker_traces(args.trace, args.workers,
+                                     out_path=args.out)
+        spans = sum(1 for r in merged if r.get("type") == "worker_span")
+        torn = sum(1 for r in merged
+                   if r.get("type") == "event"
+                   and r.get("name") == "worker_segment_truncated")
+        note = f", {torn} truncated segment(s)" if torn else ""
+        print(f"merged {len(merged)} records ({spans} worker spans{note}) "
+              f"to {args.out}")
+        return 0
     # explain
     report = explain_trace_files(args.trace_a, args.trace_b)
     print(report.render())
     return 0 if report.first is None else 3
+
+
+def _load_trace_with_workers(trace: str, worker_dir: str | None):
+    """Read ``trace``, merging worker segments when a directory exists."""
+    import os
+
+    from .obs import merge_worker_traces, read_trace
+
+    if worker_dir is None:
+        worker_dir = trace + ".workers"
+    if os.path.isdir(worker_dir):
+        return merge_worker_traces(trace, worker_dir)
+    return read_trace(trace)
+
+
+def _cmd_top(args) -> int:
+    """Live phase monitor: re-renders the trailing phase table.
+
+    Re-reads the trace at every refresh — ``read_trace``'s torn-final-
+    line tolerance makes reading mid-write safe, so the monitor can tail
+    a trace another process is still appending to.  Exits when the trace
+    gains a terminal ``run_end``/``truncated`` record (or on Ctrl-C).
+    """
+    import time as _time
+
+    from .obs import phase_report, phase_table
+
+    try:
+        while True:
+            try:
+                records = _load_trace_with_workers(args.trace, args.workers)
+            except FileNotFoundError:
+                records = []
+            done = any(r.get("type") in ("run_end", "truncated")
+                       for r in records)
+            report = phase_report(records)
+            rows = report["iterations"]
+            meta = report["meta"]
+            status = "finished" if done else ("waiting for trace"
+                                              if not records else "live")
+            head = [f"repro top — {args.trace} [{status}]"]
+            if meta:
+                head.append(
+                    "  ".join(f"{k}={meta[k]}" for k in
+                              ("mode", "threads", "seed", "backend")
+                              if k in meta))
+            if rows:
+                last = rows[-1]
+                rss = last.get("peak_rss_bytes")
+                wall = report["totals"]["wall_time_s"]
+                rate = (report["totals"]["conflicts"] / wall
+                        if wall > 0 else 0.0)
+                head.append(
+                    f"iteration {last['iteration']}  "
+                    f"frontier {last['frontier_size']}  "
+                    f"conflicts/s {rate:,.0f}"
+                    + (f"  peak_rss {rss / 2**20:,.1f} MiB"
+                       if rss else ""))
+            body = "\n".join(head) + "\n\n" + phase_table(report,
+                                                          last=args.last)
+            if args.once:
+                print(body)
+                return 0
+            # Stdlib-only live view: clear screen, home cursor, redraw.
+            sys.stdout.write("\x1b[2J\x1b[H" + body + "\n")
+            sys.stdout.flush()
+            if done:
+                return 0
+            _time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        print()
+        return 130
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -400,11 +536,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             robust_kwargs["checkpoint_every"] = args.checkpoint_every
         if args.resume is not None:
             robust_kwargs["resume_from"] = args.resume
+        if args.trace_workers and not args.trace:
+            print("--trace-workers requires --trace PATH", file=sys.stderr)
+            return 1
         sink = None
         if args.trace or args.telemetry:
             from .obs import Telemetry
 
-            sink = Telemetry(trace_path=args.trace)
+            sink = Telemetry(
+                trace_path=args.trace,
+                worker_dir=(args.trace + ".workers"
+                            if args.trace_workers else None))
         recorder = None
         if args.record:
             from .obs import Recorder
@@ -442,6 +584,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(sink.summary())
         if args.trace:
             print(f"trace written to {args.trace}", file=sys.stderr)
+        if args.trace_workers:
+            print(f"worker segments in {args.trace}.workers/ — merge with "
+                  f"`repro trace merge {args.trace} -o merged.jsonl`",
+                  file=sys.stderr)
         if args.record:
             print(
                 f"provenance trace written to {args.record} "
@@ -469,10 +615,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             kwargs["num_intervals"] = args.num_intervals
         if args.direction is not None:
             kwargs["direction"] = args.direction
-        written = run_bench(
-            suites, out_dir=args.out_dir,
-            progress=lambda m: print(f"... {m}", file=sys.stderr),
-            **kwargs)
+        try:
+            written = run_bench(
+                suites, out_dir=args.out_dir,
+                progress=lambda m: print(f"... {m}", file=sys.stderr),
+                allow_schema_skew=args.allow_schema_skew,
+                **kwargs)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
         for suite, payload in written.items():
             filename = SUITES[suite][0]
             print(f"{filename}: {len(payload['entries'])} trajectory "
@@ -500,6 +651,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                         print(f"  scale {scale} {name:9s} "
                               f"vec {cell['vectorized']['seconds']:7.3f}s"
                               f" {spd_txt}{hybrid}")
+    elif args.command == "report" and args.phases:
+        from .obs import phase_report, phase_table
+
+        records = _load_trace_with_workers(args.phases, None)
+        print(phase_table(phase_report(records)))
     elif args.command == "report":
         from .experiments import generate_report
 
@@ -525,6 +681,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"recovery ratio (max NE / SYNC): {report.recovery_ratio():.2f}")
     elif args.command == "trace":
         return _cmd_trace(args)
+    elif args.command == "top":
+        return _cmd_top(args)
     return 0
 
 

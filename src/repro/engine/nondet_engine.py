@@ -40,6 +40,7 @@ import time
 import numpy as np
 
 from ..graph import DiGraph
+from ..obs.metrics import PhaseClock, peak_rss_bytes, record_iteration_metrics
 from .atomicity import AtomicityPolicy, tear
 from .config import EngineConfig
 from .conflicts import (
@@ -457,6 +458,7 @@ class NondeterministicEngine:
         telemetry=None,
         record=None,
         supervisor=None,
+        metrics=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -495,6 +497,13 @@ class NondeterministicEngine:
                 rngs=rngs, conflicts=log,
             )
         converged = False
+        # Coarse phase attribution (pure timing, no RNG draw, so profiled
+        # runs stay bit-identical): the object engine interleaves every
+        # update with the racy store, so its whole iteration body is one
+        # "gather" phase; only the dispatch plan and the span bookkeeping
+        # separate out.
+        clock = PhaseClock() if (sink is not None or metrics is not None) \
+            else None
         while iteration < config.max_iterations:
             if not frontier:
                 converged = True
@@ -504,7 +513,9 @@ class NondeterministicEngine:
                 cfg_i = supervisor.iteration_config(iteration, config)
             else:
                 cfg_i = config
-            t0 = time.perf_counter() if sink is not None else 0.0
+            t0 = time.perf_counter() if clock is not None else 0.0
+            if clock is not None:
+                clock.start()
             rw0, ww0 = log.read_write, log.write_write
             active = frontier.sorted_vertices()
             plan = make_plan(
@@ -514,6 +525,8 @@ class NondeterministicEngine:
                 jitter=config.jitter,
                 rng=jitter_rng,
             )
+            if clock is not None:
+                clock.lap("plan_build")
             next_schedule = self.step_iteration(
                 program,
                 graph,
@@ -530,6 +543,19 @@ class NondeterministicEngine:
             if supervisor is not None:
                 next_schedule = supervisor.post_iteration(
                     iteration, state=state, schedule=next_schedule)
+            if clock is not None:
+                clock.lap("gather")
+                wall = time.perf_counter() - t0
+                phases = clock.drain()
+                if metrics is not None:
+                    record_iteration_metrics(
+                        metrics, "object", phases=phases,
+                        num_active=len(plan.slots),
+                        frontier_size=len(next_schedule),
+                        read_write=log.read_write - rw0,
+                        write_write=log.write_write - ww0,
+                        wall_time_s=wall,
+                    )
             if sink is not None:
                 it = stats[-1]
                 sink.iteration(
@@ -539,9 +565,11 @@ class NondeterministicEngine:
                     reads_per_thread=it.reads_per_thread,
                     writes_per_thread=it.writes_per_thread,
                     frontier_size=len(next_schedule),
-                    wall_time_s=time.perf_counter() - t0,
+                    wall_time_s=wall,
                     read_write=log.read_write - rw0,
                     write_write=log.write_write - ww0,
+                    phases=phases,
+                    peak_rss_bytes=peak_rss_bytes(),
                 )
             if observer is not None:
                 observer(iteration, state, next_schedule)
@@ -564,5 +592,7 @@ class NondeterministicEngine:
         if record is not None:
             record.end_run(result)
         if sink is not None:
+            if metrics is not None:
+                sink.metrics_snapshot(metrics)
             sink.end_run(result)
         return result

@@ -53,6 +53,7 @@ failure, or at GC.
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import os
 import signal
@@ -64,6 +65,7 @@ from multiprocessing import connection as mp_connection
 
 import numpy as np
 
+from ..obs.metrics import PhaseClock, peak_rss_bytes, record_iteration_metrics
 from ..robust.errors import WorkerDied, WorkerTimeout
 from ..storage.shm import ArrayLayout, SharedArrayPool
 from .config import EngineConfig
@@ -114,19 +116,25 @@ class FileArray:
         """Slots ``[a, b)`` as a fresh writable array."""
         count = int(b) - int(a)
         nbytes = count * self._itemsize
+        io = self._io
+        t0 = time.perf_counter() if io is not None else 0.0
         buf = os.pread(self._fd, nbytes, int(a) * self._itemsize)
         if len(buf) != nbytes:  # pragma: no cover - scratch truncated
             raise OSError(f"{self.path}: short read ({len(buf)}/{nbytes} bytes)")
-        if self._io is not None:
-            self._io.bytes_read += nbytes
+        if io is not None:
+            io.bytes_read += nbytes
+            io.seconds += time.perf_counter() - t0
         return np.frombuffer(buf, dtype=self.dtype).copy()
 
     def write(self, a: int, arr: np.ndarray) -> None:
         """Overwrite slots ``[a, a + arr.size)``."""
         data = np.ascontiguousarray(arr, dtype=self.dtype)
+        io = self._io
+        t0 = time.perf_counter() if io is not None else 0.0
         os.pwrite(self._fd, data.tobytes(), int(a) * self._itemsize)
-        if self._io is not None:
-            self._io.bytes_written += data.nbytes
+        if io is not None:
+            io.bytes_written += data.nbytes
+            io.seconds += time.perf_counter() - t0
 
     def zero(self) -> None:
         """Reset every slot to zero (sparse, O(1))."""
@@ -568,6 +576,13 @@ def _pool_watch(stop_event, barrier, sentinels) -> None:
             return
 
 
+#: Worker-side phase slots in the shared ``phase_w`` rows, in slot
+#: order.  Sweep time lands in ``gather`` (pass 1) / ``repair_pass``
+#: (detect + repairs) with the pread/pwrite portion carved out into
+#: ``shard_io`` from the worker's own ``IOStats.seconds``.
+_OOC_WPHASES = ("gather", "repair_pass", "barrier_wait", "shard_io")
+
+
 def _ooc_worker_main(wid, seg_name, layout, store_path, scratch_dir,
                      program, intervals, conn, barrier, barrier_timeout):
     """OS-process entry point: sweeps over this worker's intervals.
@@ -576,6 +591,15 @@ def _ooc_worker_main(wid, seg_name, layout, store_path, scratch_dir,
     pool costs nothing while the master is between ``run()`` calls and
     an orphan notices the reparent), and is barrier-paced *within* an
     iteration: command words live in the shared ``ctrl`` block.
+
+    When the master ships a profiling tuple ``(enabled, trace_dir,
+    run_id)`` with the iteration message, the worker runs a
+    :class:`PhaseClock` over the sweeps, publishes its per-iteration
+    phase row into the single-writer ``phase_w`` block before barrier C
+    (so the master folds it with the flags), and — when ``trace_dir``
+    is set — appends a ``worker_span`` record to its own JSONL segment.
+    Profiling is pure timing: no branch of the sweep code depends on
+    it, so profiled runs stay bit-identical.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)  # master owns ^C
@@ -583,6 +607,7 @@ def _ooc_worker_main(wid, seg_name, layout, store_path, scratch_dir,
         pass
     ppid = os.getppid()
     pool = None
+    seg_fh = None
     try:
         from ..storage.shards import IOStats, ShardStore
 
@@ -598,6 +623,8 @@ def _ooc_worker_main(wid, seg_name, layout, store_path, scratch_dir,
         ctrl = pool.array("ctrl")
         flags = pool.array("flags")
         iostat = pool.array("iostat")
+        phase_w = pool.array("phase_w")
+        wcount = pool.array("wcount")
         ex = _Exec(store, scratch, kernel, intervals, wio)
         ex.active = pool.array("active")
         ex.dirty = pool.array("dirty")
@@ -607,6 +634,9 @@ def _ooc_worker_main(wid, seg_name, layout, store_path, scratch_dir,
         ex.v0 = pool.arrays("v0:")
         ex.vout = pool.arrays("vout:")
         ex.dm = None
+        epoch = 0
+        prof_key = None
+        trace_dir = None
         while True:
             while not conn.poll(1.0):
                 if os.getppid() != ppid:
@@ -616,11 +646,47 @@ def _ooc_worker_main(wid, seg_name, layout, store_path, scratch_dir,
                 return
             if msg[1] is not None:  # delay model shipped only on change
                 ex.dm = msg[1]
+            iteration = int(msg[2]) if len(msg) > 2 else 0
+            prof = msg[3] if len(msg) > 3 else None
+            clock = None
+            if prof is not None and prof[0]:
+                if prof_key != (prof[1], prof[2]):
+                    # New run (or a redirected trace dir): fresh barrier
+                    # epoch and a fresh segment file on a warm pool.
+                    if seg_fh is not None:
+                        seg_fh.close()
+                        seg_fh = None
+                    prof_key = (prof[1], prof[2])
+                    trace_dir = prof[1]
+                    epoch = 0
+                clock = PhaseClock()
+            sweeps = 0
+            io_seen = wio.seconds
+
+            def lap_io(phase):
+                # Lap, then carve the pread/pwrite seconds accumulated
+                # during it out into the dedicated shard_io phase.
+                nonlocal io_seen
+                clock.lap(phase)
+                clock.split(phase, "shard_io", wio.seconds - io_seen)
+                io_seen = wio.seconds
+
             # One iteration: PASS1 now, then barrier-paced rounds.
+            if clock is not None:
+                clock.start()
             ex.pass_sweep(ex.active, use_seen=False)
+            sweeps += 1
+            if clock is not None:
+                lap_io("gather")
             barrier.wait(barrier_timeout)       # A: pass-1 writes durable
+            epoch += 1
+            if clock is not None:
+                clock.lap("barrier_wait")
             while True:
                 barrier.wait(barrier_timeout)   # B: dirty/flags cleared
+                epoch += 1
+                if clock is not None:
+                    clock.lap("barrier_wait")
                 first = bool(ctrl[1])
                 changed = ex.detect_sweep(first)
                 flags[wid] = 1 if changed else 0
@@ -629,11 +695,47 @@ def _ooc_worker_main(wid, seg_name, layout, store_path, scratch_dir,
                 iostat[wid, 0] = ex.io.bytes_read
                 iostat[wid, 1] = ex.io.bytes_written
                 iostat[wid, 2] = ex.io.interval_loads
+                if clock is not None:
+                    # Phase row published before every C: the last write
+                    # before the final C is what the master folds (the C
+                    # wait itself ends the measured window, as in the
+                    # in-memory process backend).
+                    lap_io("repair_pass")
+                    for k, name in enumerate(_OOC_WPHASES):
+                        phase_w[wid, k] = clock.acc.get(name, 0.0)
+                    wcount[wid] = sweeps
                 barrier.wait(barrier_timeout)   # C: flags posted
+                epoch += 1
                 if not flags.any():
                     break
+                if clock is not None:
+                    clock.lap("barrier_wait")  # the C wait, non-final round
                 ex.pass_sweep(ex.dirty & ex.active, use_seen=True)
+                sweeps += 1
+                if clock is not None:
+                    lap_io("repair_pass")
                 barrier.wait(barrier_timeout)   # D: repair writes durable
+                epoch += 1
+                if clock is not None:
+                    clock.lap("barrier_wait")
+            if clock is not None and trace_dir:
+                phases = {k: v for k, v in clock.drain().items() if v > 0}
+                if seg_fh is None:
+                    seg_fh = open(
+                        os.path.join(trace_dir, f"worker-{wid}.jsonl"),
+                        "w", encoding="utf-8")
+                    json.dump({"type": "event", "name": "worker_start",
+                               "worker": wid, "pid": os.getpid(),
+                               "intervals": len(intervals)},
+                              seg_fh, separators=(",", ":"))
+                    seg_fh.write("\n")
+                json.dump({"type": "worker_span", "worker": wid,
+                           "iteration": iteration, "epoch": epoch,
+                           "phases": phases, "sweeps": sweeps,
+                           "owned": len(intervals)},
+                          seg_fh, separators=(",", ":"))
+                seg_fh.write("\n")
+                seg_fh.flush()
     except threading.BrokenBarrierError:
         return  # master aborted (timeout, shutdown, or a sibling died)
     except (EOFError, OSError):
@@ -648,6 +750,11 @@ def _ooc_worker_main(wid, seg_name, layout, store_path, scratch_dir,
         except Exception:
             pass
     finally:
+        if seg_fh is not None:
+            try:
+                seg_fh.close()
+            except Exception:  # pragma: no cover
+                pass
         if pool is not None:
             pool.release_views()
             pool.close()
@@ -707,6 +814,11 @@ class _OocPool:
             "flags": ((workers,), np.uint8),
             "ctrl": ((4,), np.int64),
             "iostat": ((workers, 3), np.int64),
+            # Single-writer per-worker profiling rows, folded by the
+            # master after barrier C exactly like ``iostat`` (zeroed by
+            # the master at publish time, so they are per-iteration).
+            "phase_w": ((workers, len(_OOC_WPHASES)), np.float64),
+            "wcount": ((workers,), np.int64),
         }
         for f in state.vertex_field_names:
             dt = state.vertex(f).dtype
@@ -771,12 +883,21 @@ class _OocPool:
         io.bytes_written += int(delta[:, 1].sum())
         io.interval_loads += int(delta[:, 2].sum())
 
-    def begin_iteration(self, dm) -> None:
+    def begin_iteration(self, dm, iteration: int = 0, prof=None) -> None:
         payload = dm if dm != self.last_dm else None
         if payload is not None:
             self.last_dm = dm
         for conn in self.conns:
-            conn.send(("iter", payload))
+            conn.send(("iter", payload, iteration, prof))
+
+    def worker_phases(self) -> list[dict[str, float]]:
+        """Per-worker phase dicts for the iteration just folded."""
+        rows = self.arrays["phase_w"]
+        return [
+            {name: float(rows[w, k])
+             for k, name in enumerate(_OOC_WPHASES) if rows[w, k] > 0}
+            for w in range(self.workers)
+        ]
 
     def failure(self, iteration: int):
         """Classify a broken barrier into WorkerDied/WorkerTimeout."""
@@ -863,6 +984,10 @@ class OutOfCoreNondetRunner:
         self._scratch: _Scratch | None = None
         self._pool: _OocPool | None = None
         self._pool_key = None
+        # Monotone per-run id shipped to pool workers with the profiling
+        # tuple: a warm pool resets its barrier epoch and reopens its
+        # trace segment when the id changes.
+        self._run_counter = 0
 
     # -- scratch management ---------------------------------------------
     def _ensure_scratch(self, program: VertexProgram, kernel) -> None:
@@ -1147,8 +1272,8 @@ class OutOfCoreNondetRunner:
     # -- the run loop ------------------------------------------------------
     def run(self, program: VertexProgram, config: EngineConfig | None = None,
             *, state: _OocState | None = None, observer=None, telemetry=None,
-            record=None, supervisor=None, backend: str | None = None
-            ) -> RunResult:
+            record=None, supervisor=None, backend: str | None = None,
+            metrics=None) -> RunResult:
         """Execute ``program`` out of core; mirrors the vectorized engine.
 
         ``backend="process"`` dispatches shard intervals to a persistent
@@ -1199,6 +1324,7 @@ class OutOfCoreNondetRunner:
         io.bytes_read = 0
         io.bytes_written = 0
         io.interval_loads = 0
+        io.seconds = 0.0
 
         log = ConflictLog(keep_events=config.keep_conflict_events)
         stats: list[IterationStats] = []
@@ -1223,6 +1349,28 @@ class OutOfCoreNondetRunner:
         pool = None
         pool_reused = False
         ex = _Exec(store, self._scratch, kernel, list(range(K)), io)
+        # Phase attribution is pure timing — no branch of the sweep or
+        # commit code depends on it — so profiled runs stay bit-identical
+        # to bare ones.
+        self._run_counter += 1
+        profile_on = sink is not None or metrics is not None
+        worker_dir = getattr(sink, "worker_dir", None)
+        if worker_dir is not None:
+            os.makedirs(worker_dir, exist_ok=True)
+        prof = ((True, worker_dir, self._run_counter)
+                if profile_on and use_pool else None)
+        clock = PhaseClock() if profile_on else None
+        epoch = 0
+        io_seen = io.seconds
+
+        def lap_io(phase):
+            # Lap, then carve the pread/pwrite seconds accumulated
+            # during it out into the dedicated shard_io phase.
+            nonlocal io_seen
+            clock.lap(phase)
+            clock.split(phase, "shard_io", io.seconds - io_seen)
+            io_seen = io.seconds
+
         try:
             while iteration < config.max_iterations:
                 if frontier_ids.size == 0:
@@ -1237,12 +1385,18 @@ class OutOfCoreNondetRunner:
                         iteration, delay_model) or delay_model
                 else:
                     dm_i = delay_model
-                t0 = time.perf_counter() if sink is not None else 0.0
+                t0 = time.perf_counter() if clock is not None else 0.0
+                if clock is not None:
+                    clock.start()
+                    io_seen = io.seconds
                 rw0, ww0 = log.read_write, log.write_write
                 passes0 = total_passes
                 active_ids = frontier_ids
                 plan = plan_cache.plan(active_ids, dm_i)
                 ex.dm = dm_i
+                if clock is not None:
+                    clock.lap("plan_build")
+                worker_phases = None
                 if pool is not None:
                     sh = pool.arrays
                     np.copyto(sh["thr_v"], plan.thr_v)
@@ -1251,6 +1405,8 @@ class OutOfCoreNondetRunner:
                     np.copyto(sh["active"], plan.active)
                     sh["dirty"].fill(False)
                     sh["flags"].fill(0)
+                    sh["phase_w"].fill(0.0)
+                    sh["wcount"].fill(0)
                     for f in vfields:
                         arr = state.vertex(f)
                         np.copyto(sh["v0:" + f], arr)
@@ -1258,19 +1414,32 @@ class OutOfCoreNondetRunner:
                     ex.vout = {f: sh["vout:" + f] for f in vfields}
                     ctrl = sh["ctrl"]
                     try:
-                        pool.begin_iteration(dm_i)  # workers run PASS1
+                        # Workers run PASS1 on receipt.
+                        pool.begin_iteration(dm_i, iteration, prof)
                         total_passes += 1
+                        if clock is not None:
+                            clock.lap("shm_sync")
                         pool.sync()                 # A: PASS1 writes visible
+                        epoch += 1
+                        if clock is not None:
+                            clock.lap("barrier_wait")
                         for r in range(int(active_ids.size) + 2):
                             sh["dirty"].fill(False)
                             sh["flags"].fill(0)
                             ctrl[1] = 1 if r == 0 else 0
                             pool.sync()             # B: workers may detect
+                            epoch += 1
                             pool.sync()             # C: flags published
+                            epoch += 1
+                            if clock is not None:
+                                clock.lap("barrier_wait")
                             if not sh["flags"].any():
                                 break
                             total_passes += 1
                             pool.sync()             # D: repair writes visible
+                            epoch += 1
+                            if clock is not None:
+                                clock.lap("barrier_wait")
                         else:
                             raise RuntimeError(
                                 "nondet fix-point failed to converge")
@@ -1278,6 +1447,26 @@ class OutOfCoreNondetRunner:
                             OSError) as exc:
                         raise pool.failure(iteration) from exc
                     pool.fold_io(io)
+                    if clock is not None:
+                        worker_phases = pool.worker_phases()
+                        sweeps = int(sh["wcount"].sum())
+                        # Worker-side counters would otherwise vanish
+                        # with the pool: fold them through the barrier
+                        # into the master's sink/registry (summed, like
+                        # every counter merge).
+                        if sink is not None:
+                            sink.counter("worker.sweeps").inc(sweeps)
+                        if metrics is not None:
+                            for w in range(workers):
+                                metrics.counter(
+                                    "repro_worker_sweeps_total",
+                                    worker=str(w),
+                                ).inc(int(sh["wcount"][w]))
+                                metrics.counter(
+                                    "repro_worker_barrier_wait_seconds_total",
+                                    worker=str(w),
+                                ).inc(worker_phases[w].get(
+                                    "barrier_wait", 0.0))
                 else:
                     ex.active = plan.active
                     ex.dirty = np.zeros(n, dtype=bool)
@@ -1288,6 +1477,8 @@ class OutOfCoreNondetRunner:
                     ex.vout = {f: state.vertex(f).copy() for f in vfields}
                     ex.pass_sweep(ex.active, use_seen=False)
                     total_passes += 1
+                    if clock is not None:
+                        lap_io("gather")
                     for r in range(int(active_ids.size) + 2):
                         ex.dirty[:] = False
                         if not ex.detect_sweep(first=(r == 0)):
@@ -1297,6 +1488,8 @@ class OutOfCoreNondetRunner:
                     else:
                         raise RuntimeError(
                             "nondet fix-point failed to converge")
+                    if clock is not None:
+                        lap_io("repair_pass")
 
                 # Commit barrier (master side, both backends).
                 next_mask, reads_t, writes_t = self._finalize(
@@ -1320,8 +1513,27 @@ class OutOfCoreNondetRunner:
                     # Fault injection may have torn edge values through the
                     # state cache; make the files agree before the next pass.
                     self._sync_state(state)
+                phases = None
+                if clock is not None:
+                    lap_io("lemma2_commit")
+                    wall = time.perf_counter() - t0
+                    phases = clock.drain()
+                    if metrics is not None:
+                        record_iteration_metrics(
+                            metrics, "outofcore",
+                            phases=phases,
+                            num_active=int(active_ids.size),
+                            frontier_size=int(next_ids.size),
+                            read_write=log.read_write - rw0,
+                            write_write=log.write_write - ww0,
+                            wall_time_s=wall,
+                        )
                 if sink is not None:
                     it = stats[-1]
+                    extra_kw = {}
+                    if worker_phases is not None:
+                        extra_kw["barrier_epoch"] = epoch
+                        extra_kw["worker_phases"] = worker_phases
                     sink.iteration(
                         iteration=iteration,
                         num_active=it.num_active,
@@ -1329,10 +1541,13 @@ class OutOfCoreNondetRunner:
                         reads_per_thread=it.reads_per_thread,
                         writes_per_thread=it.writes_per_thread,
                         frontier_size=int(next_ids.size),
-                        wall_time_s=time.perf_counter() - t0,
+                        wall_time_s=wall,
                         read_write=log.read_write - rw0,
                         write_write=log.write_write - ww0,
                         fixpoint_passes=total_passes - passes0,
+                        phases=phases,
+                        peak_rss_bytes=peak_rss_bytes(),
+                        **extra_kw,
                     )
                 if observer is not None:
                     observer(iteration, state, {int(v) for v in next_ids})
@@ -1367,5 +1582,9 @@ class OutOfCoreNondetRunner:
         if record is not None:
             record.end_run(result)
         if sink is not None:
+            if metrics is not None:
+                # Must precede end_run: lint_trace rejects records after
+                # the terminal run_end.
+                sink.metrics_snapshot(metrics)
             sink.end_run(result)
         return result

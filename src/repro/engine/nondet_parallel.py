@@ -58,6 +58,7 @@ exit path (clean, raise, ``KeyboardInterrupt``), and the stdlib
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import os
 import signal
@@ -70,6 +71,7 @@ from multiprocessing import connection as mp_connection
 import numpy as np
 
 from ..graph import DiGraph
+from ..obs.metrics import PhaseClock, peak_rss_bytes, record_iteration_metrics
 from ..robust.errors import WorkerDied, WorkerTimeout
 from ..storage.shm import ArrayLayout, SharedArrayPool
 from .config import EngineConfig
@@ -90,6 +92,14 @@ from .result import IterationStats, RunResult
 from .state import State
 
 __all__ = ["ParallelEngine", "parallel_fallback_reasons"]
+
+#: Phase slots of the shared ``phase_w`` stat block, in row order.
+#: ``plan_build`` is the worker-side Defs. 1–3 predicate construction;
+#: ``barrier_wait`` covers the A/B fix-point barriers (C is excluded —
+#: it ends the measured window); ``lemma2_commit`` is the worker's
+#: conflict-counting tail before C.
+_WPHASES = ("plan_build", "gather", "push_scatter", "repair_pass",
+            "barrier_wait", "lemma2_commit")
 
 
 def parallel_fallback_reasons(program: VertexProgram,
@@ -136,6 +146,12 @@ def _build_layout(graph: DiGraph, state: State,
     specs["reads_t"] = ((p,), np.int64)
     specs["writes_t"] = ((p,), np.int64)
     specs["conf"] = ((p, 4), np.int64)
+    # Per-worker phase seconds (_WPHASES slots) and counter deltas
+    # ([kernel passes, repaired vertices]), folded by the master at
+    # barrier C exactly like ``conf``: each worker writes only its own
+    # row before C, the master reads after — no locks, no races.
+    specs["phase_w"] = ((p, len(_WPHASES)), np.float64)
+    specs["wcount"] = ((p, 2), np.int64)
     return ArrayLayout.build(specs)
 
 
@@ -165,6 +181,16 @@ class _Worker:
         self.reads_t = pool.array("reads_t")
         self.writes_t = pool.array("writes_t")
         self.conf = pool.array("conf")
+        self.phase_w = pool.array("phase_w")
+        self.wcount = pool.array("wcount")
+        # Profiling directives arrive with each iteration message; the
+        # barrier epoch is this worker's cumulative wait count, reset
+        # per run so it matches the master's count (the merge key).
+        self._profile = False
+        self._trace_dir: str | None = None
+        self._run_id = None
+        self._epoch = 0
+        self._seg_fh = None
         committed = pool.arrays("committed:")
         self.committed = committed
         self.edge_fields = tuple(committed)
@@ -201,6 +227,54 @@ class _Worker:
                         for f in self.written}
         self.ctx = ctx
 
+    def configure_profile(self, prof) -> None:
+        """Apply an ``(enabled, trace_dir, run_id)`` profiling directive.
+
+        A new ``run_id`` starts a fresh run on a reused pool: the barrier
+        epoch restarts at 0 (so it stays comparable to the master's
+        count) and any open trace segment is replaced.
+        """
+        enabled, trace_dir, run_id = prof
+        self._profile = bool(enabled)
+        if run_id != self._run_id or trace_dir != self._trace_dir:
+            if self._seg_fh is not None:
+                self._seg_fh.close()
+                self._seg_fh = None
+            self._trace_dir = trace_dir
+            self._run_id = run_id
+            self._epoch = 0
+
+    def close_segment(self) -> None:
+        if self._seg_fh is not None:
+            self._seg_fh.close()
+            self._seg_fh = None
+
+    def _emit_span(self, iteration: int, phases: dict, passes: int,
+                   repaired: int, owned: int) -> None:
+        """Append this iteration's span to my private JSONL segment.
+
+        Worker-private file, flushed per record like the master sink: a
+        SIGKILLed worker leaves at most one torn final line, which
+        ``read_trace`` tolerates when the merge path reads the segment.
+        """
+        if self._trace_dir is None:
+            return
+        if self._seg_fh is None:
+            path = os.path.join(self._trace_dir,
+                                f"worker-{self.wid}.jsonl")
+            self._seg_fh = open(path, "w", encoding="utf-8")
+            json.dump({"type": "event", "name": "worker_start",
+                       "worker": self.wid, "pid": os.getpid()},
+                      self._seg_fh, separators=(",", ":"))
+            self._seg_fh.write("\n")
+        json.dump({"type": "worker_span", "worker": self.wid,
+                   "iteration": iteration, "epoch": self._epoch,
+                   "phases": phases, "passes": passes,
+                   "repaired": repaired, "owned": owned},
+                  self._seg_fh, separators=(",", ":"))
+        self._seg_fh.write("\n")
+        self._seg_fh.flush()
+
     def _predicates(self, eidx: np.ndarray, dm):
         """Defs. 1–3 visibility + execution order on an edge subset."""
         s, d = self.src[eidx], self.dst[eidx]
@@ -220,9 +294,10 @@ class _Worker:
         dt = both & (th_s != th_d)
         return vis_s2d, vis_d2s, lex_sd, lex_ds, dt
 
-    def iterate(self, dm, push: bool = False) -> None:
+    def iterate(self, dm, push: bool = False, iteration: int = 0) -> None:
         wid, ctx = self.wid, self.ctx
         src, dst = self.src, self.dst
+        clock = PhaseClock() if self._profile else None
         owned = self.active & (self.thr_v == wid)
         if push:
             # Sparse (push) direction: the same racy iteration over my
@@ -255,12 +330,21 @@ class _Worker:
             ctx.seen_d[f] = self._seen_d[f]
             prev_s[f] = com[es]
             prev_d[f] = com[ed]
+        if clock is not None:
+            clock.lap("plan_build")
         if push:
             self.kernel.run_push_pass(ctx, owned_ids, es, ed)
         else:
             self.kernel.run_pass(ctx, owned)
+        if clock is not None:
+            clock.lap("push_scatter" if push else "gather")
+        passes = 1
+        repaired = 0
         while True:
             self.barrier.wait(self.timeout)  # A: pass-k writes visible
+            if clock is not None:
+                self._epoch += 1
+                clock.lap("barrier_wait")
             dirty = None
             changed = False
             for f in self.written:
@@ -284,19 +368,29 @@ class _Worker:
                 prev_d[f] = sd
                 prev_s[f] = ss
             self.flags[wid] = 1 if changed else 0
+            if clock is not None:
+                clock.lap("repair_pass")
             self.barrier.wait(self.timeout)  # B: all change flags posted
+            if clock is not None:
+                self._epoch += 1
+                clock.lap("barrier_wait")
             if not self.flags.any():
                 break
+            passes += 1
             if dirty is not None:
                 if push:
                     dirty_ids = np.flatnonzero(dirty).astype(np.int64)
+                    repaired += int(dirty_ids.size)
                     self.kernel.run_push_pass(
                         ctx, dirty_ids,
                         self.graph.out_edge_ids(dirty_ids),
                         self.graph.in_edge_ids(dirty_ids),
                     )
                 else:
+                    repaired += int(np.count_nonzero(dirty))
                     self.kernel.run_pass(ctx, dirty)
+            if clock is not None:
+                clock.lap("repair_pass")
         # Conflict totals on my interval.  Src-side terms are mine via
         # ``es`` (a read/write by the src task implies active src, which
         # I own); whole-edge terms (write–write, contended) via ``ed``
@@ -329,7 +423,18 @@ class _Worker:
         self.conf[wid, 1] = ww
         self.conf[wid, 2] = contended
         self.conf[wid, 3] = stale
+        if clock is not None:
+            clock.lap("lemma2_commit")
+            ph = clock.drain()
+            for k, name in enumerate(_WPHASES):
+                self.phase_w[wid, k] = ph.get(name, 0.0)
+            self.wcount[wid, 0] = passes
+            self.wcount[wid, 1] = repaired
         self.barrier.wait(self.timeout)  # C: counters + writes final
+        if clock is not None:
+            self._epoch += 1
+            self._emit_span(iteration, {k: v for k, v in ph.items() if v},
+                            passes, repaired, int(self.upd_t[wid]))
 
 
 def _worker_main(wid: int, seg_name: str, layout: ArrayLayout,
@@ -342,6 +447,7 @@ def _worker_main(wid: int, seg_name: str, layout: ArrayLayout,
         pass
     ppid = os.getppid()
     pool = None
+    worker = None
     try:
         pool = SharedArrayPool.attach(seg_name, layout)
         worker = _Worker(wid, pool, graph, program, barrier, barrier_timeout)
@@ -357,7 +463,13 @@ def _worker_main(wid: int, seg_name: str, layout: ArrayLayout,
                 return
             if msg[1] is not None:  # delay model shipped only on change
                 dm = msg[1]
-            worker.iterate(dm, push=bool(msg[2]) if len(msg) > 2 else False)
+            if len(msg) > 4 and msg[4] is not None:
+                worker.configure_profile(msg[4])
+            worker.iterate(
+                dm,
+                push=bool(msg[2]) if len(msg) > 2 else False,
+                iteration=int(msg[3]) if len(msg) > 3 else 0,
+            )
     except threading.BrokenBarrierError:
         # Master aborted (its timeout, its shutdown, or a sibling died):
         # nothing to report, just leave.
@@ -374,6 +486,8 @@ def _worker_main(wid: int, seg_name: str, layout: ArrayLayout,
         except Exception:
             pass
     finally:
+        if worker is not None:
+            worker.close_segment()
         if pool is not None:
             pool.release_views()
             pool.close()
@@ -456,6 +570,7 @@ class ParallelEngine:
         self._pool_key = None
         self._graph_ref = None
         self._last_dm = None
+        self._run_counter = 0
 
     # -- process management ------------------------------------------------
     def _start_workers(self, graph: DiGraph, program: VertexProgram,
@@ -584,6 +699,7 @@ class ParallelEngine:
         record=None,
         supervisor=None,
         direction: str = "pull",
+        metrics=None,
     ) -> RunResult:
         config = config or EngineConfig()
         reasons = parallel_fallback_reasons(program, config)
@@ -668,6 +784,19 @@ class ParallelEngine:
             self._shutdown()
         pool_reused = False
         sh = self._sh
+        # Profiling directive shipped with every iteration message: the
+        # run id lets a reused pool's workers reset their barrier-epoch
+        # counters (and start fresh trace segments) at each run start.
+        # Pure timing plus single-writer shared rows — no RNG use, no
+        # effect on the racy iteration itself, so bit-identity holds.
+        self._run_counter += 1
+        profile_on = sink is not None or metrics is not None
+        worker_dir = getattr(sink, "worker_dir", None)
+        if worker_dir is not None:
+            os.makedirs(worker_dir, exist_ok=True)
+        prof = (profile_on, worker_dir, self._run_counter)
+        clock = PhaseClock() if profile_on else None
+        epoch = 0
         try:
             while iteration < config.max_iterations:
                 if frontier_ids.size == 0:
@@ -699,7 +828,9 @@ class ParallelEngine:
                         iteration, delay_model)
                 else:
                     dm_i = delay_model
-                t0 = time.perf_counter() if sink is not None else 0.0
+                t0 = time.perf_counter() if clock is not None else 0.0
+                if clock is not None:
+                    clock.start()
                 rw0, ww0 = log.read_write, log.write_write
                 active_ids = frontier_ids
                 # Per-iteration direction decision (pure function of the
@@ -717,6 +848,8 @@ class ParallelEngine:
                 if dir_i == "push":
                     push_iterations += 1
                 plan = plan_cache.plan(active_ids, dm_i)
+                if clock is not None:
+                    clock.lap("plan_build")
                 # Publish the plan and the pre-iteration state snapshot.
                 np.copyto(sh["thr_v"], plan.thr_v)
                 np.copyto(sh["pi_v"], plan.pi_v)
@@ -734,6 +867,8 @@ class ParallelEngine:
                     sh["ws:" + f].fill(False)
                     sh["wd:" + f].fill(False)
                 sh["flags"].fill(0)
+                sh["phase_w"].fill(0.0)
+                sh["wcount"].fill(0)
                 # Batched barrier message: the delay model rides along
                 # only when it changed (it is pickled per send; the rest
                 # of the iteration state travels through the segment).
@@ -742,9 +877,12 @@ class ParallelEngine:
                     self._last_dm = dm_i
                 for conn in self._conns:
                     try:
-                        conn.send(("iter", payload, dir_i == "push"))
+                        conn.send(("iter", payload, dir_i == "push",
+                                   iteration, prof))
                     except (BrokenPipeError, OSError):
                         self._raise_worker_failure(iteration)
+                if clock is not None:
+                    clock.lap("shm_sync")
                 # Fix-point rounds: barrier A (pass-k writes visible),
                 # barrier B (change flags posted); master counts rounds.
                 passes = 1
@@ -752,6 +890,8 @@ class ParallelEngine:
                 while True:
                     self._barrier_sync(iteration)  # A
                     self._barrier_sync(iteration)  # B
+                    if clock is not None:
+                        clock.lap("barrier_wait")
                     if not sh["flags"].any():
                         break
                     if passes > limit:  # pragma: no cover - DAG bound
@@ -764,6 +904,9 @@ class ParallelEngine:
                     passes += 1
                 self._barrier_sync(iteration)  # C: counters final
                 total_passes += passes
+                if clock is not None:
+                    clock.lap("barrier_wait")
+                    epoch += 2 * passes + 1
 
                 # Reduce the per-worker conflict counters (Lemma-1/2
                 # classes partitioned by edge ownership, see _Worker).
@@ -827,6 +970,45 @@ class ParallelEngine:
                 if supervisor is not None:
                     next_ids = supervisor.post_iteration(
                         iteration, state=state, schedule=next_ids)
+                if clock is not None:
+                    # The barrier fold: per-worker phase rows and counter
+                    # deltas written before C, read after — the same
+                    # single-writer protocol as ``conf``.  Counter deltas
+                    # are *summed* across workers (they are per-iteration
+                    # deltas); per-worker detail survives via labels and
+                    # the ``worker_phases`` rows.
+                    clock.lap("lemma2_commit")
+                    wall = time.perf_counter() - t0
+                    phases = clock.drain()
+                    worker_phases = [
+                        {name: float(sh["phase_w"][w, k])
+                         for k, name in enumerate(_WPHASES)
+                         if sh["phase_w"][w, k]}
+                        for w in range(p)
+                    ]
+                    kp = int(sh["wcount"][:, 0].sum())
+                    rv = int(sh["wcount"][:, 1].sum())
+                    if sink is not None:
+                        sink.counter("worker.kernel_passes").inc(kp)
+                        sink.counter("worker.repaired_vertices").inc(rv)
+                    if metrics is not None:
+                        record_iteration_metrics(
+                            metrics, "process", phases=phases,
+                            num_active=int(active_ids.size),
+                            frontier_size=int(next_ids.size),
+                            read_write=log.read_write - rw0,
+                            write_write=log.write_write - ww0,
+                            wall_time_s=wall,
+                        )
+                        for w in range(p):
+                            metrics.counter(
+                                "repro_worker_kernel_passes_total",
+                                worker=str(w)).inc(int(sh["wcount"][w, 0]))
+                            metrics.counter(
+                                "repro_worker_barrier_wait_seconds_total",
+                                worker=str(w)).inc(
+                                float(sh["phase_w"][
+                                    w, _WPHASES.index("barrier_wait")]))
                 if sink is not None:
                     it = stats[-1]
                     sink.iteration(
@@ -836,10 +1018,14 @@ class ParallelEngine:
                         reads_per_thread=it.reads_per_thread,
                         writes_per_thread=it.writes_per_thread,
                         frontier_size=int(next_ids.size),
-                        wall_time_s=time.perf_counter() - t0,
+                        wall_time_s=wall,
                         read_write=log.read_write - rw0,
                         write_write=log.write_write - ww0,
                         fixpoint_passes=passes,
+                        phases=phases,
+                        barrier_epoch=epoch,
+                        worker_phases=worker_phases,
+                        peak_rss_bytes=peak_rss_bytes(),
                         **({"direction": dir_i}
                            if direction != "pull" else {}),
                     )
@@ -879,5 +1065,7 @@ class ParallelEngine:
         if record is not None:
             record.end_run(result)
         if sink is not None:
+            if metrics is not None:
+                sink.metrics_snapshot(metrics)
             sink.end_run(result)
         return result

@@ -57,6 +57,7 @@ import time
 import numpy as np
 
 from ..graph import DiGraph
+from ..obs.metrics import PhaseClock, peak_rss_bytes, record_iteration_metrics
 from .atomicity import AtomicityPolicy
 from .config import EngineConfig
 from .conflicts import ConflictLog
@@ -727,7 +728,7 @@ class VectorizedNondetEngine:
 
     def _push_iteration(self, kernel, graph, state, plan_cache, dm_i,
                         active_ids, written, in_order, out_degrees, log,
-                        record, iteration, p, total_passes):
+                        record, iteration, p, total_passes, clock=None):
         """One racy iteration in the sparse *push* direction.
 
         Executes the identical iteration :meth:`_pull_iteration` would —
@@ -751,8 +752,12 @@ class VectorizedNondetEngine:
         )
         prev_seen_s = {f: ctx.committed[f][eidx] for f in written}
         prev_seen_d = {f: ctx.committed[f][eidx] for f in written}
+        if clock is not None:
+            clock.lap("plan_build")
         kernel.run_push_pass(ctx, active_ids, es_all, ed_all)
         total_passes += 1
+        if clock is not None:
+            clock.lap("push_scatter")
         for _ in range(int(active_ids.size) + 2):
             dirty = np.zeros(n, dtype=bool)
             changed_any = False
@@ -791,6 +796,8 @@ class VectorizedNondetEngine:
             total_passes += 1
         else:  # pragma: no cover - DAG depth bound violated
             raise RuntimeError("nondet fix-point failed to converge")
+        if clock is not None:
+            clock.lap("repair_pass")
 
         next_mask = np.zeros(n, dtype=bool)
         if record is not None:
@@ -853,7 +860,7 @@ class VectorizedNondetEngine:
 
     def _pull_iteration(self, kernel, graph, state, plan_cache, dm_i,
                         active_ids, written, in_order, out_degrees, log,
-                        record, iteration, p, total_passes):
+                        record, iteration, p, total_passes, clock=None):
         """One racy iteration in the dense *pull* direction (all m edges)."""
         n = graph.num_vertices
         src, dst = graph.edge_src, graph.edge_dst
@@ -870,6 +877,8 @@ class VectorizedNondetEngine:
         )
         prev_seen_s = {f: ctx.committed[f] for f in written}
         prev_seen_d = {f: ctx.committed[f] for f in written}
+        if clock is not None:
+            clock.lap("plan_build")
         # Pass 1 computes every active vertex against the committed
         # snapshot; repair passes recompute only vertices whose seen
         # inputs changed.  Visibility implies strict precedence in
@@ -878,6 +887,8 @@ class VectorizedNondetEngine:
         # semantics in at most depth+1 passes.
         kernel.run_pass(ctx, active)
         total_passes += 1
+        if clock is not None:
+            clock.lap("gather")
         for _ in range(int(active_ids.size) + 2):
             dirty = np.zeros(n, dtype=bool)
             changed_any = False
@@ -904,6 +915,8 @@ class VectorizedNondetEngine:
             total_passes += 1
         else:  # pragma: no cover - DAG depth bound violated
             raise RuntimeError("nondet fix-point failed to converge")
+        if clock is not None:
+            clock.lap("repair_pass")
 
         # Barrier: Lemma-2 winners, conflict totals, work profile.
         next_mask = np.zeros(n, dtype=bool)
@@ -984,6 +997,7 @@ class VectorizedNondetEngine:
         record=None,
         supervisor=None,
         direction: str = "pull",
+        metrics=None,
     ) -> RunResult:
         config = config or EngineConfig()
         sink = telemetry
@@ -1048,6 +1062,11 @@ class VectorizedNondetEngine:
         # reads issued after it.
         plan_cache = PlanCache(graph, p, policy=config.dispatch,
                                jitter=config.jitter, rng=jitter_rng)
+        # Phase attribution is pure timing (one perf_counter lap per
+        # phase boundary, per iteration): it consumes no RNG stream and
+        # touches no state, so profiled runs stay bit-identical.
+        clock = PhaseClock() if (sink is not None or metrics is not None) \
+            else None
         while iteration < config.max_iterations:
             if frontier_ids.size == 0:
                 converged = True
@@ -1057,7 +1076,9 @@ class VectorizedNondetEngine:
                 dm_i = supervisor.iteration_delay_model(iteration, delay_model)
             else:
                 dm_i = delay_model
-            t0 = time.perf_counter() if sink is not None else 0.0
+            t0 = time.perf_counter() if clock is not None else 0.0
+            if clock is not None:
+                clock.start()
             rw0, ww0 = log.read_write, log.write_write
             passes0 = total_passes
             active_ids = frontier_ids
@@ -1075,7 +1096,7 @@ class VectorizedNondetEngine:
             ctx, next_mask, upd_t, reads_t, writes_t, total_passes = step(
                 kernel, graph, state, plan_cache, dm_i, active_ids,
                 written, in_order, out_degrees, log, record,
-                iteration, p, total_passes,
+                iteration, p, total_passes, clock,
             )
             stats.append(
                 IterationStats(
@@ -1094,6 +1115,22 @@ class VectorizedNondetEngine:
             if supervisor is not None:
                 next_ids = supervisor.post_iteration(
                     iteration, state=state, schedule=next_ids)
+            if clock is not None:
+                # Everything since the repair loop — Lemma-2 winners,
+                # conflict totals, work profile, vertex writeback,
+                # frontier materialization — is the commit barrier.
+                clock.lap("lemma2_commit")
+                wall = time.perf_counter() - t0
+                phases = clock.drain()
+                if metrics is not None:
+                    record_iteration_metrics(
+                        metrics, "vectorized", phases=phases,
+                        num_active=int(active_ids.size),
+                        frontier_size=int(next_ids.size),
+                        read_write=log.read_write - rw0,
+                        write_write=log.write_write - ww0,
+                        wall_time_s=wall,
+                    )
             if sink is not None:
                 it = stats[-1]
                 sink.iteration(
@@ -1103,10 +1140,12 @@ class VectorizedNondetEngine:
                     reads_per_thread=it.reads_per_thread,
                     writes_per_thread=it.writes_per_thread,
                     frontier_size=int(next_ids.size),
-                    wall_time_s=time.perf_counter() - t0,
+                    wall_time_s=wall,
                     read_write=log.read_write - rw0,
                     write_write=log.write_write - ww0,
                     fixpoint_passes=total_passes - passes0,
+                    phases=phases,
+                    peak_rss_bytes=peak_rss_bytes(),
                     **({"direction": dir_i} if direction != "pull" else {}),
                 )
             if observer is not None:
@@ -1137,5 +1176,7 @@ class VectorizedNondetEngine:
         if record is not None:
             record.end_run(result)
         if sink is not None:
+            if metrics is not None:
+                sink.metrics_snapshot(metrics)
             sink.end_run(result)
         return result

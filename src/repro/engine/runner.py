@@ -62,6 +62,7 @@ def run(
     backend: str | None = None,
     direction: str = "pull",
     telemetry=None,
+    metrics=None,
     record=None,
     supervisor=None,
     faults=None,
@@ -158,6 +159,18 @@ def run(
         when the vectorized dispatch falls back, the reasons are
         recorded as a ``vectorized_fallback`` event.  ``None`` (the
         default) costs one pointer check per iteration.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  Nondeterministic
+        mode only.  Every nondeterministic engine (object, vectorized,
+        process backend, out-of-core) records per-iteration phase
+        timers, conflict/update counters, and iteration-latency
+        histograms into it — standing totals that accumulate *across*
+        runs and merge across processes, complementing the per-run
+        ``telemetry=`` spans.  When both sinks are given, a
+        ``{"type": "metrics"}`` snapshot record is appended to the
+        telemetry stream just before ``run_end``.  ``None`` (the
+        default) costs one pointer check per iteration.  Does not
+        compose with the fault-tolerance kwargs yet.
     record:
         Optional flight recorder capturing event-level race provenance:
         every contended edge access becomes a provenance event —
@@ -258,6 +271,8 @@ def run(
         raise ValueError(
             f"direction={direction!r} not understood: use 'pull', 'push' or 'auto'"
         )
+    if metrics is not None and mode != "nondeterministic":
+        raise ValueError("metrics= applies to mode='nondeterministic' only")
     if direction != "pull" and mode != "nondeterministic":
         raise ValueError("direction= applies to mode='nondeterministic' only")
     if direction != "pull" and backend is None and not vectorized:
@@ -290,6 +305,11 @@ def run(
             raise ValueError(
                 "direction= does not compose with the fault-tolerance "
                 "kwargs yet; run with direction='pull' (the default)"
+            )
+        if metrics is not None:
+            raise ValueError(
+                "metrics= does not compose with the fault-tolerance "
+                "kwargs yet; attach a Telemetry sink instead"
             )
         if supervisor is not None:
             raise ValueError(
@@ -332,7 +352,7 @@ def run(
         return graph.nondet_runner().run(
             program, config, state=state, observer=observer,
             telemetry=telemetry, record=record, supervisor=supervisor,
-            backend=backend,
+            backend=backend, metrics=metrics,
         )
     try:
         engine_cls = ENGINES[mode]
@@ -345,7 +365,7 @@ def run(
         return ParallelEngine().run(
             program, graph, config, state=state, observer=observer,
             telemetry=telemetry, record=record, supervisor=supervisor,
-            direction=direction,
+            direction=direction, metrics=metrics,
         )
     if vectorized:
         if mode != "nondeterministic":
@@ -361,7 +381,7 @@ def run(
             return VectorizedNondetEngine().run(
                 program, graph, config, state=state, observer=observer,
                 telemetry=telemetry, record=record, supervisor=supervisor,
-                direction=direction,
+                direction=direction, metrics=metrics,
             )
         if vectorized == "require":
             raise ValueError(
@@ -376,6 +396,10 @@ def run(
         return engine_cls().run(program, graph, config, state=state,
                                 telemetry=telemetry, record=record,
                                 supervisor=supervisor)
+    # metrics= reaches only the nondeterministic object engine here (the
+    # mode check above rejects it elsewhere); other engines don't take
+    # the kwarg, so pass it conditionally.
+    extra_kw = {"metrics": metrics} if metrics is not None else {}
     return engine_cls().run(program, graph, config, state=state, observer=observer,
                             telemetry=telemetry, record=record,
-                            supervisor=supervisor)
+                            supervisor=supervisor, **extra_kw)

@@ -6,13 +6,24 @@ appends one timestamped entry per suite instead of overwriting the
 file, so perf history accumulates across PRs and regressions show up as
 a bend in the trajectory, not as silently replaced numbers.
 
-Trajectory format (``bench-trajectory/v1``)::
+Trajectory format (``bench-trajectory/v2``)::
 
-    {"schema": "bench-trajectory/v1",
+    {"schema": "bench-trajectory/v2",
      "entries": [
         {"timestamp": "...", "suite": "parallel",
          "host": {"cpus": 1, ...}, "results": {...}},
         ...]}
+
+v2 is a **backfill-safe** widening of v1: each timed cell additionally
+carries a ``"phases"`` breakdown (seconds per
+:data:`~repro.obs.metrics.PHASES` phase, summed over the run's
+iterations).  Old v1 entries without ``phases`` still parse — readers
+treat the key as optional — but *appending* a v2 entry to a v1 file
+would leave one file claiming one schema while holding cells of both
+shapes, so :func:`append_trajectory` refuses mixed-schema appends
+unless ``allow_schema_skew=True`` explicitly opts in (the file is then
+upgraded in place: old entries are kept verbatim and the header says
+v2).
 
 A legacy single-snapshot file (the pre-trajectory ``BENCH_nondet.json``
 format) is adopted on first append: the old payload becomes entry 0,
@@ -42,17 +53,17 @@ import json
 import os
 import pathlib
 import platform
-import resource
-import sys
 import tempfile
 import time
 
 from ..algorithms import BFS, SSSP, PageRank, SpMV, WeaklyConnectedComponents
 from ..engine import EngineConfig, run
 from ..graph import generators
+from ..obs.metrics import peak_rss_bytes  # noqa: F401 - re-exported
 
 __all__ = [
     "SCHEMA",
+    "SCHEMA_V1",
     "SUITES",
     "append_trajectory",
     "host_fingerprint",
@@ -62,7 +73,12 @@ __all__ = [
     "run_bench",
 ]
 
-SCHEMA = "bench-trajectory/v1"
+SCHEMA = "bench-trajectory/v2"
+
+#: Previous trajectory schema (entries lack the ``phases`` breakdown).
+#: Still readable everywhere; appending to a v1 file needs an explicit
+#: ``allow_schema_skew=True``.
+SCHEMA_V1 = "bench-trajectory/v1"
 
 #: Repo root (the BENCH_*.json home) — three levels above this module.
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
@@ -86,12 +102,20 @@ def host_fingerprint() -> dict:
     }
 
 
-def append_trajectory(path, entry: dict) -> dict:
+def append_trajectory(path, entry: dict, *,
+                      allow_schema_skew: bool = False) -> dict:
     """Append ``entry`` to the trajectory at ``path`` (atomic, adoptive).
 
     Returns the full payload written.  A missing file starts a fresh
     trajectory; an existing non-trajectory JSON payload (legacy
     snapshot) is preserved as entry 0 with ``"legacy": true``.
+
+    A file carrying an older trajectory schema (v1: cells without the
+    ``phases`` breakdown) is refused by default — one file should not
+    silently hold entries of two shapes.  Pass
+    ``allow_schema_skew=True`` to upgrade it in place: old entries are
+    kept verbatim (readers treat ``phases`` as optional) and the header
+    becomes the current schema.
     """
     path = pathlib.Path(path)
     payload = {"schema": SCHEMA, "entries": []}
@@ -99,6 +123,17 @@ def append_trajectory(path, entry: dict) -> dict:
         old = json.loads(path.read_text())
         if isinstance(old, dict) and old.get("schema") == SCHEMA:
             payload = old
+        elif isinstance(old, dict) and old.get("schema") == SCHEMA_V1:
+            if not allow_schema_skew:
+                raise ValueError(
+                    f"{path} holds a {SCHEMA_V1} trajectory; appending a "
+                    f"{SCHEMA} entry would mix schemas in one file. "
+                    "Re-run with allow_schema_skew=True (CLI: "
+                    "`repro bench --allow-schema-skew`) to upgrade the "
+                    "file in place, keeping the old entries."
+                )
+            payload = dict(old)
+            payload["schema"] = SCHEMA
         else:
             payload["entries"].append({"legacy": True, "results": old})
     entry = dict(entry)
@@ -115,28 +150,26 @@ def append_trajectory(path, entry: dict) -> dict:
     return payload
 
 
-def peak_rss_bytes() -> int:
-    """Process-lifetime resident-set high-water mark, in bytes.
-
-    ``ru_maxrss`` is monotone over the process life, so within one
-    ``repro bench`` invocation the number attached to a cell is "the
-    peak so far", not the peak of that cell alone; the isolated
-    bounded-RAM measurement lives in the subprocess-based RLIMIT test
-    and the EXPERIMENTS.md scale run.
-    """
-    ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return int(ru) * (1 if sys.platform == "darwin" else 1024)
-
-
 def _timed(factory, graph, config: EngineConfig, **run_kwargs) -> dict:
+    from ..obs import Telemetry
     from ..storage.shards import ShardStore
 
     residency = "out-of-core" if isinstance(graph, ShardStore) else "in-memory"
+    # A buffered (no trace file) sink turns on the engines' phase
+    # clocks; the v2 cell sums the per-iteration phase dicts.  Within
+    # one ``repro bench`` invocation ``peak_rss_bytes`` is "the peak so
+    # far", not the cell's own footprint — the isolated bounded-RAM
+    # measurement lives in the RLIMIT test and the EXPERIMENTS.md run.
+    sink = Telemetry()
     t0 = time.perf_counter()
     res = run(factory(), graph, mode="nondeterministic", config=config,
-              **run_kwargs)
+              telemetry=sink, **run_kwargs)
     elapsed = time.perf_counter() - t0
     updates = sum(s.num_active for s in res.iterations)
+    phases: dict[str, float] = {}
+    for span in sink.spans:
+        for name, seconds in (span.extra.get("phases") or {}).items():
+            phases[name] = phases.get(name, 0.0) + float(seconds)
     out = {
         "seconds": elapsed,
         "iterations": res.num_iterations,
@@ -145,6 +178,7 @@ def _timed(factory, graph, config: EngineConfig, **run_kwargs) -> dict:
         "converged": res.converged,
         "residency": residency,
         "peak_rss_bytes": peak_rss_bytes(),
+        "phases": phases,
     }
     if "io" in res.extra:
         out["io"] = res.extra["io"]
@@ -283,14 +317,18 @@ SUITES = {
 
 
 def run_bench(suites=("nondet", "parallel"), *, out_dir=None,
-              progress=None, **suite_kwargs) -> dict[str, dict]:
+              progress=None, allow_schema_skew=False,
+              **suite_kwargs) -> dict[str, dict]:
     """Run the named suites and append one trajectory entry each.
 
     Returns ``{suite: payload-written}``.  ``suite_kwargs`` (e.g.
     ``scales=``, ``workers=``) are forwarded to every suite that
-    accepts them.
+    accepts them.  ``allow_schema_skew=True`` permits appending to a
+    file still carrying the previous trajectory schema (see
+    :func:`append_trajectory`).
     """
     out_dir = pathlib.Path(out_dir) if out_dir is not None else REPO_ROOT
+    out_dir.mkdir(parents=True, exist_ok=True)
     written: dict[str, dict] = {}
     for suite in suites:
         try:
@@ -307,5 +345,6 @@ def run_bench(suites=("nondet", "parallel"), *, out_dir=None,
         }
         results = runner(progress=progress, **accepted)
         entry = {"suite": suite, "results": results}
-        written[suite] = append_trajectory(out_dir / filename, entry)
+        written[suite] = append_trajectory(out_dir / filename, entry,
+                                           allow_schema_skew=allow_schema_skew)
     return written

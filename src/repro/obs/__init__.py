@@ -26,6 +26,14 @@ divergence explainer in :mod:`repro.analysis.explain` and the
 validate and condense any recorded trace.
 """
 
+from .merge import merge_worker_traces, phase_report, phase_table
+from .metrics import (
+    PHASES,
+    MetricsRegistry,
+    PhaseClock,
+    peak_rss_bytes,
+    record_iteration_metrics,
+)
 from .recorder import RECORD_POLICIES, Recorder
 from .telemetry import Counter, Gauge, IterationSpan, Telemetry
 from .trace import (
@@ -41,11 +49,19 @@ __all__ = [
     "Counter",
     "Gauge",
     "IterationSpan",
+    "MetricsRegistry",
+    "PHASES",
+    "PhaseClock",
     "RECORD_POLICIES",
     "Recorder",
     "Telemetry",
     "lint_trace",
+    "merge_worker_traces",
+    "peak_rss_bytes",
+    "phase_report",
+    "phase_table",
     "read_trace",
+    "record_iteration_metrics",
     "stats_from_trace",
     "stitch_traces",
     "summarize_trace",

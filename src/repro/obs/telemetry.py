@@ -136,6 +136,14 @@ class Telemetry:
         Optional progress callback ``on_iteration(span)`` fired after
         each iteration is recorded — the opt-in progress-bar hook.  It
         runs on the engine's thread; keep it cheap.
+    worker_dir:
+        When given alongside ``trace_path``, process-backend engines
+        (``backend="process"``, out-of-core pools) direct each OS worker
+        to stream its own JSONL segment (``worker-<w>.jsonl``) into this
+        directory.  ``repro trace merge`` (:mod:`repro.obs.merge`)
+        interleaves the segments with the master trace on
+        (iteration, barrier-epoch) keys.  Single-process engines ignore
+        it.
 
     A sink may be reused across runs only after :meth:`reset`; passing a
     fresh sink per run is the normal pattern.
@@ -146,9 +154,11 @@ class Telemetry:
         *,
         trace_path: str | None = None,
         on_iteration: Callable[[IterationSpan], None] | None = None,
+        worker_dir: str | None = None,
     ):
         self._trace_path = trace_path
         self._on_iteration = on_iteration
+        self.worker_dir = worker_dir
         self._fh: IO[str] | None = None
         self._trace_opened = False
         self.records: list[dict] = []
@@ -261,6 +271,18 @@ class Telemetry:
                         "error": repr(exc),
                     }
                 )
+
+    def metrics_snapshot(self, registry: Any) -> None:
+        """Embed a metrics-registry snapshot in the trace stream.
+
+        Engines call this just before :meth:`end_run` when a
+        :class:`~repro.obs.metrics.MetricsRegistry` is attached, so the
+        trace carries the run's standing totals as a
+        ``{"type": "metrics"}`` record.  Trace readers treat unknown
+        record types as pass-through, so the record is invisible to
+        ``stats_from_trace`` and clean under ``lint_trace``.
+        """
+        self._emit(registry.snapshot())
 
     def end_run(self, result: "RunResult | None" = None) -> None:
         """Mark the end of a run, dump counters/gauges, close the trace."""

@@ -415,17 +415,26 @@ class ShardStore:
 
 @dataclass
 class IOStats:
-    """Bytes moved by an out-of-core execution (8-byte values assumed)."""
+    """Bytes moved by an out-of-core execution (8-byte values assumed).
+
+    ``seconds`` is wall time spent inside pread/pwrite calls
+    (:class:`~repro.engine.nondet_outofcore.FileArray` accumulates it);
+    the phase profiler re-assigns it from the enclosing compute phase to
+    ``shard_io`` so the per-iteration phase breakdown separates I/O from
+    kernel time.
+    """
 
     bytes_read: int = 0
     bytes_written: int = 0
     interval_loads: int = 0
+    seconds: float = 0.0
 
     def as_dict(self) -> dict:
         return {
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
             "interval_loads": self.interval_loads,
+            "seconds": self.seconds,
         }
 
 

@@ -1,0 +1,108 @@
+"""Benchmark-trajectory schema v2: backfill-safe widening.
+
+v2 entries carry a ``phases`` breakdown per timed cell; v1 files on
+disk must keep parsing, and appending a v2 entry to a v1 file must be
+an explicit, flagged decision — never a silent mix.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.benchtrack import (
+    SCHEMA,
+    SCHEMA_V1,
+    append_trajectory,
+    run_nondet_suite,
+)
+
+
+def _v1_payload():
+    return {
+        "schema": SCHEMA_V1,
+        "entries": [{
+            "timestamp": "2026-07-01T00:00:00+00:00",
+            "host": {"cpus": 8},
+            "results": {"scales": {"8": {"algorithms": {
+                "wcc": {"vectorized": {"seconds": 0.5, "iterations": 3}},
+            }}}},
+        }],
+    }
+
+
+def _entry():
+    return {"results": {"scales": {}}}
+
+
+class TestSchemaSkew:
+    def test_fresh_file_gets_v2_header(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        payload = append_trajectory(path, _entry())
+        assert payload["schema"] == SCHEMA
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+
+    def test_v1_append_refused_by_default(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(_v1_payload()))
+        with pytest.raises(ValueError, match="allow_schema_skew"):
+            append_trajectory(path, _entry())
+        # Refusal is side-effect free: the file is untouched.
+        assert json.loads(path.read_text())["schema"] == SCHEMA_V1
+        assert len(json.loads(path.read_text())["entries"]) == 1
+
+    def test_refusal_names_the_cli_flag(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(_v1_payload()))
+        with pytest.raises(ValueError, match="--allow-schema-skew"):
+            append_trajectory(path, _entry())
+
+    def test_skew_flag_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        v1 = _v1_payload()
+        path.write_text(json.dumps(v1))
+        payload = append_trajectory(path, _entry(), allow_schema_skew=True)
+        assert payload["schema"] == SCHEMA
+        assert len(payload["entries"]) == 2
+        # Old entries are preserved verbatim — no rewriting, no phases
+        # back-filled.
+        assert payload["entries"][0] == v1["entries"][0]
+        assert "phases" not in payload["entries"][0]["results"][
+            "scales"]["8"]["algorithms"]["wcc"]["vectorized"]
+
+    def test_v2_appends_stay_unflagged(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_trajectory(path, _entry())
+        payload = append_trajectory(path, _entry())
+        assert payload["schema"] == SCHEMA
+        assert len(payload["entries"]) == 2
+
+    def test_legacy_snapshot_adopted(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"some": "old snapshot"}))
+        payload = append_trajectory(path, _entry())
+        assert payload["schema"] == SCHEMA
+        assert payload["entries"][0]["legacy"] is True
+
+
+class TestPhasesInEntries:
+    def test_timed_cells_carry_phase_breakdown(self):
+        results = run_nondet_suite(scales=(4,), object_max_scale=4)
+        cell = results["scales"]["4"]["algorithms"]["wcc"]
+        for kind in ("vectorized", "object"):
+            phases = cell[kind]["phases"]
+            assert phases, f"{kind} cell has no phases"
+            assert all(v >= 0.0 for v in phases.values())
+            assert "gather" in phases
+            # The breakdown accounts for (most of) the measured time.
+            assert sum(phases.values()) <= cell[kind]["seconds"] * 1.1 + 1e-3
+
+
+def test_checked_in_trajectories_are_v2():
+    """The repo's own BENCH files were migrated with entries intact."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    for name in ("BENCH_nondet.json", "BENCH_parallel.json"):
+        payload = json.loads((root / name).read_text())
+        assert payload["schema"] == SCHEMA
+        assert payload["entries"], name

@@ -119,7 +119,7 @@ class TestBackendAndBench:
         assert code == 0
         assert "BENCH_nondet.json" in out
         payload = json.loads((tmp_path / "BENCH_nondet.json").read_text())
-        assert payload["schema"] == "bench-trajectory/v1"
+        assert payload["schema"] == "bench-trajectory/v2"
         assert len(payload["entries"]) == 1
         assert payload["entries"][0]["host"]["cpus"]
         # appending, not overwriting: a second run grows the trajectory
