@@ -26,6 +26,13 @@ Commands
 ``report --phases TRACE``
     Render the phase breakdown of a finished trace as a table
     (``report`` without ``--phases`` regenerates the evaluation).
+``serve --data-dir DIR``
+    Run the always-on graph service: journaled job lifecycle, standing
+    named graphs, supervised concurrent jobs, crash recovery with
+    bit-identical resume.  SIGTERM drains to the next barrier
+    checkpoint; ``kill -9`` loses nothing the journal recorded.
+``client [--url URL] {submit,status,watch,result,cancel,jobs,graphs}``
+    Talk to a running service over HTTP.
 
 Examples
 --------
@@ -46,6 +53,10 @@ Examples
     python -m repro trace merge t.jsonl -o merged.jsonl
     python -m repro report --phases merged.jsonl
     python -m repro top t.jsonl --once
+    python -m repro serve --data-dir svc --port 0
+    python -m repro client --url http://127.0.0.1:8750 graphs \
+        --register web --spec '{"dataset":"web-google-mini","scale":12}'
+    python -m repro client submit WCC --graph web --wait
 """
 
 from __future__ import annotations
@@ -307,6 +318,60 @@ def _build_parser() -> argparse.ArgumentParser:
     t.add_argument("-o", "--out", required=True, metavar="PATH",
                    help="write the merged JSONL trace to PATH")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the always-on graph service (journaled, crash-safe)")
+    p.add_argument("--data-dir", required=True, metavar="DIR",
+                   help="journal, graph registry, and job scratch root")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8750,
+                   help="TCP port (0 binds an ephemeral port and prints it)")
+    p.add_argument("--max-concurrent", type=int, default=2,
+                   help="jobs running at once (default 2)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission control: max queued+running jobs")
+
+    p = sub.add_parser("client", help="talk to a running repro service")
+    p.add_argument("--url", default="http://127.0.0.1:8750",
+                   help="service base URL")
+    csub = p.add_subparsers(dest="client_command", required=True)
+    c = csub.add_parser("submit", help="submit a job and print its id")
+    c.add_argument("algorithm", help="algorithm name (see 'repro run')")
+    c.add_argument("--graph", required=True,
+                   help="registered graph name, or dataset name with --scale")
+    c.add_argument("--scale", type=int, default=None,
+                   help="treat --graph as a generator dataset at this scale")
+    c.add_argument("--seed", type=int, default=7, help="dataset seed")
+    c.add_argument("--mode", default="nondeterministic")
+    c.add_argument("--threads", type=int, default=None)
+    c.add_argument("--run-seed", type=int, default=None,
+                   help="engine seed (config.seed)")
+    c.add_argument("--checkpoint-every", type=int, default=1)
+    c.add_argument("--record", default=None,
+                   choices=["conflicts", "all", "reservoir"],
+                   help="recorder provenance policy")
+    c.add_argument("--deadline-s", type=float, default=None)
+    c.add_argument("--throttle-s", type=float, default=0.0,
+                   help="pacing sleep per iteration barrier (demos/tests)")
+    c.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal")
+    c = csub.add_parser("status", help="print one job's status as JSON")
+    c.add_argument("job_id")
+    c = csub.add_parser("watch", help="poll a job until it is terminal")
+    c.add_argument("job_id")
+    c.add_argument("--timeout", type=float, default=300.0)
+    c = csub.add_parser("result", help="print a finished job's result")
+    c.add_argument("job_id")
+    c = csub.add_parser("cancel", help="request cancellation of a job")
+    c.add_argument("job_id")
+    c = csub.add_parser("jobs", help="list all jobs")
+    c = csub.add_parser("graphs", help="list or register named graphs")
+    c.add_argument("--register", default=None, metavar="NAME",
+                   help="register NAME with the spec in --spec")
+    c.add_argument("--spec", default=None, metavar="JSON",
+                   help='graph spec, e.g. \'{"dataset":"web-google-mini",'
+                        '"scale":12}\'')
+
     return parser
 
 
@@ -371,6 +436,77 @@ def _cmd_trace(args) -> int:
     report = explain_trace_files(args.trace_a, args.trace_b)
     print(report.render())
     return 0 if report.first is None else 3
+
+
+def _cmd_client(args) -> int:
+    import json as _json
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+
+    def show(payload) -> None:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+
+    try:
+        if args.client_command == "submit":
+            graph: str | dict = args.graph
+            if args.scale is not None:
+                graph = {"dataset": args.graph, "scale": args.scale,
+                         "seed": args.seed}
+            config = {}
+            if args.threads is not None:
+                config["threads"] = args.threads
+            if args.run_seed is not None:
+                config["seed"] = args.run_seed
+            spec = {"algorithm": args.algorithm, "graph": graph,
+                    "config": config, "mode": args.mode,
+                    "checkpoint_every": args.checkpoint_every,
+                    "record": args.record, "deadline_s": args.deadline_s,
+                    "throttle_s": args.throttle_s}
+            job_id = client.submit(spec)
+            print(job_id)
+            if args.wait:
+                status = client.wait(job_id)
+                show(status)
+                return 0 if status["state"] == "done" else 4
+        elif args.client_command == "status":
+            show(client.status(args.job_id))
+        elif args.client_command == "watch":
+            last = [None]
+
+            def on_status(status):
+                line = (f"{status['job_id']} {status['state']} "
+                        f"iter={status['iteration']} "
+                        f"ckpt={status['checkpoint_iteration']}")
+                if line != last[0]:
+                    print(line, flush=True)
+                    last[0] = line
+
+            status = client.wait(args.job_id, timeout=args.timeout,
+                                 on_status=on_status)
+            return 0 if status["state"] == "done" else 4
+        elif args.client_command == "result":
+            show(client.result(args.job_id))
+        elif args.client_command == "cancel":
+            show(client.cancel(args.job_id))
+        elif args.client_command == "jobs":
+            show(client.jobs())
+        elif args.client_command == "graphs":
+            if args.register is not None:
+                if not args.spec:
+                    print("--register needs --spec JSON", file=sys.stderr)
+                    return 2
+                client.register_graph(args.register,
+                                      _json.loads(args.spec))
+            show(client.graphs())
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 5
+    return 0
 
 
 def _load_trace_with_workers(trace: str, worker_dir: str | None):
@@ -683,6 +819,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     elif args.command == "top":
         return _cmd_top(args)
+    elif args.command == "serve":
+        from .service.http import serve
+
+        return serve(args.data_dir, host=args.host, port=args.port,
+                     max_concurrent=args.max_concurrent,
+                     max_queue=args.max_queue)
+    elif args.command == "client":
+        return _cmd_client(args)
     return 0
 
 

@@ -72,6 +72,7 @@ def run(
     checkpoint_every: int = 1,
     resume_from=None,
     deadline_s: float | None = None,
+    interrupt=None,
     **config_kwargs,
 ) -> RunResult:
     """Execute ``program`` on ``graph`` under the chosen execution model.
@@ -208,6 +209,15 @@ def run(
     deadline_s:
         Wall-clock budget for the run; breaches raise through the
         degradation policy.
+    interrupt:
+        Zero-argument callable polled at every iteration barrier, after
+        that barrier's checkpoint and restart token are taken.  A truthy
+        return value (the reason string) stops the run by raising
+        :class:`~repro.robust.RunInterrupted` — the cooperative stop the
+        always-on service uses for graceful drain and job cancellation:
+        because the raise happens after the checkpoint, resuming from it
+        continues bit-identically.  Routes the run through the
+        supervised loop like the other fault-tolerance kwargs.
 
     Passing any of ``faults``/``watchdog``/``policy``/``checkpoint``/
     ``resume_from``/``deadline_s`` routes the run through
@@ -293,7 +303,8 @@ def run(
         _require_positive("deadline_s", deadline_s)
     robust = any(
         x is not None
-        for x in (faults, watchdog, policy, checkpoint, resume_from, deadline_s)
+        for x in (faults, watchdog, policy, checkpoint, resume_from,
+                  deadline_s, interrupt)
     )
     if robust or checkpoint_every != 1:
         _require_positive("checkpoint_every", checkpoint_every, integer=True)
@@ -330,6 +341,7 @@ def run(
             faults=faults, watchdog=watchdog, policy=policy,
             checkpoint=checkpoint, checkpoint_every=checkpoint_every,
             resume_from=resume_from, deadline_s=deadline_s,
+            interrupt=interrupt,
         )
     # Out-of-core dispatch: a ShardStore stands in for the graph and
     # routes the run through its interval-sliced runner (always the

@@ -27,6 +27,7 @@ from .errors import (
     ConvergenceFailure,
     InjectedCrash,
     RobustError,
+    RunInterrupted,
     WatchdogAlarm,
     WorkerDied,
     WorkerTimeout,
@@ -47,6 +48,7 @@ __all__ = [
     "WatchdogAlarm",
     "ConvergenceFailure",
     "CheckpointError",
+    "RunInterrupted",
     "Fault",
     "FaultPlan",
     "FAULT_KINDS",

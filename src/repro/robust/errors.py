@@ -15,6 +15,7 @@ __all__ = [
     "WatchdogAlarm",
     "ConvergenceFailure",
     "CheckpointError",
+    "RunInterrupted",
 ]
 
 
@@ -92,3 +93,20 @@ class ConvergenceFailure(RobustError):
 
 class CheckpointError(RobustError):
     """A checkpoint could not be written, read, or applied."""
+
+
+class RunInterrupted(RobustError):
+    """A run was stopped deliberately at an iteration barrier.
+
+    Raised by :meth:`~repro.robust.supervisor.Supervisor.post_iteration`
+    when an ``interrupt=`` callable returns a reason (the service's
+    graceful drain and job cancellation).  The raise happens *after* the
+    barrier's checkpoint and restart token were taken, so the stopped
+    run resumes bit-identically from ``iteration``.  Deliberate, so the
+    supervised retry loop lets it propagate instead of restarting.
+    """
+
+    def __init__(self, reason: str, *, iteration: int = -1):
+        super().__init__(f"run interrupted ({reason}) at iteration {iteration}")
+        self.reason = reason
+        self.iteration = iteration

@@ -47,6 +47,7 @@ from .errors import (
     CheckpointError,
     ConvergenceFailure,
     InjectedCrash,
+    RunInterrupted,
     WatchdogAlarm,
     WorkerTimeout,
 )
@@ -71,13 +72,17 @@ class Supervisor:
     def __init__(self, *, faults: FaultPlan | None = None,
                  watchdog: ConvergenceWatchdog | None = None,
                  checkpoint_path=None, checkpoint_every: int = 1,
-                 telemetry=None, record=None):
+                 telemetry=None, record=None, interrupt=None):
         self.faults = faults
         self.watchdog = watchdog
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = int(checkpoint_every)
         self.telemetry = telemetry
         self.record = record
+        #: zero-argument callable polled at every barrier; a truthy
+        #: return value (the reason string) stops the run with
+        #: :class:`RunInterrupted` *after* the barrier checkpoint
+        self.interrupt = interrupt
         #: iteration of the last checkpoint written this run (None = none)
         self.last_checkpoint_iteration: int | None = None
         #: in-memory restart token maintained at every barrier
@@ -230,6 +235,12 @@ class Supervisor:
             "rng_states": self._rng_states(),
             "conflicts": _capture_conflicts(self._conflicts),
         }
+        if self.interrupt is not None:
+            # Polled after the checkpoint/token so the stop point is a
+            # durable restore point: drain and cancel lose nothing.
+            reason = self.interrupt()
+            if reason:
+                raise RunInterrupted(str(reason), iteration=iteration + 1)
         if self.watchdog is not None:
             digest = (state_digest(state, ids)
                       if self.watchdog.wants_digest else None)
@@ -435,7 +446,8 @@ def supervised_run(program, graph, *, mode: str = "nondeterministic",
                    watchdog: ConvergenceWatchdog | None = None,
                    policy: DegradationPolicy | None = None,
                    checkpoint=None, checkpoint_every: int = 1,
-                   resume_from=None, deadline_s: float | None = None):
+                   resume_from=None, deadline_s: float | None = None,
+                   interrupt=None):
     """Run ``program`` under fault injection, monitoring, and recovery.
 
     This is the engine room behind ``run(..., faults=/watchdog=/
@@ -470,7 +482,8 @@ def supervised_run(program, graph, *, mode: str = "nondeterministic",
     sup = Supervisor(faults=faults, watchdog=watchdog,
                      checkpoint_path=checkpoint,
                      checkpoint_every=checkpoint_every,
-                     telemetry=telemetry, record=record)
+                     telemetry=telemetry, record=record,
+                     interrupt=interrupt)
     sup.pending_resume = resume_ckpt
 
     cur_state = state if state is not None else _make_state(program, graph)

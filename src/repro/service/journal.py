@@ -1,0 +1,232 @@
+"""The write-ahead job journal: no job outcome survives only in RAM.
+
+Every lifecycle transition the scheduler makes — submit, start,
+barrier checkpoint, degradation, finish, cancel request — is appended
+to ``journal.jsonl`` (one JSON object per line, flushed and fsynced)
+*before* the in-memory job table changes.  A SIGKILL'd service replays
+the journal on restart and recovers the exact job table the crashed
+incarnation had durably reached: finished jobs keep their results,
+in-flight jobs come back as resumable work items pointing at their
+last barrier checkpoint.
+
+Durability contract
+-------------------
+* **Append = durable.**  :meth:`JobJournal.append` writes the line,
+  flushes, and fsyncs before returning (``fsync=False`` relaxes this
+  for tests).  Records carry a monotone ``seq`` so replay order is
+  explicit even across compactions.
+* **Torn tails are facts, not errors.**  A SIGKILL can land mid-append.
+  Replay reuses the telemetry reader's truncated-line idiom
+  (:func:`repro.obs.trace.read_trace`): a torn *final* line is dropped
+  and reported; a bad line anywhere earlier is corruption and raises.
+* **Snapshots are atomic and durable-ordered.**  :meth:`compact` folds
+  the replayed state into ``snapshot.json`` via tmp + fsync +
+  ``os.replace`` + parent-directory fsync (the same discipline as
+  :func:`repro.storage.checkpoint.save_checkpoint`), *then* truncates
+  the journal.  A crash between the two leaves snapshot + full journal,
+  which replays to the same state — re-applying a record is idempotent
+  because the job table reducer is.
+
+The journal stores *what* happened; the job-table reducer that folds
+records into :class:`~repro.service.jobs.Job` objects lives with the
+job model in :mod:`repro.service.jobs`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+from ..obs.trace import read_trace
+from ..storage.checkpoint import fsync_directory
+
+__all__ = ["JournalError", "JobJournal"]
+
+_SNAPSHOT_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal is corrupt beyond the tolerated torn tail."""
+
+
+class JobJournal:
+    """Append-only JSONL journal with atomic snapshot compaction.
+
+    Parameters
+    ----------
+    directory:
+        Holds ``journal.jsonl`` (the tail of records since the last
+        snapshot) and ``snapshot.json`` (the folded state before them).
+        Created if missing.
+    fsync:
+        Fsync every append (the durability contract).  Tests that
+        measure throughput may disable it; the service never does.
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, fsync: bool = True):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.journal_path = os.path.join(self.directory, "journal.jsonl")
+        self.snapshot_path = os.path.join(self.directory, "snapshot.json")
+        self._fsync = bool(fsync)
+        self._fh = None
+        self._seq = 0
+        #: set when the last journal line was torn — the signature of a
+        #: service killed mid-append
+        self.torn_tail = False
+        self._truncate_torn()
+        self._recover_seq()
+
+    def _truncate_torn(self) -> None:
+        """Physically drop a torn final line before the first append.
+
+        A SIGKILL mid-append leaves a final line with no trailing
+        newline; merely *ignoring* it on replay is not enough, because
+        the next incarnation's first append would concatenate onto the
+        partial line and corrupt a record mid-file.  The torn bytes were
+        never durable by the journal's own contract, so truncating them
+        is safe.  (A complete record missing only its newline — the kill
+        landed between the two writes — is durable: keep it and just
+        terminate the line.)
+        """
+        try:
+            fh = open(self.journal_path, "rb+")
+        except FileNotFoundError:
+            return
+        with fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return
+            cut = data.rfind(b"\n") + 1
+            try:
+                json.loads(data[cut:].decode("utf-8"))
+                fh.write(b"\n")
+            except (ValueError, UnicodeDecodeError):
+                fh.truncate(cut)
+            fh.flush()
+            os.fsync(fh.fileno())
+            self.torn_tail = True
+
+    # -- writing -----------------------------------------------------------
+    def append(self, record_type: str, **fields) -> dict:
+        """Durably append one record; returns it (with its ``seq``)."""
+        self._seq += 1
+        record = {"seq": self._seq, "type": record_type, **fields}
+        if self._fh is None:
+            self._fh = open(self.journal_path, "a", encoding="utf-8")
+        json.dump(record, self._fh, sort_keys=True, separators=(",", ":"))
+        self._fh.write("\n")
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        return record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+    def _snapshot(self) -> dict | None:
+        if not os.path.exists(self.snapshot_path):
+            return None
+        try:
+            with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                snap = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JournalError(
+                f"{self.snapshot_path}: corrupt snapshot: {exc}") from exc
+        if snap.get("version") != _SNAPSHOT_VERSION:
+            raise JournalError(
+                f"{self.snapshot_path}: unsupported snapshot version "
+                f"{snap.get('version')!r}")
+        return snap
+
+    def _tail_records(self) -> list[dict]:
+        if not os.path.exists(self.journal_path):
+            return []
+        try:
+            records = read_trace(self.journal_path)
+        except ValueError as exc:
+            raise JournalError(str(exc)) from exc
+        if records and records[-1].get("type") == "truncated":
+            self.torn_tail = True
+            records = records[:-1]
+        return records
+
+    def replay(self) -> tuple[dict | None, list[dict]]:
+        """``(snapshot, tail)``: folded state plus the records after it.
+
+        The tail is filtered to records with ``seq`` greater than the
+        snapshot's high-water mark, so a crash between snapshot rename
+        and journal truncation (which leaves both files complete)
+        replays each record exactly once.
+        """
+        snap = self._snapshot()
+        tail = self._tail_records()
+        if snap is not None:
+            floor = int(snap.get("seq", 0))
+            tail = [r for r in tail if int(r.get("seq", 0)) > floor]
+        return snap, tail
+
+    def records(self) -> Iterator[dict]:
+        """Just the tail records (snapshot-unaware); for tests."""
+        return iter(self._tail_records())
+
+    def _recover_seq(self) -> None:
+        snap = self._snapshot()
+        seq = int(snap.get("seq", 0)) if snap else 0
+        for rec in self._tail_records():
+            seq = max(seq, int(rec.get("seq", 0)))
+        self._seq = seq
+
+    # -- compaction --------------------------------------------------------
+    def compact(self, state: dict) -> None:
+        """Atomically persist ``state`` as the snapshot; truncate the tail.
+
+        ``state`` is the caller's folded job table (anything JSON-able).
+        The write is crash-safe at every step: tmp + fsync + rename +
+        directory fsync, then a fresh (empty, fsynced) journal.
+        """
+        self.close()
+        snap = {"version": _SNAPSHOT_VERSION, "seq": self._seq, "state": state}
+        tmp = f"{self.snapshot_path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(snap, fh, sort_keys=True, separators=(",", ":"))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.snapshot_path)
+            fsync_directory(self.directory)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise JournalError(
+                f"cannot write snapshot {self.snapshot_path}: {exc}") from exc
+        # Truncate only after the snapshot is durable; a crash in between
+        # leaves snapshot + stale tail, which replay() deduplicates by seq.
+        with open(self.journal_path, "w", encoding="utf-8") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.torn_tail = False
+
+    def sweep_tmp_files(self) -> list[str]:
+        """Remove orphaned ``*.tmp.<pid>`` files a killed compaction left."""
+        removed = []
+        for name in sorted(os.listdir(self.directory)):
+            if ".tmp." in name:
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed.append(name)
+                except OSError:
+                    pass
+        return removed

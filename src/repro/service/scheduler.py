@@ -1,0 +1,465 @@
+"""The supervisor pool: concurrent supervised jobs with WAL recovery.
+
+:class:`GraphService` owns a data directory and runs jobs against
+standing graphs under the full robustness stack:
+
+* every lifecycle transition hits the :class:`~repro.service.journal.
+  JobJournal` *before* the in-memory table changes (write-ahead), so a
+  SIGKILL'd service recovers every job durably reached;
+* each job runs under :func:`~repro.robust.supervised_run` with its own
+  checkpoint file, degradation policy, deadline, and recorder — the
+  PR-4 primitives, now load-bearing under concurrency;
+* each job is resource-scoped: its shared-memory segments carry the
+  ``<service>-<job id>`` namespace (:func:`~repro.storage.shm.
+  segment_namespace`), its traces/checkpoints/results live under
+  ``jobs/<job id>/``, and startup sweeps orphans of dead incarnations;
+* graceful shutdown *drains*: running jobs stop at their next barrier
+  checkpoint (via the supervisor ``interrupt`` hook) and resume
+  bit-identically on the next start.
+
+Data directory layout::
+
+    data_dir/
+      journal/journal.jsonl     WAL tail (fsync per append)
+      journal/snapshot.json     compacted job table
+      graphs.json               named-graph registry
+      jobs/<job id>/state.ckpt  last barrier checkpoint (atomic)
+      jobs/<job id>/trace-<k>.jsonl   telemetry of service incarnation k
+      jobs/<job id>/record-<k>.jsonl  recorder provenance (if enabled)
+      jobs/<job id>/result.npy  final per-vertex output (bit-exact)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import secrets
+import threading
+import time
+
+import numpy as np
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import Telemetry
+from ..robust.errors import RunInterrupted
+from ..robust.watchdog import DegradationPolicy
+from ..storage.checkpoint import config_from_dict
+from ..storage.shm import segment_namespace, sweep_orphaned_segments
+from .graphs import GraphRegistry
+from .jobs import Job, JobSpec, JobState, job_table_state, reduce_records
+from .journal import JobJournal
+
+__all__ = ["GraphService", "ServiceBusy", "resolve_algorithm"]
+
+#: journal tail length that triggers snapshot compaction at startup
+_COMPACT_THRESHOLD = 4096
+
+
+class ServiceBusy(RuntimeError):
+    """Admission control rejected a submission (queue at capacity)."""
+
+
+def resolve_algorithm(name: str):
+    """Algorithm factory by CLI name (lazy: avoids a cli import cycle)."""
+    from ..cli import ALGORITHMS
+
+    factory = ALGORITHMS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from "
+            f"{', '.join(sorted(ALGORITHMS))}")
+    return factory
+
+
+def _service_namespace(data_dir: str) -> str:
+    digest = hashlib.sha256(os.path.abspath(data_dir).encode()).hexdigest()
+    return "svc" + digest[:8]
+
+
+class GraphService:
+    """Crash-safe multi-job scheduler around ``supervised_run``.
+
+    Parameters
+    ----------
+    data_dir:
+        Everything durable lives here; two services must not share one.
+    max_concurrent:
+        Worker threads, i.e. jobs running at once.
+    max_queue:
+        Admission control: submissions beyond this many non-terminal
+        jobs raise :class:`ServiceBusy` (HTTP 429).
+    fsync:
+        Journal durability (disable only in throughput tests).
+    """
+
+    def __init__(self, data_dir: str | os.PathLike, *, max_concurrent: int = 2,
+                 max_queue: int = 64, fsync: bool = True):
+        self.data_dir = os.fspath(data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.namespace = _service_namespace(self.data_dir)
+        self.journal = JobJournal(os.path.join(self.data_dir, "journal"),
+                                  fsync=fsync)
+        self.graphs = GraphRegistry(os.path.join(self.data_dir, "graphs.json"))
+        self.metrics = MetricsRegistry()
+        self.max_concurrent = int(max_concurrent)
+        self.max_queue = int(max_queue)
+        self.jobs: dict[str, Job] = {}
+        self.swept_segments: list[str] = []
+        self._queue: queue.Queue[str] = queue.Queue()
+        self._lock = threading.RLock()
+        self._workers: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._draining = False
+        self._started = False
+        self._seq = 0
+        self._running = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Recover from the journal, sweep orphans, start the pool."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self.recover()
+        for w in range(self.max_concurrent):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"repro-service-worker-{w}",
+                                 daemon=True)
+            t.start()
+            self._workers.append(t)
+
+    def recover(self) -> None:
+        """Rebuild the job table from snapshot + WAL; requeue survivors."""
+        snap, tail = self.journal.replay()
+        jobs: dict[str, Job] = {}
+        if snap is not None:
+            for data in snap.get("state", {}).values():
+                job = Job.from_state_dict(data)
+                jobs[job.job_id] = job
+        reduce_records(jobs, tail)
+        if self.journal.torn_tail:
+            self.journal.append("recovered", note="torn journal tail dropped")
+        self._seq = max(
+            (int(jid[1:jid.index("-")]) for jid in jobs), default=0)
+        requeued = 0
+        for job in sorted(jobs.values(), key=lambda j: j.job_id):
+            if job.state == JobState.RUNNING:
+                # In flight when the previous incarnation died: resume
+                # from its last barrier checkpoint (or scratch if the
+                # death predated the first checkpoint).
+                job.resumed = True
+                self.metrics.counter("service_jobs_resumed_total").inc()
+            if job.cancel_requested and job.state not in JobState.TERMINAL:
+                job.state = JobState.CANCELLED
+                self.journal.append("finish", job=job.job_id,
+                                    status=JobState.CANCELLED)
+                continue
+            if job.state in (JobState.PENDING, JobState.RUNNING):
+                self._queue.put(job.job_id)
+                requeued += 1
+        self.jobs = jobs
+        # Resource sweep: segments and scratch of dead incarnations.
+        # Nothing is running yet, so no namespace is live.
+        self.swept_segments = sweep_orphaned_segments(self.namespace)
+        if self.swept_segments:
+            self.metrics.counter("service_segments_swept_total").inc(
+                len(self.swept_segments))
+        swept_files = self.journal.sweep_tmp_files()
+        swept_files += self._sweep_job_scratch()
+        if self.swept_segments or swept_files or requeued:
+            self.journal.append(
+                "recovery_sweep", segments=self.swept_segments,
+                files=swept_files, requeued=requeued)
+        if len(tail) > _COMPACT_THRESHOLD:
+            self.journal.compact(job_table_state(self.jobs))
+
+    def _sweep_job_scratch(self) -> list[str]:
+        """Remove ``*.tmp.<pid>`` litter a killed checkpoint write left."""
+        removed = []
+        jobs_root = os.path.join(self.data_dir, "jobs")
+        if not os.path.isdir(jobs_root):
+            return removed
+        for jid in sorted(os.listdir(jobs_root)):
+            jdir = os.path.join(jobs_root, jid)
+            if not os.path.isdir(jdir):
+                continue
+            for name in sorted(os.listdir(jdir)):
+                if ".tmp." in name:
+                    try:
+                        os.unlink(os.path.join(jdir, name))
+                        removed.append(f"{jid}/{name}")
+                    except OSError:
+                        pass
+        return removed
+
+    def shutdown(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool; with ``drain`` jobs stop at their next barrier.
+
+        Drained jobs stay ``running`` in the journal — exactly the state
+        a crash would leave — so the next :meth:`start` resumes them
+        from the checkpoint their drain wrote.  Queued jobs stay
+        ``pending``.  The job table is compacted on the way out.
+        """
+        self._draining = bool(drain)
+        self._stop.set()
+        deadline = time.monotonic() + timeout
+        for t in self._workers:
+            t.join(max(0.0, deadline - time.monotonic()))
+        self._workers = []
+        with self._lock:
+            self.journal.compact(job_table_state(self.jobs))
+            self.journal.close()
+        self.graphs.close()
+
+    # ------------------------------------------------------------------
+    # client surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict | JobSpec) -> str:
+        """Admit a job: validate, journal ``submit``, enqueue."""
+        if isinstance(spec, JobSpec):
+            data = spec.to_dict()
+        else:
+            data = dict(spec)
+        if not data.get("job_id"):
+            with self._lock:
+                self._seq += 1
+                data["job_id"] = f"j{self._seq:04d}-{secrets.token_hex(2)}"
+        job_spec = JobSpec.from_dict(data)
+        if job_spec.mode == "pure-async":
+            raise ValueError(
+                "pure-async is barrier-free: no consistent cut to "
+                "checkpoint, so the service cannot make it crash-safe")
+        resolve_algorithm(job_spec.algorithm)  # fail fast on bad names
+        if isinstance(job_spec.graph, str):
+            if job_spec.graph not in self.graphs.names():
+                raise KeyError(
+                    f"no graph registered under {job_spec.graph!r}")
+        else:
+            self.graphs.validate_spec(job_spec.graph)
+        with self._lock:
+            active = sum(1 for j in self.jobs.values()
+                         if j.state not in JobState.TERMINAL)
+            if active >= self.max_queue:
+                raise ServiceBusy(
+                    f"{active} jobs queued or running (limit "
+                    f"{self.max_queue}); retry later")
+            if job_spec.job_id in self.jobs:
+                raise ValueError(f"job id {job_spec.job_id!r} already exists")
+            self.journal.append("submit", job=job_spec.job_id,
+                                spec=job_spec.to_dict())
+            self.jobs[job_spec.job_id] = Job(spec=job_spec)
+            self.metrics.counter("service_jobs_submitted_total").inc()
+        self._queue.put(job_spec.job_id)
+        return job_spec.job_id
+
+    def cancel(self, job_id: str) -> dict:
+        """Request cancellation; running jobs stop at the next barrier."""
+        with self._lock:
+            job = self._get(job_id)
+            if job.state in JobState.TERMINAL:
+                return job.status()
+            self.journal.append("cancel", job=job_id)
+            job.cancel_requested = True
+            if job.state == JobState.PENDING:
+                job.state = JobState.CANCELLED
+                self.journal.append("finish", job=job_id,
+                                    status=JobState.CANCELLED)
+            return job.status()
+
+    def status(self, job_id: str) -> dict:
+        with self._lock:
+            return self._get(job_id).status()
+
+    def list_jobs(self) -> list[dict]:
+        with self._lock:
+            return [self.jobs[jid].status() for jid in sorted(self.jobs)]
+
+    def result(self, job_id: str) -> dict:
+        with self._lock:
+            job = self._get(job_id)
+            if job.state != JobState.DONE or job.result is None:
+                raise LookupError(
+                    f"job {job_id} has no result (state: {job.state})")
+            return dict(job.result)
+
+    def result_array(self, job_id: str) -> np.ndarray:
+        path = os.path.join(self.job_dir(job_id), "result.npy")
+        return np.load(path)
+
+    def health(self) -> dict:
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for job in self.jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "ok": True,
+            "namespace": self.namespace,
+            "jobs": by_state,
+            "queue_depth": self._queue.qsize(),
+            "max_concurrent": self.max_concurrent,
+            "graphs": sorted(self.graphs.names()),
+            "draining": self._draining,
+        }
+
+    def job_dir(self, job_id: str) -> str:
+        return os.path.join(self.data_dir, "jobs", job_id)
+
+    def _get(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"no such job {job_id!r}")
+        return job
+
+    # ------------------------------------------------------------------
+    # the workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            with self._lock:
+                job = self.jobs.get(job_id)
+                if job is None or job.state in JobState.TERMINAL:
+                    continue
+            gauge = self.metrics.gauge("service_jobs_running")
+            with self._lock:
+                self._running += 1
+                gauge.set(self._running)
+            try:
+                self._run_job(job)
+            except Exception as exc:  # defensive: a worker never dies
+                self._finish(job, JobState.FAILED, error=repr(exc))
+            finally:
+                with self._lock:
+                    self._running -= 1
+                    gauge.set(self._running)
+                self.metrics.gauge("service_queue_depth").set(
+                    self._queue.qsize())
+
+    def _run_job(self, job: Job) -> None:
+        spec = job.spec
+        jdir = self.job_dir(job.job_id)
+        os.makedirs(jdir, exist_ok=True)
+        ckpt_path = os.path.join(jdir, "state.ckpt")
+        with self._lock:
+            job.state = JobState.RUNNING
+            attempt = job.attempts + 1
+            job.attempts = attempt
+            self.journal.append("start", job=job.job_id, attempt=attempt,
+                                resumed=job.resumed)
+        resume_from = ckpt_path if (job.resumed
+                                    and os.path.exists(ckpt_path)) else None
+        program = resolve_algorithm(spec.algorithm)()
+        graph = self.graphs.get(spec.graph)
+        config = config_from_dict(spec.config) if spec.config else None
+
+        every = int(spec.checkpoint_every)
+
+        def on_iteration(span) -> None:
+            # Runs after post_iteration: the barrier's checkpoint (if
+            # due) is already durable on disk, so journaling a record
+            # that references it preserves the WAL ordering invariant.
+            ckpt_iter = (span.iteration + 1
+                         if (span.iteration + 1) % every == 0 else None)
+            with self._lock:
+                job.iteration = span.iteration
+                if ckpt_iter is not None:
+                    job.checkpoint_iteration = ckpt_iter
+                self.journal.append(
+                    "barrier", job=job.job_id, iteration=span.iteration,
+                    frontier=span.frontier_size,
+                    checkpoint_iteration=ckpt_iter)
+            if spec.throttle_s > 0:
+                time.sleep(spec.throttle_s)
+
+        def interrupt() -> str | None:
+            if job.cancel_requested:
+                return "cancel"
+            if self._draining and self._stop.is_set():
+                return "drain"
+            return None
+
+        sink = Telemetry(
+            trace_path=os.path.join(jdir, f"trace-{attempt}.jsonl"),
+            on_iteration=on_iteration)
+        recorder = None
+        if spec.record is not None:
+            from ..obs.recorder import Recorder
+
+            recorder = Recorder(
+                policy=spec.record,
+                trace_path=os.path.join(jdir, f"record-{attempt}.jsonl"))
+
+        from ..robust.supervisor import supervised_run
+
+        t0 = time.monotonic()
+        try:
+            with segment_namespace(f"{self.namespace}-{job.job_id}"):
+                result = supervised_run(
+                    program, graph, mode=spec.mode, config=config,
+                    vectorized=spec.vectorized, backend=spec.backend,
+                    telemetry=sink, record=recorder, faults=spec.faults,
+                    policy=DegradationPolicy(max_restarts=spec.max_restarts),
+                    checkpoint=ckpt_path,
+                    checkpoint_every=spec.checkpoint_every,
+                    resume_from=resume_from, deadline_s=spec.deadline_s,
+                    interrupt=interrupt,
+                )
+        except RunInterrupted as stop:
+            sink.close()
+            if stop.reason == "cancel":
+                self._finish(job, JobState.CANCELLED)
+            else:
+                # Drain: journal nothing terminal — the job is exactly
+                # where a crash would leave it, and the WAL already
+                # records the barrier its checkpoint covers.
+                with self._lock:
+                    self.journal.append("drain", job=job.job_id,
+                                        iteration=stop.iteration)
+            return
+        except Exception as exc:
+            sink.close()
+            self._finish(job, JobState.FAILED, error=repr(exc))
+            return
+
+        arr = np.ascontiguousarray(result.result())
+        np.save(os.path.join(jdir, "result.npy"), arr)
+        summary = {
+            "converged": bool(result.converged),
+            "iterations": int(result.num_iterations),
+            "state_sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+            "conflicts": result.conflicts.summary(),
+            "resumed": resume_from is not None,
+            "attempts": attempt,
+            "wall_s": round(time.monotonic() - t0, 6),
+        }
+        degradations = result.extra.get("degradations")
+        if degradations:
+            summary["degradations"] = degradations
+            with self._lock:
+                for event in degradations:
+                    self.journal.append("degrade", job=job.job_id, event=event)
+        self.metrics.histogram("service_job_seconds").observe(
+            summary["wall_s"])
+        self._finish(job, JobState.DONE, result=summary)
+
+    def _finish(self, job: Job, status: str, *, result: dict | None = None,
+                error: str | None = None) -> None:
+        with self._lock:
+            record: dict = {"job": job.job_id, "status": status}
+            if result is not None:
+                record["result"] = result
+            if error is not None:
+                record["error"] = error
+            self.journal.append("finish", **record)
+            job.state = status
+            job.result = result
+            job.error = error
+            self.metrics.counter("service_jobs_finished_total",
+                                 status=status).inc()

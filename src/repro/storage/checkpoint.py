@@ -20,7 +20,12 @@ Layout (little-endian), mirroring :mod:`repro.storage.binfmt`::
 
 Writes go through a temp file + ``os.replace`` so a crash mid-write
 leaves the previous checkpoint intact — the property the supervised
-run loop depends on.
+run loop depends on.  The data is fsynced before the rename and the
+parent *directory* is fsynced after it, so once :func:`save_checkpoint`
+returns, the rename itself is durable: a journal record appended
+afterwards can never reference a checkpoint a power loss would take
+back (the durable-ordering invariant the service's write-ahead job
+journal relies on).
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
     "Checkpoint",
+    "fsync_directory",
     "save_checkpoint",
     "load_checkpoint",
     "config_to_dict",
@@ -51,6 +57,26 @@ __all__ = [
 
 CHECKPOINT_MAGIC = b"RPROCKP1"
 CHECKPOINT_VERSION = 1
+
+
+def fsync_directory(dirname: str) -> None:
+    """Fsync a directory so a completed rename inside it is durable.
+
+    ``os.replace`` makes the swap atomic but not persistent: until the
+    directory entry itself reaches disk, a power loss can roll the
+    rename back.  Callers that *journal* the existence of the renamed
+    file (the service's WAL) must order this fsync before the journal
+    append.  Filesystems that refuse ``fsync`` on a directory fd (some
+    network mounts) are tolerated — atomicity still holds there, only
+    the power-loss ordering guarantee degrades to the mount's own.
+    """
+    fd = os.open(dirname or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs-dependent
+        pass
+    finally:
+        os.close(fd)
 
 _KIND_VERTEX = 0
 _KIND_EDGE = 1
@@ -138,6 +164,7 @@ def save_checkpoint(path: str | os.PathLike, ckpt: Checkpoint) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_directory(os.path.dirname(path))
     except OSError as exc:
         try:
             os.unlink(tmp)

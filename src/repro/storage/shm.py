@@ -27,20 +27,107 @@ Design points:
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
+import glob as _glob
 import os
+import re
 import secrets
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
-__all__ = ["ArrayLayout", "SharedArrayPool", "SEGMENT_PREFIX"]
+__all__ = [
+    "ArrayLayout",
+    "SharedArrayPool",
+    "SEGMENT_PREFIX",
+    "segment_namespace",
+    "current_segment_namespace",
+    "sweep_orphaned_segments",
+]
 
 #: Every segment this module creates carries this name prefix, so tests
 #: (and operators) can audit ``/dev/shm`` for leaks with one glob.
 SEGMENT_PREFIX = "repro-pool-"
 
 _ALIGN = 8
+
+#: Where POSIX shared memory is observable as files (Linux).  On other
+#: platforms the sweep degrades to a no-op — segments are still unlinked
+#: by their owners; only crash-orphan recovery loses observability.
+SHM_DIR = "/dev/shm"
+
+_NAMESPACE_RE = re.compile(r"^[A-Za-z0-9._-]{1,80}$")
+
+#: The per-job/service segment namespace.  A context variable, so each
+#: scheduler worker *thread* scopes the segments of the job it is
+#: running without plumbing a name through every engine layer:
+#: ``SharedArrayPool.create`` picks it up when minting a default name.
+_namespace: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_shm_namespace", default=None)
+
+
+def current_segment_namespace() -> str | None:
+    """The namespace new segments are minted under in this context."""
+    return _namespace.get()
+
+
+@contextlib.contextmanager
+def segment_namespace(namespace: str | None):
+    """Scope default segment names to ``SEGMENT_PREFIX<namespace>-…``.
+
+    The service scheduler wraps each job's run in
+    ``segment_namespace(f"{service_ns}-{job_id}")`` so every segment a
+    job creates — the parallel backend's pool, the out-of-core worker
+    mirrors — carries the job id in its ``/dev/shm`` name.  That is what
+    makes the startup orphan sweep safe: a segment name proves which job
+    (and which service) it belonged to.
+    """
+    if namespace is not None and not _NAMESPACE_RE.match(namespace):
+        raise ValueError(
+            f"invalid segment namespace {namespace!r}: need 1-80 chars of "
+            "[A-Za-z0-9._-] (it becomes part of a /dev/shm file name)")
+    token = _namespace.set(namespace)
+    try:
+        yield namespace
+    finally:
+        _namespace.reset(token)
+
+
+def _default_segment_name() -> str:
+    ns = _namespace.get()
+    scope = f"{ns}-" if ns else ""
+    return SEGMENT_PREFIX + scope + secrets.token_hex(8)
+
+
+def sweep_orphaned_segments(namespace: str, *, live: tuple[str, ...] | list[str] = ()) -> list[str]:
+    """Unlink leftover segments of a dead service/job generation.
+
+    Removes every ``/dev/shm`` entry named
+    ``SEGMENT_PREFIX<namespace>-…`` that does not belong to a namespace
+    listed in ``live`` (full namespaces, e.g. ``"svc1a2b-j0003"``).
+    Returns the removed segment names.  A SIGKILL'd master cannot run
+    its unlink path; the stdlib resource tracker usually catches the
+    fall, but the sweep is the deterministic backstop the service runs
+    at startup — scoped to *its own* namespace so concurrent services
+    (or unrelated runs, which carry no namespace) are never touched.
+    """
+    removed: list[str] = []
+    if not os.path.isdir(SHM_DIR):
+        return removed
+    base = SEGMENT_PREFIX + namespace + "-"
+    keep = tuple(SEGMENT_PREFIX + ns + "-" for ns in live)
+    for path in sorted(_glob.glob(os.path.join(SHM_DIR, base + "*"))):
+        name = os.path.basename(path)
+        if any(name.startswith(prefix) for prefix in keep):
+            continue
+        try:
+            os.unlink(path)
+            removed.append(name)
+        except FileNotFoundError:
+            pass
+    return removed
 
 
 @dataclass(frozen=True)
@@ -114,7 +201,7 @@ class SharedArrayPool:
     # -- construction ----------------------------------------------------
     @classmethod
     def create(cls, layout: ArrayLayout, *, name: str | None = None) -> "SharedArrayPool":
-        name = name or SEGMENT_PREFIX + secrets.token_hex(8)
+        name = name or _default_segment_name()
         shm = shared_memory.SharedMemory(name=name, create=True,
                                          size=layout.total_bytes)
         pool = cls(shm, layout, owner=True)

@@ -112,6 +112,104 @@ def test_load_rejects_missing_garbage_and_truncated(tmp_path):
         load_checkpoint(truncated)
 
 
+def test_save_checkpoint_is_durable_ordered(tmp_path, monkeypatch):
+    """The write discipline must be file fsync -> rename -> parent
+    directory fsync, in that order.  Without the directory fsync the
+    rename itself can be rolled back by power loss even though the
+    checkpoint *data* survived — and anything journaled after
+    ``save_checkpoint`` returns (the service's WAL ``barrier`` record)
+    would then reference a checkpoint that no longer exists."""
+    import os
+    import stat
+
+    events = []
+    real_fsync, real_replace = os.fsync, os.replace
+
+    def spy_fsync(fd):
+        kind = "dir" if stat.S_ISDIR(os.fstat(fd).st_mode) else "file"
+        events.append(("fsync", kind))
+        return real_fsync(fd)
+
+    def spy_replace(src, dst):
+        events.append(("rename", None))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "fsync", spy_fsync)
+    monkeypatch.setattr(os, "replace", spy_replace)
+    path = tmp_path / "ordered.ckpt"
+    save_checkpoint(path, Checkpoint(
+        iteration=1, mode="sync", program="X", config=EngineConfig(),
+        frontier=np.array([0], dtype=np.int64),
+        vertex_arrays={"v": np.ones(4)}, edge_arrays={}))
+    assert ("fsync", "file") in events and ("fsync", "dir") in events
+    assert events.index(("fsync", "file")) \
+        < events.index(("rename", None)) \
+        < events.index(("fsync", "dir"))
+    # and no tmp litter once the rename landed
+    assert [p.name for p in tmp_path.iterdir()] == ["ordered.ckpt"]
+
+
+def test_service_barrier_journal_append_follows_checkpoint(tmp_path):
+    """Cross-layer ordering: the scheduler's ``barrier`` WAL record for
+    a checkpointed iteration is appended only after ``save_checkpoint``
+    has completed (checkpoint durable before the journal claims it)."""
+    import os
+    import time
+
+    from repro.service import GraphService, JobState
+    from repro.storage import checkpoint as ckpt_mod
+
+    order = []
+    real_save = ckpt_mod.save_checkpoint
+
+    def spy_save(path, ck):
+        real_save(path, ck)
+        order.append(("ckpt", ck.iteration))
+
+    svc = GraphService(tmp_path / "svc", max_concurrent=1)
+    svc.graphs.register("tiny", {"dataset": "web-google-mini",
+                                 "scale": 7, "seed": 1})
+    real_append = svc.journal.append
+
+    def spy_append(record_type, **fields):
+        if record_type == "barrier":
+            order.append(("journal", fields.get("checkpoint_iteration")))
+        return real_append(record_type, **fields)
+
+    svc.journal.append = spy_append
+    # patch where the supervisor looks it up
+    import repro.robust.supervisor as sup_mod
+
+    saved = sup_mod.save_checkpoint if hasattr(
+        sup_mod, "save_checkpoint") else None
+    ckpt_mod.save_checkpoint = spy_save
+    if saved is not None:
+        sup_mod.save_checkpoint = spy_save
+    try:
+        svc.start()
+        jid = svc.submit({"algorithm": "WCC", "graph": "tiny",
+                          "checkpoint_every": 1})
+        deadline = time.monotonic() + 60
+        while svc.status(jid)["state"] not in JobState.TERMINAL:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        assert svc.status(jid)["state"] == JobState.DONE
+    finally:
+        svc.shutdown(drain=True, timeout=60)
+        ckpt_mod.save_checkpoint = real_save
+        if saved is not None:
+            sup_mod.save_checkpoint = saved
+    ckpts = [e for e in order if e[0] == "ckpt"]
+    assert ckpts, "run never checkpointed"
+    journaled = [it for kind, it in order if kind == "journal" and it]
+    assert journaled, "no barrier record claimed a checkpoint"
+    for iteration in journaled:
+        assert ("ckpt", iteration) in order
+        assert order.index(("ckpt", iteration)) \
+            < order.index(("journal", iteration)), \
+            f"journal claimed checkpoint {iteration} before it was durable"
+
+
 # ----------------------------------------------------------------------
 # kill/resume bit-identity (the acceptance criterion)
 # ----------------------------------------------------------------------

@@ -1,0 +1,198 @@
+"""Chaos: SIGKILL the whole service mid-job; nothing may be lost.
+
+The PR's headline acceptance test.  A real ``repro serve`` subprocess
+runs a throttled, recorded PageRank job; we ``kill -9`` the *service
+process* (not a worker) between barriers, restart it on the same data
+directory, and require:
+
+* the job finishes with ``resumed: true``;
+* its state digest and conflict counters are byte-identical to an
+  uninterrupted solo run of the same spec;
+* the killed attempt's recorder trace stitched to the resumed attempt's
+  (``repro trace stitch``) is event-identical to the uninterrupted
+  run's provenance trace;
+* no ``/dev/shm`` segment and no scratch tmp file survives — the
+  restart sweeps the dead incarnation's resources;
+* a second kill landing mid-checkpoint-write (simulated torn journal
+  tail + checkpoint tmp litter) is tolerated, not fatal.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.algorithms import PageRank
+from repro.engine import EngineConfig, run
+from repro.graph.datasets import load_dataset
+from repro.obs import read_trace
+from repro.service import ServiceClient
+from repro.service.scheduler import _service_namespace
+
+pytestmark = pytest.mark.chaos
+
+SHM_DIR = "/dev/shm"
+
+
+def _shm_segments(namespace: str) -> list[str]:
+    if not os.path.isdir(SHM_DIR):
+        return []
+    return glob.glob(os.path.join(SHM_DIR, f"repro-pool-{namespace}-*"))
+
+
+def _start_service(data_dir, extra=()):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.path.dirname(__file__), "..", "src"),
+                      env.get("PYTHONPATH", "")]))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--data-dir",
+         str(data_dir), "--port", "0", *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    # the first line announces the ephemeral port
+    deadline = time.monotonic() + 60
+    line = proc.stdout.readline()
+    while "listening on" not in line:
+        assert time.monotonic() < deadline and proc.poll() is None, \
+            f"service did not come up: {line!r}"
+        line = proc.stdout.readline()
+    url = line.rsplit(" ", 1)[-1].strip()
+    return proc, ServiceClient(url)
+
+
+def _wait_for_barrier(client, job_id, min_iteration=1, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = client.status(job_id)
+        if (status["state"] == "running"
+                and status["iteration"] >= min_iteration
+                and status["checkpoint_iteration"] is not None):
+            return status
+        time.sleep(0.05)
+    raise TimeoutError(f"job {job_id} never reached barrier "
+                       f"{min_iteration} with a checkpoint")
+
+
+JOB = {
+    "algorithm": "PageRank",
+    "graph": {"dataset": "web-google-mini", "scale": 9, "seed": 7},
+    "config": {"seed": 4, "threads": 2},
+    "record": "conflicts",
+    "throttle_s": 0.25,
+}
+
+
+def test_sigkill_service_mid_job_resumes_bit_identically(tmp_path):
+    data_dir = tmp_path / "svc"
+    namespace = _service_namespace(str(data_dir))
+
+    proc, client = _start_service(data_dir)
+    try:
+        jid = client.submit(JOB)
+        _wait_for_barrier(client, jid, min_iteration=1)
+    finally:
+        # the kill under test: the whole service, no warning, mid-job
+        proc.kill()
+        proc.wait(timeout=30)
+
+    proc2, client2 = _start_service(data_dir)
+    try:
+        status = client2.wait(jid, timeout=120)
+        assert status["state"] == "done"
+        assert status["resumed"], "recovery lost the in-flight flag"
+        result = client2.result(jid)
+        assert result["resumed"]
+
+        # --- byte-identity against the uninterrupted run -------------
+        graph = load_dataset("web-google-mini", scale=9, seed=7)
+        solo = run(PageRank(), graph, mode="nondeterministic",
+                   config=EngineConfig(seed=4, threads=2))
+        arr = np.ascontiguousarray(solo.result())
+        assert result["state_sha256"] == hashlib.sha256(
+            arr.tobytes()).hexdigest()
+        assert result["conflicts"] == solo.conflicts.summary()
+
+        # --- stitched recorder trace == uninterrupted provenance -----
+        jdir = os.path.join(data_dir, "jobs", jid)
+        killed = os.path.join(jdir, "record-1.jsonl")
+        resumed = os.path.join(jdir, "record-2.jsonl")
+        assert os.path.exists(killed) and os.path.exists(resumed)
+        stitched_path = str(tmp_path / "stitched.jsonl")
+        assert cli.main(["trace", "stitch", killed, resumed,
+                         "-o", stitched_path]) == 0
+        solo_trace = str(tmp_path / "solo.jsonl")
+        from repro.obs.recorder import Recorder
+
+        recorder = Recorder(policy="conflicts", trace_path=solo_trace)
+        run(PageRank(), graph, mode="nondeterministic",
+            config=EngineConfig(seed=4, threads=2), record=recorder)
+
+        def provenance(path):
+            return [r for r in read_trace(path)
+                    if r.get("type") == "provenance"]
+
+        assert provenance(stitched_path) == provenance(solo_trace)
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        try:
+            proc2.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc2.kill()
+            proc2.wait(timeout=30)
+
+    # --- resource hygiene: nothing survives the two incarnations -----
+    assert _shm_segments(namespace) == [], "leaked /dev/shm segment"
+    leftovers = [f for f in glob.glob(os.path.join(data_dir, "jobs",
+                                                   "*", "*"))
+                 if ".tmp." in os.path.basename(f)]
+    assert leftovers == [], f"leaked scratch tmp files: {leftovers}"
+
+
+def test_restart_tolerates_torn_journal_and_checkpoint_litter(tmp_path):
+    """A kill mid-append (torn journal line) plus mid-checkpoint litter
+    (stray ``*.tmp.<pid>``) must be swept, not fatal."""
+    data_dir = tmp_path / "svc"
+    proc, client = _start_service(data_dir)
+    try:
+        jid = client.submit(JOB)
+        _wait_for_barrier(client, jid, min_iteration=1)
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+
+    # simulate both mid-write kill signatures
+    journal_path = os.path.join(data_dir, "journal", "journal.jsonl")
+    with open(journal_path, "a", encoding="utf-8") as fh:
+        fh.write('{"seq":999999,"type":"barr')
+    jdir = os.path.join(data_dir, "jobs", jid)
+    litter = os.path.join(jdir, "state.ckpt.tmp.424242")
+    open(litter, "w").close()
+
+    proc2, client2 = _start_service(data_dir)
+    try:
+        status = client2.wait(jid, timeout=120)
+        assert status["state"] == "done" and status["resumed"]
+        assert not os.path.exists(litter), "checkpoint litter not swept"
+        # the torn tail was journaled as a recovery fact, not an error
+        records = read_trace(journal_path)
+        assert any(r.get("type") == "recovered" for r in records) or \
+            os.path.exists(os.path.join(data_dir, "journal",
+                                        "snapshot.json"))
+    finally:
+        proc2.send_signal(signal.SIGTERM)
+        try:
+            proc2.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc2.kill()
+            proc2.wait(timeout=30)

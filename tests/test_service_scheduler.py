@@ -1,0 +1,268 @@
+"""Supervisor pool: submit/run/result, concurrency isolation, drain.
+
+The acceptance-criterion test here is byte-for-byte isolation: two jobs
+running *concurrently* against the same standing graph must each equal
+their solo run exactly — same state bytes, same conflict counters —
+because each job gets its own RNG stream (config seed), shm namespace,
+and scratch directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, WeaklyConnectedComponents
+from repro.engine import EngineConfig, run
+from repro.service import GraphService, JobState, ServiceBusy
+from repro.service.scheduler import resolve_algorithm
+
+WEB_SPEC = {"dataset": "web-google-mini", "scale": 9, "seed": 7}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = GraphService(tmp_path / "svc", max_concurrent=2)
+    svc.graphs.register("web", WEB_SPEC)
+    svc.start()
+    yield svc
+    svc.shutdown(drain=True, timeout=60)
+
+
+def _wait(svc, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = svc.status(job_id)
+        if status["state"] in JobState.TERMINAL:
+            return status
+        time.sleep(0.05)
+    raise TimeoutError(f"job {job_id} still {svc.status(job_id)['state']}")
+
+
+def _digest(result) -> tuple[str, dict]:
+    arr = np.ascontiguousarray(result.result())
+    return hashlib.sha256(arr.tobytes()).hexdigest(), result.conflicts.summary()
+
+
+# ----------------------------------------------------------------------
+# basic lifecycle
+# ----------------------------------------------------------------------
+def test_submit_run_result(service):
+    jid = service.submit({"algorithm": "WCC", "graph": "web",
+                          "config": {"seed": 3}})
+    status = _wait(service, jid)
+    assert status["state"] == JobState.DONE
+    result = service.result(jid)
+    assert result["converged"] and result["iterations"] >= 1
+    assert not result["resumed"]
+    # the persisted array matches the digest the journal recorded
+    arr = service.result_array(jid)
+    assert hashlib.sha256(
+        np.ascontiguousarray(arr).tobytes()).hexdigest() == \
+        result["state_sha256"]
+    # telemetry trace was written under the job's scratch dir
+    assert os.path.exists(os.path.join(service.job_dir(jid),
+                                       "trace-1.jsonl"))
+
+
+def test_job_matches_solo_run_byte_for_byte(service):
+    jid = service.submit({"algorithm": "PageRank", "graph": "web",
+                          "config": {"seed": 5, "threads": 3}})
+    status = _wait(service, jid)
+    assert status["state"] == JobState.DONE
+    graph = service.graphs.get("web")
+    solo = run(PageRank(), graph, mode="nondeterministic",
+               config=EngineConfig(seed=5, threads=3))
+    digest, conflicts = _digest(solo)
+    result = service.result(jid)
+    assert result["state_sha256"] == digest
+    assert result["conflicts"] == conflicts
+
+
+def test_two_concurrent_jobs_match_their_solo_runs(service):
+    """Acceptance criterion: concurrent jobs on one standing graph are
+    bit-isolated — each equals its solo run byte-for-byte."""
+    specs = [
+        ("WCC", WeaklyConnectedComponents, {"seed": 11, "threads": 2}),
+        ("PageRank", PageRank, {"seed": 12, "threads": 3}),
+    ]
+    # throttle both so their executions genuinely overlap
+    jids = [service.submit({"algorithm": name, "graph": "web",
+                            "config": cfg, "throttle_s": 0.05})
+            for name, _, cfg in specs]
+    statuses = [_wait(service, jid) for jid in jids]
+    assert all(s["state"] == JobState.DONE for s in statuses)
+    graph = service.graphs.get("web")
+    for jid, (name, factory, cfg) in zip(jids, specs):
+        solo = run(factory(), graph, mode="nondeterministic",
+                   config=EngineConfig(**cfg))
+        digest, conflicts = _digest(solo)
+        result = service.result(jid)
+        assert result["state_sha256"] == digest, f"{name} diverged"
+        assert result["conflicts"] == conflicts, f"{name} conflicts diverged"
+
+
+def test_inline_graph_spec(service):
+    jid = service.submit({"algorithm": "WCC",
+                          "graph": {"dataset": "web-google-mini",
+                                    "scale": 8, "seed": 2},
+                          "config": {"seed": 1}})
+    assert _wait(service, jid)["state"] == JobState.DONE
+
+
+# ----------------------------------------------------------------------
+# admission control and validation
+# ----------------------------------------------------------------------
+def test_submit_rejects_bad_specs(service):
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        service.submit({"algorithm": "NoSuch", "graph": "web"})
+    with pytest.raises(KeyError, match="no graph registered"):
+        service.submit({"algorithm": "WCC", "graph": "nope"})
+    with pytest.raises(ValueError, match="config key"):
+        service.submit({"algorithm": "WCC", "graph": "web",
+                        "config": {"evil": 1}})
+    with pytest.raises(ValueError, match="pure-async"):
+        service.submit({"algorithm": "WCC", "graph": "web",
+                        "mode": "pure-async"})
+    with pytest.raises(ValueError, match="job-spec field"):
+        service.submit({"algorithm": "WCC", "graph": "web",
+                        "bogus_field": True})
+
+
+def test_admission_control(tmp_path):
+    svc = GraphService(tmp_path / "svc", max_concurrent=1, max_queue=2)
+    svc.graphs.register("web", WEB_SPEC)
+    # not started: nothing drains the queue, so the limit is hit cleanly
+    svc.submit({"algorithm": "WCC", "graph": "web"})
+    svc.submit({"algorithm": "WCC", "graph": "web"})
+    with pytest.raises(ServiceBusy):
+        svc.submit({"algorithm": "WCC", "graph": "web"})
+    svc.journal.close()
+    svc.graphs.close()
+
+
+def test_resolve_algorithm_matches_cli_table():
+    assert resolve_algorithm("WCC") is not None
+    with pytest.raises(ValueError):
+        resolve_algorithm("definitely-not-an-algorithm")
+
+
+# ----------------------------------------------------------------------
+# cancel and drain
+# ----------------------------------------------------------------------
+def test_cancel_running_job_stops_at_barrier(service):
+    jid = service.submit({"algorithm": "PageRank", "graph": "web",
+                          "config": {"seed": 0}, "throttle_s": 0.2})
+    deadline = time.monotonic() + 30
+    while service.status(jid)["iteration"] < 0:
+        assert time.monotonic() < deadline, "job never reached a barrier"
+        time.sleep(0.02)
+    service.cancel(jid)
+    status = _wait(service, jid)
+    assert status["state"] == JobState.CANCELLED
+    assert status["cancel_requested"]
+
+
+def test_cancel_pending_job_is_immediate(tmp_path):
+    svc = GraphService(tmp_path / "svc")  # not started: stays pending
+    svc.graphs.register("web", WEB_SPEC)
+    jid = svc.submit({"algorithm": "WCC", "graph": "web"})
+    assert svc.cancel(jid)["state"] == JobState.CANCELLED
+    svc.journal.close()
+    svc.graphs.close()
+
+
+def test_drain_then_restart_resumes_bit_identically(tmp_path):
+    """Graceful shutdown = crash without the mess: the drained job stays
+    ``running`` in the journal and the next incarnation finishes it from
+    its checkpoint with a byte-identical outcome."""
+    data_dir = tmp_path / "svc"
+    svc = GraphService(data_dir, max_concurrent=1)
+    svc.graphs.register("web", WEB_SPEC)
+    svc.start()
+    jid = svc.submit({"algorithm": "PageRank", "graph": "web",
+                      "config": {"seed": 9, "threads": 2},
+                      "throttle_s": 0.15})
+    deadline = time.monotonic() + 30
+    while svc.status(jid)["checkpoint_iteration"] is None:
+        assert time.monotonic() < deadline, "no checkpoint before drain"
+        time.sleep(0.02)
+    svc.shutdown(drain=True, timeout=60)
+    assert svc.status(jid)["state"] == JobState.RUNNING  # not lost
+
+    svc2 = GraphService(data_dir, max_concurrent=1)
+    svc2.start()
+    try:
+        assert svc2.status(jid)["resumed"]
+        status = _wait(svc2, jid)
+        assert status["state"] == JobState.DONE
+        result = svc2.result(jid)
+        assert result["resumed"]
+        solo = run(PageRank(), svc2.graphs.get("web"),
+                   mode="nondeterministic",
+                   config=EngineConfig(seed=9, threads=2))
+        digest, conflicts = _digest(solo)
+        assert result["state_sha256"] == digest
+        assert result["conflicts"] == conflicts
+    finally:
+        svc2.shutdown(drain=True, timeout=60)
+
+
+# ----------------------------------------------------------------------
+# recovery bookkeeping
+# ----------------------------------------------------------------------
+def test_recovery_finishes_cancel_requested_jobs(tmp_path):
+    svc = GraphService(tmp_path / "svc")
+    svc.graphs.register("web", WEB_SPEC)
+    jid = svc.submit({"algorithm": "WCC", "graph": "web"})
+    # simulate: cancel journaled, then the service died before acting
+    svc.journal.append("start", job=jid, attempt=1)
+    svc.journal.append("cancel", job=jid)
+    svc.journal.close()
+    svc.graphs.close()
+
+    svc2 = GraphService(tmp_path / "svc")
+    svc2.recover()
+    assert svc2.jobs[jid].state == JobState.CANCELLED
+    svc2.journal.close()
+    svc2.graphs.close()
+
+
+def test_recovery_sweeps_job_scratch_tmp_files(tmp_path):
+    svc = GraphService(tmp_path / "svc")
+    svc.graphs.register("web", WEB_SPEC)
+    jid = svc.submit({"algorithm": "WCC", "graph": "web"})
+    jdir = svc.job_dir(jid)
+    os.makedirs(jdir, exist_ok=True)
+    litter = os.path.join(jdir, "state.ckpt.tmp.999")
+    open(litter, "w").close()
+    svc.journal.close()
+    svc.graphs.close()
+
+    svc2 = GraphService(tmp_path / "svc")
+    svc2.recover()
+    assert not os.path.exists(litter)
+    svc2.journal.close()
+    svc2.graphs.close()
+
+
+def test_job_ids_are_sequential_and_unique(tmp_path):
+    svc = GraphService(tmp_path / "svc")
+    svc.graphs.register("web", WEB_SPEC)
+    a = svc.submit({"algorithm": "WCC", "graph": "web"})
+    b = svc.submit({"algorithm": "WCC", "graph": "web"})
+    assert a != b and a.startswith("j0001-") and b.startswith("j0002-")
+    svc.journal.close()
+    svc.graphs.close()
+    # a new incarnation continues the sequence past replayed ids
+    svc2 = GraphService(tmp_path / "svc", max_queue=64)
+    svc2.recover()
+    c = svc2.submit({"algorithm": "WCC", "graph": "web"})
+    assert c.startswith("j0003-")
+    svc2.journal.close()
+    svc2.graphs.close()

@@ -148,3 +148,115 @@ def test_no_resource_tracker_noise_at_interpreter_exit():
     assert proc.returncode == 0, proc.stderr
     assert "resource_tracker" not in proc.stderr, proc.stderr
     assert "Traceback" not in proc.stderr, proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# per-job namespacing and the service orphan sweep
+# ---------------------------------------------------------------------------
+
+def test_segment_namespace_scopes_default_names():
+    from repro.storage.shm import current_segment_namespace, segment_namespace
+
+    layout = ArrayLayout.build({"x": ((4,), np.int64)})
+    assert current_segment_namespace() is None
+    with segment_namespace("svcabc123-j0001-00aa"):
+        assert current_segment_namespace() == "svcabc123-j0001-00aa"
+        pool = SharedArrayPool.create(layout)
+        try:
+            assert pool.name.startswith(
+                SEGMENT_PREFIX + "svcabc123-j0001-00aa-")
+        finally:
+            pool.close()
+            pool.unlink()
+    assert current_segment_namespace() is None
+    # explicit names bypass the namespace untouched
+    with segment_namespace("svcabc123-j0002-00aa"):
+        pool = SharedArrayPool.create(layout, name="repro-pool-explicit")
+        try:
+            assert pool.name == "repro-pool-explicit"
+        finally:
+            pool.close()
+            pool.unlink()
+
+
+def test_segment_namespace_rejects_bad_names():
+    from repro.storage.shm import segment_namespace
+
+    for bad in ("", "has space", "a/b", "x" * 81):
+        with pytest.raises(ValueError):
+            with segment_namespace(bad):
+                pass
+
+
+def test_sweep_is_scoped_to_namespace_and_spares_live_jobs():
+    """The startup sweep must only reap segments of its own service
+    namespace, and never ones whose job namespace is still live."""
+    from repro.storage.shm import segment_namespace, sweep_orphaned_segments
+
+    layout = ArrayLayout.build({"x": ((4,), np.int64)})
+    pools = {}
+    for ns in ("svcaaaa0000-j0001-00aa",   # dead job, our service
+               "svcaaaa0000-j0002-00aa",   # live job, our service
+               "svcbbbb1111-j0001-00aa"):  # another service entirely
+        with segment_namespace(ns):
+            pools[ns] = SharedArrayPool.create(layout)
+    try:
+        swept = sweep_orphaned_segments(
+            "svcaaaa0000", live=("svcaaaa0000-j0002-00aa",))
+        assert swept == [pools["svcaaaa0000-j0001-00aa"].name]
+        assert not os.path.exists(
+            os.path.join(SHM_DIR, pools["svcaaaa0000-j0001-00aa"].name))
+        for survivor in ("svcaaaa0000-j0002-00aa", "svcbbbb1111-j0001-00aa"):
+            assert os.path.exists(
+                os.path.join(SHM_DIR, pools[survivor].name)), survivor
+    finally:
+        for ns, pool in pools.items():
+            pool.close()
+            if ns != "svcaaaa0000-j0001-00aa":  # already unlinked by sweep
+                pool.unlink()
+
+
+def test_concurrent_jobs_plus_sigkilled_third_leave_no_segments(tmp_path):
+    """Two process-backend jobs run concurrently under distinct job
+    namespaces while a third namespace's segment — orphaned by a
+    SIGKILL'd incarnation — is swept; afterwards /dev/shm is clean."""
+    from repro.service.scheduler import GraphService, _service_namespace
+
+    if not os.path.isdir(SHM_DIR):
+        pytest.skip("no observable /dev/shm on this platform")
+    data_dir = tmp_path / "svc"
+    namespace = _service_namespace(str(data_dir))
+
+    # plant the orphan exactly as a SIGKILL'd incarnation leaves it: a
+    # named segment of one of *this* service's job namespaces that no
+    # process unlinked (SharedArrayPool.close unlinks for a live owner,
+    # which is precisely what a kill -9 never gets to run)
+    orphan_name = f"{SEGMENT_PREFIX}{namespace}-j0099-dead-deadbeef"
+    orphan_file = os.path.join(SHM_DIR, orphan_name)
+    with open(orphan_file, "wb") as fh:
+        fh.write(b"\x00" * 64)
+    assert os.path.exists(orphan_file)
+
+    svc = GraphService(data_dir, max_concurrent=2)
+    svc.graphs.register("tiny", {"dataset": "web-google-mini",
+                                 "scale": 6, "seed": 3})
+    svc.start()  # recovery sweep runs here
+    try:
+        assert not os.path.exists(orphan_file), "orphan survived startup"
+        assert orphan_name in svc.swept_segments
+        jids = [svc.submit({"algorithm": "PageRank", "graph": "tiny",
+                            "backend": "process",
+                            "config": {"threads": 2, "seed": s,
+                                       "jitter": 0.5}})
+                for s in (0, 1)]
+        import time as _time
+
+        deadline = _time.monotonic() + 120
+        while any(svc.status(j)["state"] not in ("done", "failed")
+                  for j in jids):
+            assert _time.monotonic() < deadline
+            _time.sleep(0.05)
+        assert [svc.status(j)["state"] for j in jids] == ["done", "done"]
+    finally:
+        svc.shutdown(drain=True, timeout=60)
+    # the module's autouse fixture asserts /dev/shm is clean on teardown
