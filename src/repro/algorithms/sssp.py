@@ -52,6 +52,12 @@ class SSSP(VertexProgram):
     weights:
         Explicit per-edge weights overriding the random draw (used by BFS
         and by tests that need hand-built instances).
+    weight_fn:
+        Callable ``graph -> weights`` overriding both of the above.  The
+        dynamic-graph workload needs weights keyed by *endpoints* rather
+        than edge index (mutations reshuffle edge ids) — pass
+        :func:`repro.graph.mutations.stable_weights` here so an edge
+        that survives a mutation keeps its weight.
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class SSSP(VertexProgram):
         weight_high: float = 10.0,
         weight_seed: int = 12345,
         weights: np.ndarray | None = None,
+        weight_fn=None,
         name: str = "SSSP",
     ):
         if source < 0:
@@ -73,6 +80,7 @@ class SSSP(VertexProgram):
         self.weight_high = float(weight_high)
         self.weight_seed = int(weight_seed)
         self.fixed_weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+        self.weight_fn = weight_fn
         self.traits = AlgorithmTraits(
             name=name,
             conflict_profile=ConflictProfile.READ_WRITE,
@@ -99,6 +107,11 @@ class SSSP(VertexProgram):
 
     def make_weights(self, graph: DiGraph) -> np.ndarray:
         """The fixed edge weights used for ``graph`` (for reference checks)."""
+        if self.weight_fn is not None:
+            w = np.asarray(self.weight_fn(graph), dtype=np.float64)
+            if w.shape != (graph.num_edges,):
+                raise ValueError("weight_fn must return one weight per edge")
+            return w
         if self.fixed_weights is not None:
             if self.fixed_weights.shape != (graph.num_edges,):
                 raise ValueError("explicit weights must have one entry per edge")

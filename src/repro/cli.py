@@ -155,7 +155,8 @@ def _build_parser() -> argparse.ArgumentParser:
     add_scale(p)
     p.add_argument("--mode", default="nondeterministic",
                    choices=["sync", "deterministic", "chromatic",
-                            "nondeterministic", "pure-async", "threads"])
+                            "nondeterministic", "pure-async", "threads",
+                            "delta"])
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--backend", default=None, choices=["process"],
                    help="nondeterministic mode only: 'process' executes the "
@@ -221,13 +222,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--worker-timeout-s", type=float, default=60.0, metavar="S",
                    help="threads mode: barrier timeout before the stuck-worker "
                         "diagnostic fires (default 60; 0 = wait forever)")
+    p.add_argument("--delta-threshold", type=float, default=None, metavar="T",
+                   help="delta mode: residual magnitude below which a vertex "
+                        "is left unscheduled (default: the kernel's)")
+    p.add_argument("--delta-scheduling", default="frontier",
+                   choices=["frontier", "priority"],
+                   help="delta mode: dispatch every above-threshold vertex "
+                        "('frontier') or only the largest residuals "
+                        "('priority', Maiter-style)")
+    p.add_argument("--mutate", action="store_true",
+                   help="delta mode: after convergence, stream seeded edge "
+                        "insert/delete batches through the engine and repair "
+                        "the standing result incrementally")
+    p.add_argument("--mutate-batches", type=int, default=3, metavar="K",
+                   help="with --mutate: number of mutation batches (default 3)")
+    p.add_argument("--mutate-frac", type=float, default=0.001, metavar="F",
+                   help="with --mutate: fraction of edges touched per batch "
+                        "(default 0.001)")
+    p.add_argument("--mutate-seed", type=int, default=7,
+                   help="with --mutate: seed of the mutation draw (part of "
+                        "the data, like SSSP's weight seed)")
 
     p = sub.add_parser(
         "bench",
         help="run the canonical benchmark suites and append to the "
              "BENCH_*.json perf trajectories")
     p.add_argument("--suite", default="all",
-                   choices=["nondet", "parallel", "all"],
+                   choices=["nondet", "parallel", "incremental", "all"],
                    help="which suite to run (default: all)")
     p.add_argument("--scales", type=int, nargs="+", default=None,
                    metavar="N", help="rmat scales to measure")
@@ -330,6 +351,12 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="jobs running at once (default 2)")
     p.add_argument("--max-queue", type=int, default=64,
                    help="admission control: max queued+running jobs")
+    p.add_argument("--retain-age-s", type=float, default=None, metavar="S",
+                   help="retention: at startup, sweep terminal jobs whose "
+                        "artifacts are older than S seconds")
+    p.add_argument("--retain-count", type=int, default=None, metavar="N",
+                   help="retention: at startup, keep only the N newest "
+                        "terminal jobs")
 
     p = sub.add_parser("client", help="talk to a running repro service")
     p.add_argument("--url", default="http://127.0.0.1:8750",
@@ -353,6 +380,12 @@ def _build_parser() -> argparse.ArgumentParser:
     c.add_argument("--deadline-s", type=float, default=None)
     c.add_argument("--throttle-s", type=float, default=0.0,
                    help="pacing sleep per iteration barrier (demos/tests)")
+    c.add_argument("--mutate", action="store_true",
+                   help="with --mode delta: stream seeded mutation batches "
+                        "(the service generates them against its graph)")
+    c.add_argument("--mutate-batches", type=int, default=3)
+    c.add_argument("--mutate-frac", type=float, default=0.001)
+    c.add_argument("--mutate-seed", type=int, default=7)
     c.add_argument("--wait", action="store_true",
                    help="block until the job is terminal")
     c = csub.add_parser("status", help="print one job's status as JSON")
@@ -365,6 +398,13 @@ def _build_parser() -> argparse.ArgumentParser:
     c = csub.add_parser("cancel", help="request cancellation of a job")
     c.add_argument("job_id")
     c = csub.add_parser("jobs", help="list all jobs")
+    c = csub.add_parser(
+        "gc",
+        help="sweep terminal jobs: forget them and delete their artifacts")
+    c.add_argument("--max-age-s", type=float, default=None, metavar="S",
+                   help="sweep terminal jobs older than S seconds")
+    c.add_argument("--max-count", type=int, default=None, metavar="N",
+                   help="keep only the N newest terminal jobs")
     c = csub.add_parser("graphs", help="list or register named graphs")
     c.add_argument("--register", default=None, metavar="NAME",
                    help="register NAME with the spec in --spec")
@@ -464,6 +504,13 @@ def _cmd_client(args) -> int:
                     "checkpoint_every": args.checkpoint_every,
                     "record": args.record, "deadline_s": args.deadline_s,
                     "throttle_s": args.throttle_s}
+            if args.mutate:
+                if args.mode != "delta":
+                    print("--mutate requires --mode delta", file=sys.stderr)
+                    return 2
+                spec["mutations"] = {"num_batches": args.mutate_batches,
+                                     "frac": args.mutate_frac,
+                                     "seed": args.mutate_seed}
             job_id = client.submit(spec)
             print(job_id)
             if args.wait:
@@ -492,6 +539,9 @@ def _cmd_client(args) -> int:
             show(client.cancel(args.job_id))
         elif args.client_command == "jobs":
             show(client.jobs())
+        elif args.client_command == "gc":
+            show(client.gc(max_age_s=args.max_age_s,
+                           max_count=args.max_count))
         elif args.client_command == "graphs":
             if args.register is not None:
                 if not args.spec:
@@ -688,11 +738,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             from .obs import Recorder
 
             recorder = Recorder(policy=args.record_policy, trace_path=args.record)
+        delta_kwargs = {}
+        if args.mode == "delta":
+            delta_kwargs["delta_threshold"] = args.delta_threshold
+            delta_kwargs["delta_scheduling"] = args.delta_scheduling
+            if args.mutate:
+                from .graph.mutations import generate_batches
+
+                delta_kwargs["mutations"] = generate_batches(
+                    graph, args.mutate_batches, args.mutate_frac,
+                    args.mutate_seed)
+        elif args.mutate:
+            print("--mutate requires --mode delta", file=sys.stderr)
+            return 1
         result = run(ALGORITHMS[args.algorithm](), graph, mode=args.mode,
                      config=config, backend=args.backend,
                      direction=args.direction,
                      telemetry=sink, record=recorder,
-                     **robust_kwargs)
+                     **delta_kwargs, **robust_kwargs)
         print(format_table([{"dataset": args.dataset, **result.summary()}],
                            title=f"{args.algorithm} on {args.dataset}"))
         if args.direction != "pull":
@@ -709,6 +772,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"wrote {io.get('bytes_written', 0):,} B",
                   file=sys.stderr)
             graph.nondet_runner().close()
+        if args.mode == "delta":
+            d = result.extra.get("delta", {})
+            print(f"delta: op={d.get('op')} threshold={d.get('threshold')} "
+                  f"scheduling={d.get('scheduling')} "
+                  f"accumulation_identity={d.get('accumulation_identity')}",
+                  file=sys.stderr)
+            for m in result.extra.get("mutations", ()):
+                print(f"mutation batch {m['batch']}: +{m['inserted']} "
+                      f"-{m['deleted']} edges, repair={m['repair_mode']} "
+                      f"({m['repaired_vertices']} vertices, "
+                      f"{m['repair_seconds']:.4f}s) at iteration "
+                      f"{m['at_iteration']}", file=sys.stderr)
         for event in result.extra.get("degradations", ()):
             detail = ", ".join(f"{k}={v}" for k, v in event.items())
             print(f"degradation: {detail}", file=sys.stderr)
@@ -773,6 +848,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                                   f"vec {stat['vectorized']['seconds']:7.3f}s  "
                                   f"proc {stat['process']['seconds']:7.3f}s  "
                                   f"speedup {stat['speedup']:.2f}x")
+                    elif "batches" in cell:  # incremental suite
+                        modes = ",".join(sorted({b["repair_mode"]
+                                                 for b in cell["batches"]}))
+                        print(f"  scale {scale} {name:9s} "
+                              f"repair {cell['repair_mean_seconds']:7.4f}s  "
+                              f"recompute {cell['recompute_mean_seconds']:7.4f}s  "
+                              f"speedup {cell['speedup']:.2f}x  [{modes}]")
                     else:  # nondet suite
                         spd = cell.get("speedup")
                         spd_txt = f"{spd:8.1f}x" if spd is not None else "   -"
@@ -824,7 +906,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         return serve(args.data_dir, host=args.host, port=args.port,
                      max_concurrent=args.max_concurrent,
-                     max_queue=args.max_queue)
+                     max_queue=args.max_queue,
+                     retain_age_s=args.retain_age_s,
+                     retain_count=args.retain_count)
     elif args.command == "client":
         return _cmd_client(args)
     return 0

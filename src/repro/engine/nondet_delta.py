@@ -1,0 +1,694 @@
+"""Delta-accumulative execution — propagate deltas, not states.
+
+Maiter's formulation (PAPERS.md): an *accumulative* algorithm maintains
+per-vertex ``(x, Δ)`` under an abelian monoid ``(⊕, identity)`` and a
+per-edge gain ``g`` that distributes over ``⊕``.  A step at vertex ``v``
+commits its pending delta and forwards only the *change*::
+
+    d      = Δ[v];  Δ[v] = identity
+    accum[v] = accum[v] ⊕ d
+    x[v]     = x0[v] ⊕ accum[v]            (the accumulation identity)
+    Δ[w]     = Δ[w] ⊕ g(d, v→w)   for each out-neighbour w
+
+Work is proportional to what actually changed, not to the graph: vertices
+whose residual delta is below threshold (ADD) or does not improve ``x``
+(MIN) are never scheduled.  Because ``⊕`` is commutative/associative,
+delivery *order* cannot change any folded value — the same algebra the
+paper's push-mode condition rests on — so the scheduler is free to visit
+the active set in any (seeded) order: this is the nondeterministic
+execution model applied to deltas.
+
+The accumulation identity ``x = x0 ⊕ Σ committed deltas`` holds **bit
+exactly by construction**: the engine stores ``accum`` and *defines*
+``x`` as ``fold(x0, accum)`` at each commit, so termination can check the
+identity as a hard invariant rather than a tolerance.
+
+On top of the standing loop this module opens the **dynamic graph**
+workload (:mod:`repro.graph.mutations`): edge insert/delete batches are
+*repaired* into the standing result instead of recomputed —
+
+* invertible ``⊕`` (ADD): the stale contributions of every source whose
+  out-edge set changed are subtracted and the fresh ones added
+  (``Δ += g'(x) − g(x)``), leaving ``x`` untouched;
+* non-invertible ``⊕`` (MIN): deletions may have removed the *support*
+  of downstream values, so the engine grows the affected region by a
+  bounded support-checking fixpoint (Ramalingam–Reps style), resets it
+  to initial conditions, and re-seeds its boundary from clean
+  neighbours.  If the region exceeds the cap the engine honestly falls
+  back to a full delta restart and says so in ``extra``.
+
+Eligibility is gated the same way the vectorized/push paths are gated:
+a kernel must be registered here *and* pass
+:func:`repro.theory.eligibility.check_delta_program`, which probes the
+algebra on small graphs and refuses with a witness when it can.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graph import DiGraph
+from ..graph.mutations import EdgeDiff, MutationBatch, apply_batch
+from ..obs.metrics import PhaseClock, peak_rss_bytes, record_iteration_metrics
+from .config import EngineConfig
+from .program import VertexProgram
+from .push import CombineOp
+from .result import ConflictLog, IterationStats, RunResult
+
+__all__ = [
+    "DeltaKernel",
+    "register_delta_kernel",
+    "resolve_delta_kernel",
+    "delta_fallback_reasons",
+    "run_delta",
+    "SCHEDULES",
+    "DELTA_DISPATCHES",
+]
+
+SCHEDULES = ("frontier", "priority")
+DELTA_DISPATCHES = ("pull", "push")
+
+#: Affected-region cap for the non-invertible delete repair, as a
+#: fraction of ``num_vertices`` — beyond it a full delta restart is
+#: cheaper than support checking, and honest about being one.
+REPAIR_CAP_FRAC = 0.5
+
+
+class DeltaKernel:
+    """Maiter triple ``(⊕, identity, g_edge)`` for one vertex program.
+
+    Subclasses declare the algebra as class attributes and implement the
+    two array hooks.  ``identity`` is implied by ``op``
+    (:attr:`CombineOp.identity`).
+
+    Attributes
+    ----------
+    op:
+        The abelian fold ``⊕`` (:class:`~repro.engine.push.CombineOp`).
+    field:
+        The vertex state field the program's result lives in.
+    undirected:
+        True when contributions flow against edge direction too
+        (WCC-as-min treats the graph as undirected).
+    strict_gain:
+        True when ``g`` strictly worsens the value it forwards (SSSP/BFS:
+        positive weights).  Strict gains make the plain support check of
+        the delete repair sound (support chains strictly descend toward
+        initial conditions, so no mutual-support cycle can keep a stale
+        value alive).  Identity-gain kernels (WCC) must set this False:
+        their support is only trusted from *grounded* vertices — ones
+        whose value is their own initial condition — which over-grows
+        the region but can never keep a stale label.
+    contraction:
+        For non-idempotent ``op`` (ADD): a certificate that total
+        propagated mass shrinks geometrically — the per-step gain factor,
+        which must be ``< 1`` for the residual to vanish.  ``None``
+        declares no certificate (refused for ADD kernels).
+    """
+
+    op: CombineOp = CombineOp.MIN
+    field: str = ""
+    undirected: bool = False
+    strict_gain: bool = True
+    contraction: float | None = None
+
+    def __init__(self, program: VertexProgram):
+        self.program = program
+
+    # -- array hooks ---------------------------------------------------
+    def initial(self, graph: DiGraph) -> tuple[np.ndarray, np.ndarray]:
+        """``(x0, Δ0)`` float64 arrays of length ``num_vertices``."""
+        raise NotImplementedError
+
+    def gains(self, graph: DiGraph, eids: np.ndarray,
+              values: np.ndarray) -> np.ndarray:
+        """``g(value, e)`` for each edge id in ``eids``.
+
+        ``values[i]`` is the committed delta (or state value, during
+        repair) flowing along ``eids[i]``.
+        """
+        raise NotImplementedError
+
+    def default_threshold(self) -> float:
+        """Residual magnitude below which an ADD vertex is not scheduled."""
+        return 0.0
+
+
+# -- kernel registry (mirrors the vectorized-kernel registry) ----------
+
+_KERNELS: dict[type, type] = {}
+_REGISTRY_LOADED = False
+
+
+def register_delta_kernel(program_cls: type, kernel_cls: type) -> None:
+    """Register ``kernel_cls(program)`` as the delta kernel for a program
+    class.  Subclasses inherit the kernel as long as ``update`` is not
+    overridden (an overridden update function is a different algorithm —
+    see :func:`repro.engine.nondet_vectorized.resolve_nondet_kernel`)."""
+    _KERNELS[program_cls] = kernel_cls
+
+
+def _ensure_registry() -> None:
+    global _REGISTRY_LOADED
+    if not _REGISTRY_LOADED:
+        from ..algorithms import delta_kernels  # noqa: F401  (registers)
+        _REGISTRY_LOADED = True
+
+
+def resolve_delta_kernel(program: VertexProgram):
+    """The kernel class for ``program``, or ``None``."""
+    _ensure_registry()
+    for cls in type(program).__mro__:
+        kernel_cls = _KERNELS.get(cls)
+        if kernel_cls is not None:
+            if type(program).update is not cls.update:
+                return None
+            return kernel_cls
+    return None
+
+
+def delta_fallback_reasons(program: VertexProgram) -> list[str]:
+    """Why ``program`` cannot run delta-accumulatively (empty = can).
+
+    Structural gates only; the full verdict — algebra probes on small
+    graphs, witness search against the counterexample programs — is
+    :func:`repro.theory.eligibility.check_delta_program`, which the
+    engine entry point consults for its refusal message.
+    """
+    kernel_cls = resolve_delta_kernel(program)
+    if kernel_cls is None:
+        return [
+            f"no delta-accumulative kernel registered for "
+            f"{type(program).__name__}: the program declares no "
+            "(⊕, identity, g_edge) formulation"
+        ]
+    reasons: list[str] = []
+    if not kernel_cls.op.commutative_associative:
+        reasons.append(f"⊕ ({kernel_cls.op.value}) is not commutative-associative")
+    traits = program.traits
+    if kernel_cls.op.idempotent:
+        if not traits.monotonicity.is_monotone:
+            reasons.append(
+                "idempotent ⊕ requires a monotone program (Theorem 2 "
+                "premise), but monotonicity is declared NONE")
+    else:
+        if kernel_cls.contraction is None:
+            reasons.append(
+                "non-idempotent ⊕ (ADD) requires a contraction "
+                "certificate (< 1 gain mass per step) and the kernel "
+                "declares none")
+        elif not (0.0 < kernel_cls.contraction < 1.0):
+            reasons.append(
+                f"declared contraction factor {kernel_cls.contraction} "
+                "is not in (0, 1): the residual mass does not vanish")
+    return reasons
+
+
+# -- engine internals --------------------------------------------------
+
+
+def _fold_arr(op: CombineOp, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ``a ⊕ b`` (``CombineOp.fold`` is scalar-only; its NaN
+    guard does not vectorize).  ``np.minimum``/``maximum`` propagate NaN
+    symmetrically, matching the scalar fold's semantics."""
+    if op is CombineOp.ADD:
+        return a + b
+    if op is CombineOp.MIN:
+        return np.minimum(a, b)
+    return np.maximum(a, b)
+
+
+def _fold_at(op: CombineOp, target: np.ndarray, idx: np.ndarray,
+             contrib: np.ndarray) -> None:
+    """``target[idx] ⊕= contrib`` with unbuffered (per-element) folding."""
+    if op is CombineOp.ADD:
+        np.add.at(target, idx, contrib)
+    elif op is CombineOp.MIN:
+        np.minimum.at(target, idx, contrib)
+    else:
+        np.maximum.at(target, idx, contrib)
+
+
+def _active_ids(op: CombineOp, x: np.ndarray, delta: np.ndarray,
+                threshold: float) -> np.ndarray:
+    """Vertices whose pending delta would change (or meaningfully nudge)
+    their committed value."""
+    if op is CombineOp.ADD:
+        mask = np.abs(delta) > threshold
+    elif op is CombineOp.MIN:
+        mask = delta < x
+    else:
+        mask = delta > x
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def _propagate(kernel: DeltaKernel, graph: DiGraph, order: np.ndarray,
+               committed: np.ndarray, delta: np.ndarray,
+               dispatch: str, out_deg: np.ndarray,
+               in_deg: np.ndarray | None) -> int:
+    """Scatter ``g(committed)`` from ``order`` into neighbours' Δ.
+
+    ``push`` folds contributions in source-major (CSR slice) order —
+    the order the committing vertices scatter; ``pull`` re-groups them
+    destination-major first — the order a gathering destination would
+    fold the same contributions.  For idempotent ⊕ the two are
+    bit-identical; for ADD they differ in the low bits exactly as two
+    real schedules would.  Returns the number of edge contributions.
+    """
+    eids = graph.out_edge_ids(order)
+    values = np.repeat(committed, out_deg[order])
+    contrib = kernel.gains(graph, eids, values)
+    targets = graph.edge_dst[eids]
+    if kernel.undirected:
+        # Contributions also flow against edge direction: gather the
+        # in-edges of the committing vertices and land on their sources.
+        eids_in = graph.in_edge_ids(order)
+        values_in = np.repeat(committed, in_deg[order])
+        contrib = np.concatenate(
+            [contrib, kernel.gains(graph, eids_in, values_in)])
+        targets = np.concatenate([targets, graph.edge_src[eids_in]])
+    if dispatch == "pull" and targets.size:
+        regroup = np.argsort(targets, kind="stable")
+        targets = targets[regroup]
+        contrib = contrib[regroup]
+    _fold_at(kernel.op, delta, targets, contrib)
+    return int(targets.size)
+
+
+def _pair_eids(graph: DiGraph, pairs: np.ndarray) -> np.ndarray:
+    return np.array([graph.edge_id(int(u), int(v)) for u, v in pairs],
+                    dtype=np.int64)
+
+
+def _repair_invertible(kernel: DeltaKernel, old: DiGraph, new: DiGraph,
+                       diff: EdgeDiff, x: np.ndarray,
+                       delta: np.ndarray) -> dict:
+    """ADD repair: ``Δ += g_new(x) − g_old(x)`` for every source whose
+    out-edge multiset changed.  ``x``/``accum`` stay untouched — the
+    inverse element absorbs the stale contributions."""
+    sources = diff.affected_sources
+    old_eids = old.out_edge_ids(sources)
+    old_vals = np.repeat(x[sources], old.out_degrees()[sources])
+    stale = kernel.gains(old, old_eids, old_vals)
+    np.add.at(delta, old.edge_dst[old_eids], -stale)
+
+    new_eids = new.out_edge_ids(sources)
+    new_vals = np.repeat(x[sources], new.out_degrees()[sources])
+    fresh = kernel.gains(new, new_eids, new_vals)
+    np.add.at(delta, new.edge_dst[new_eids], fresh)
+
+    touched = np.union1d(old.edge_dst[old_eids], new.edge_dst[new_eids])
+    return {
+        "repair_mode": "reseed",
+        "repaired_vertices": int(touched.size),
+        "seeds": [int(v) for v in sources[:32]],
+        "region_capped": False,
+    }
+
+
+def _support_mask(kernel: DeltaKernel, graph: DiGraph, cand: np.ndarray,
+                  x: np.ndarray, init_val: np.ndarray,
+                  affected: np.ndarray) -> np.ndarray:
+    """For each candidate, does a *clean* (unaffected) neighbour or its
+    own initial condition still justify its current value?"""
+    supported = x[cand] == init_val[cand]
+    eids = graph.in_edge_ids(cand)
+    if eids.size:
+        srcs = graph.edge_src[eids]
+        dsts = graph.edge_dst[eids]
+        gains = kernel.gains(graph, eids, x[srcs])
+        ok = (~affected[srcs]) & (gains == x[dsts])
+        if not kernel.strict_gain:
+            ok &= x[srcs] == init_val[srcs]
+        flags = np.zeros(graph.num_vertices, dtype=bool)
+        np.logical_or.at(flags, dsts[ok], True)
+        supported |= flags[cand]
+    if kernel.undirected:
+        eids = graph.out_edge_ids(cand)
+        if eids.size:
+            srcs = graph.edge_src[eids]   # the candidate itself
+            dsts = graph.edge_dst[eids]   # its potential supporter
+            gains = kernel.gains(graph, eids, x[dsts])
+            ok = (~affected[dsts]) & (gains == x[srcs])
+            if not kernel.strict_gain:
+                ok &= x[dsts] == init_val[dsts]
+            flags = np.zeros(graph.num_vertices, dtype=bool)
+            np.logical_or.at(flags, srcs[ok], True)
+            supported |= flags[cand]
+    return supported
+
+
+def _repair_idempotent(kernel: DeltaKernel, old: DiGraph, new: DiGraph,
+                       diff: EdgeDiff, x: np.ndarray, x0: np.ndarray,
+                       delta0: np.ndarray, accum: np.ndarray,
+                       delta: np.ndarray) -> dict:
+    """MIN/MAX repair: bounded affected-region re-expansion.
+
+    ⊕ has no inverse, so a deleted edge that *supported* a downstream
+    value poisons everything derived from it.  Seed the affected set
+    with deletion targets whose value the deleted edge justified, grow
+    it along the new graph while no clean support exists, then reset the
+    region to initial conditions and re-seed its boundary.
+    """
+    op = kernel.op
+    n = new.num_vertices
+    init_val = _fold_arr(op, x0, delta0)
+    affected = np.zeros(n, dtype=bool)
+
+    seeds: list[int] = []
+    if diff.deleted.size:
+        del_eids = _pair_eids(old, diff.deleted)
+        del_src = diff.deleted[:, 0]
+        del_dst = diff.deleted[:, 1]
+        gains = kernel.gains(old, del_eids, x[del_src])
+        hit = gains == x[del_dst]
+        affected[del_dst[hit]] = True
+        if kernel.undirected:
+            rev = kernel.gains(old, del_eids, x[del_dst])
+            rhit = rev == x[del_src]
+            affected[del_src[rhit]] = True
+        seeds = [int(v) for v in np.flatnonzero(affected)[:32]]
+
+    cap = max(64, int(n * REPAIR_CAP_FRAC))
+    capped = False
+    frontier = np.flatnonzero(affected)
+    rounds = 0
+    while frontier.size:
+        rounds += 1
+        cand = new.edge_dst[new.out_edge_ids(frontier)]
+        if kernel.undirected:
+            cand = np.concatenate(
+                [cand, new.edge_src[new.in_edge_ids(frontier)]])
+        cand = np.unique(cand)
+        cand = cand[~affected[cand] & (x[cand] != init_val[cand])]
+        if not cand.size:
+            break
+        supported = _support_mask(kernel, new, cand, x, init_val, affected)
+        grew = cand[~supported]
+        if not grew.size:
+            break
+        affected[grew] = True
+        frontier = grew
+        if int(affected.sum()) > cap:
+            capped = True
+            break
+
+    if capped:
+        # Honest fallback: the affected region is most of the graph —
+        # restart the delta computation from initial conditions.
+        x[:] = x0
+        accum[:] = op.identity
+        delta[:] = delta0
+        return {"repair_mode": "full_restart",
+                "repaired_vertices": n, "seeds": seeds,
+                "region_capped": True, "taint_rounds": rounds}
+
+    region = np.flatnonzero(affected)
+    if region.size:
+        x[region] = x0[region]
+        accum[region] = op.identity
+        delta[region] = delta0[region]
+        # Re-seed the region boundary from clean in-neighbours (and, on
+        # undirected kernels, clean out-neighbours).
+        eids = new.in_edge_ids(region)
+        if eids.size:
+            srcs = new.edge_src[eids]
+            keep = ~affected[srcs]
+            _fold_at(op, delta, new.edge_dst[eids][keep],
+                     kernel.gains(new, eids[keep], x[srcs[keep]]))
+        if kernel.undirected:
+            eids = new.out_edge_ids(region)
+            if eids.size:
+                dsts = new.edge_dst[eids]
+                keep = ~affected[dsts]
+                _fold_at(op, delta, new.edge_src[eids][keep],
+                         kernel.gains(new, eids[keep], x[dsts[keep]]))
+
+    # Inserted edges between clean vertices contribute directly.
+    if diff.inserted.size:
+        ins = diff.inserted
+        keep = ~affected[ins[:, 0]] & ~affected[ins[:, 1]]
+        if keep.any():
+            ins_eids = _pair_eids(new, ins[keep])
+            _fold_at(op, delta, ins[keep][:, 1],
+                     kernel.gains(new, ins_eids, x[ins[keep][:, 0]]))
+            if kernel.undirected:
+                _fold_at(op, delta, ins[keep][:, 0],
+                         kernel.gains(new, ins_eids, x[ins[keep][:, 1]]))
+
+    return {"repair_mode": "taint", "repaired_vertices": int(region.size),
+            "seeds": seeds, "region_capped": False, "taint_rounds": rounds}
+
+
+def _normalize_mutations(mutations) -> list[MutationBatch]:
+    batches = []
+    for item in mutations:
+        if isinstance(item, MutationBatch):
+            batches.append(item)
+        elif isinstance(item, dict):
+            batches.append(MutationBatch.from_dict(item))
+        else:
+            raise TypeError(
+                f"mutations must be MutationBatch or dict, got {type(item)!r}")
+    return batches
+
+
+# -- the engine --------------------------------------------------------
+
+
+def run_delta(
+    program: VertexProgram,
+    graph: DiGraph,
+    config: EngineConfig | None = None,
+    *,
+    state=None,
+    telemetry=None,
+    record=None,
+    metrics=None,
+    direction: str = "pull",
+    scheduling: str = "frontier",
+    priority_frac: float = 0.25,
+    threshold: float | None = None,
+    mutations=None,
+    interrupt=None,
+) -> RunResult:
+    """Run ``program`` delta-accumulatively; optionally stream mutation
+    batches through the standing result.
+
+    ``direction`` selects the fold order of propagated contributions
+    (``push`` = source-major, ``pull`` = destination-major);
+    ``scheduling`` either commits the whole active frontier or, with
+    ``"priority"``, only the top ``priority_frac`` by residual
+    magnitude per round (Maiter's priority scheduling).
+    """
+    from ..robust.errors import RunInterrupted
+    from ..theory.eligibility import check_delta_program
+
+    config = config or EngineConfig()
+    report = check_delta_program(program)
+    if not report.verdict.eligible:
+        raise ValueError(
+            "program is not eligible for delta-accumulative execution: "
+            + "; ".join(report.reasons))
+    if direction not in DELTA_DISPATCHES:
+        raise ValueError(
+            f"delta direction must be one of {DELTA_DISPATCHES}, "
+            f"got {direction!r}")
+    if scheduling not in SCHEDULES:
+        raise ValueError(
+            f"scheduling must be one of {SCHEDULES}, got {scheduling!r}")
+    if state is not None:
+        raise ValueError("mode='delta' builds its own state; state= is "
+                         "not supported")
+
+    kernel = resolve_delta_kernel(program)(program)
+    op = kernel.op
+    if threshold is None:
+        threshold = kernel.default_threshold()
+    batches = _normalize_mutations(mutations) if mutations else []
+
+    sink = telemetry
+    if sink is not None:
+        sink.begin_engine_run("delta", program, config)
+    if record is not None:
+        record.begin_engine_run("delta", program, config)
+
+    n = graph.num_vertices
+    x0, delta0 = kernel.initial(graph)
+    x = _fold_arr(op, x0, np.full(n, op.identity))
+    accum = np.full(n, op.identity, dtype=np.float64)
+    delta = delta0.copy()
+
+    log = ConflictLog()
+    stats: list[IterationStats] = []
+    clock = PhaseClock() if (sink is not None or metrics is not None) else None
+    rng = np.random.default_rng(np.random.SeedSequence([config.seed, 23]))
+    p = config.threads
+
+    iteration = 0
+    converged = False
+    committed_total = 0
+    mutation_log: list[dict] = []
+    pending_phases: dict[str, float] = {}
+    batch_idx = 0
+
+    while iteration < config.max_iterations:
+        if interrupt is not None:
+            reason = interrupt()
+            if reason:
+                raise RunInterrupted(str(reason), iteration=iteration)
+        active = _active_ids(op, x, delta, threshold)
+        if active.size == 0:
+            if batch_idx < len(batches):
+                # Standing result converged — stream in the next batch
+                # and repair, then keep iterating on the new graph.
+                t_rep = time.perf_counter()
+                new_graph, diff = apply_batch(graph, batches[batch_idx])
+                if op is CombineOp.ADD:
+                    info = _repair_invertible(kernel, graph, new_graph,
+                                              diff, x, delta)
+                else:
+                    info = _repair_idempotent(kernel, graph, new_graph,
+                                              diff, x, x0, delta0,
+                                              accum, delta)
+                graph = new_graph
+                dt = time.perf_counter() - t_rep
+                info.update(batch=batch_idx,
+                            inserted=int(diff.inserted.shape[0]),
+                            deleted=int(diff.deleted.shape[0]),
+                            repair_seconds=dt,
+                            at_iteration=iteration)
+                mutation_log.append(info)
+                pending_phases["mutate_repair"] = \
+                    pending_phases.get("mutate_repair", 0.0) + dt
+                if record is not None and hasattr(record, "repair_event"):
+                    record.repair_event(iteration=iteration, **{
+                        k: info[k] for k in
+                        ("batch", "repair_mode", "inserted", "deleted",
+                         "repaired_vertices", "seeds", "region_capped")})
+                if sink is not None:
+                    sink.event("mutation_repair", **{
+                        k: v for k, v in info.items() if k != "seeds"})
+                batch_idx += 1
+                continue
+            converged = True
+            break
+
+        t0 = time.perf_counter() if clock is not None else 0.0
+        if clock is not None:
+            clock.start()
+
+        # Nondeterministic schedule: a seeded permutation of the active
+        # set stands in for "whichever threads get there first"; with
+        # priority scheduling only the largest residuals commit.
+        if scheduling == "priority" and active.size > 1:
+            if op is CombineOp.ADD:
+                score = np.abs(delta[active])
+            else:
+                score = x[active] - delta[active] if op is CombineOp.MIN \
+                    else delta[active] - x[active]
+            k = max(1, int(round(active.size * priority_frac)))
+            top = np.argpartition(score, active.size - k)[active.size - k:]
+            active = active[top]
+        order = rng.permutation(active)
+
+        # Commit: fold pending deltas into accum, re-derive x from the
+        # accumulation identity (bit-exact by construction), clear Δ.
+        committed = delta[order].copy()
+        accum[order] = _fold_arr(op, accum[order], committed)
+        x[order] = _fold_arr(op, x0[order], accum[order])
+        delta[order] = op.identity
+        committed_total += int(order.size)
+        if clock is not None:
+            clock.lap("delta_commit")
+
+        out_deg = graph.out_degrees()
+        in_deg = graph.in_degrees() if kernel.undirected else None
+        edge_work = _propagate(kernel, graph, order, committed, delta,
+                               direction, out_deg, in_deg)
+        if clock is not None:
+            clock.lap("delta_propagate")
+
+        chunks = np.array_split(order, p)
+        edges_per = [int(out_deg[c].sum() + (in_deg[c].sum() if in_deg
+                                             is not None else 0))
+                     for c in chunks]
+        stats.append(IterationStats(
+            iteration=iteration,
+            num_active=int(order.size),
+            updates_per_thread=[int(c.size) for c in chunks],
+            reads_per_thread=edges_per,
+            writes_per_thread=edges_per,
+        ))
+
+        next_active = _active_ids(op, x, delta, threshold)
+        if clock is not None:
+            wall = time.perf_counter() - t0
+            phases = clock.drain()
+            if pending_phases:
+                for k, v in pending_phases.items():
+                    phases[k] = phases.get(k, 0.0) + v
+                pending_phases = {}
+            if metrics is not None:
+                record_iteration_metrics(
+                    metrics, "delta", phases=phases,
+                    num_active=int(order.size),
+                    frontier_size=int(next_active.size),
+                    read_write=0, write_write=0, wall_time_s=wall)
+            if sink is not None:
+                it = stats[-1]
+                sink.iteration(
+                    iteration=iteration,
+                    num_active=it.num_active,
+                    updates_per_thread=it.updates_per_thread,
+                    reads_per_thread=it.reads_per_thread,
+                    writes_per_thread=it.writes_per_thread,
+                    frontier_size=int(next_active.size),
+                    wall_time_s=wall,
+                    phases=phases,
+                    edge_contributions=edge_work,
+                    peak_rss_bytes=peak_rss_bytes(),
+                )
+        iteration += 1
+
+    identity_holds = bool(np.array_equal(
+        x, _fold_arr(op, x0, accum), equal_nan=True))
+
+    final_state = program.make_state(graph)
+    final_state.vertex(kernel.field)[:] = x
+
+    extra = {
+        "delta": {
+            "threshold": float(threshold),
+            "scheduling": scheduling,
+            "dispatch": direction,
+            "committed_total": committed_total,
+            "accumulation_identity": identity_holds,
+            "op": op.value,
+        },
+    }
+    if batches:
+        extra["mutations"] = mutation_log
+        extra["mutations_applied"] = batch_idx
+        extra["final_num_edges"] = graph.num_edges
+
+    result = RunResult(
+        program=program,
+        state=final_state,
+        mode="delta",
+        converged=converged,
+        num_iterations=iteration,
+        iterations=stats,
+        conflicts=log,
+        config=config,
+        extra=extra,
+    )
+    if record is not None:
+        record.end_run(result)
+    if sink is not None:
+        if metrics is not None:
+            sink.metrics_snapshot(metrics)
+        sink.end_run(result)
+    return result

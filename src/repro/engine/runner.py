@@ -19,7 +19,8 @@ from .threads_engine import ThreadsEngine
 __all__ = ["Mode", "run", "ENGINES"]
 
 Mode = Literal[
-    "sync", "deterministic", "chromatic", "nondeterministic", "pure-async", "threads"
+    "sync", "deterministic", "chromatic", "nondeterministic", "pure-async",
+    "threads", "delta"
 ]
 
 ENGINES = {
@@ -73,6 +74,9 @@ def run(
     resume_from=None,
     deadline_s: float | None = None,
     interrupt=None,
+    mutations=None,
+    delta_threshold: float | None = None,
+    delta_scheduling: str = "frontier",
     **config_kwargs,
 ) -> RunResult:
     """Execute ``program`` on ``graph`` under the chosen execution model.
@@ -281,11 +285,21 @@ def run(
         raise ValueError(
             f"direction={direction!r} not understood: use 'pull', 'push' or 'auto'"
         )
-    if metrics is not None and mode != "nondeterministic":
-        raise ValueError("metrics= applies to mode='nondeterministic' only")
-    if direction != "pull" and mode != "nondeterministic":
-        raise ValueError("direction= applies to mode='nondeterministic' only")
-    if direction != "pull" and backend is None and not vectorized:
+    if metrics is not None and mode not in ("nondeterministic", "delta"):
+        raise ValueError(
+            "metrics= applies to mode='nondeterministic' or 'delta' only")
+    if direction != "pull" and mode not in ("nondeterministic", "delta"):
+        raise ValueError(
+            "direction= applies to mode='nondeterministic' or 'delta' only")
+    if mode != "delta":
+        if mutations is not None:
+            raise ValueError("mutations= applies to mode='delta' only "
+                             "(the incremental engine repairs the standing "
+                             "result; other modes recompute)")
+        if delta_threshold is not None or delta_scheduling != "frontier":
+            raise ValueError(
+                "delta_threshold=/delta_scheduling= apply to mode='delta' only")
+    if direction != "pull" and mode != "delta" and backend is None and not vectorized:
         # Direction is a fast-path concept — the interpreting object
         # engine has no dense/sparse distinction, so a non-default
         # direction must not silently run it.
@@ -311,6 +325,44 @@ def run(
     explicit_config = config is not None or bool(config_kwargs)
     if config is None:
         config = EngineConfig(**config_kwargs)
+    if mode == "delta":
+        # The delta-accumulative engine: its own execution model, its
+        # own (vectorized) loop — the fast-path/backend switches do not
+        # apply, and of the robustness kwargs only the cooperative
+        # interrupt= composes (no barrier checkpoints yet: a killed
+        # delta job re-runs from scratch).
+        if vectorized:
+            raise ValueError(
+                "vectorized= does not apply to mode='delta' (the delta "
+                "engine is already array-based)")
+        if backend is not None:
+            raise ValueError(
+                "backend= does not apply to mode='delta' (single-process "
+                "engine; parallelism comes from the array model)")
+        if observer is not None:
+            raise ValueError("mode='delta' does not support observers; "
+                             "use telemetry=")
+        if state is not None:
+            raise ValueError("mode='delta' builds its own (x, Δ, accum) "
+                             "state; state= is not supported")
+        if direction == "auto":
+            raise ValueError(
+                "mode='delta' supports direction='pull' or 'push' only "
+                "(no per-iteration heuristic for delta dispatch yet)")
+        if supervisor is not None or any(
+                x is not None for x in (faults, watchdog, policy,
+                                        checkpoint, resume_from, deadline_s)):
+            raise ValueError(
+                "mode='delta' does not compose with the fault-tolerance "
+                "kwargs yet (interrupt= is supported)")
+        from .nondet_delta import run_delta
+
+        return run_delta(
+            program, graph, config, telemetry=telemetry, record=record,
+            metrics=metrics, direction=direction,
+            scheduling=delta_scheduling, threshold=delta_threshold,
+            mutations=mutations, interrupt=interrupt,
+        )
     if robust:
         if direction != "pull":
             raise ValueError(

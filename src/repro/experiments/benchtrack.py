@@ -68,6 +68,7 @@ __all__ = [
     "append_trajectory",
     "host_fingerprint",
     "peak_rss_bytes",
+    "run_incremental_suite",
     "run_nondet_suite",
     "run_parallel_suite",
     "run_bench",
@@ -95,8 +96,17 @@ GRAPH_SPEC = "rmat(scale, 8.0, seed=3)"
 
 
 def host_fingerprint() -> dict:
+    # ``cpus`` is what the hardware has; ``effective_cpus`` is what this
+    # process may actually run on (cgroup quotas, taskset, CI caps) —
+    # the honest number for reading a scaling curve.  Platforms without
+    # sched_getaffinity fall back to the hardware count.
+    try:
+        effective = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        effective = os.cpu_count()
     return {
         "cpus": os.cpu_count(),
+        "effective_cpus": effective,
         "platform": platform.platform(),
         "python": platform.python_version(),
     }
@@ -310,9 +320,117 @@ def run_parallel_suite(scales=(10, 12), workers=(1, 2, 4, 8),
     return results
 
 
+def run_incremental_suite(scales=(12, 14), algorithms=("pagerank",),
+                          num_batches=3, batch_frac=0.001,
+                          mutation_seed=7, progress=None) -> dict:
+    """Repair-vs-recompute: the dynamic-graph payoff number.
+
+    Per (scale, algorithm): converge a standing delta result, stream
+    ``num_batches`` seeded mutation batches (each touching
+    ``batch_frac`` of the edges) through it, and compare each batch's
+    *repair* cost — the incremental splice plus the reconvergence
+    iterations it triggers — against a full vectorized recompute on the
+    same mutated graph.  ``speedup`` > 1 means repairing the standing
+    result beat recomputing it.
+
+    SSSP cells use endpoint-stable weights
+    (:func:`repro.graph.mutations.stable_weights`): index-seeded weights
+    would silently reshuffle under mutation and the comparison would be
+    between different problems.
+    """
+    from ..graph.mutations import apply_batch, generate_batches, stable_weights
+    from ..obs import Telemetry
+
+    def _factory(name):
+        if name in ("sssp", "bfs"):
+            src_cls = SSSP if name == "sssp" else BFS
+            if name == "sssp":
+                return lambda: SSSP(
+                    source=0, weight_fn=lambda g: stable_weights(g, seed=5))
+            return src_cls
+        return ALGORITHMS[name]
+
+    config = EngineConfig(threads=8, seed=0)
+    results: dict = {"graph": GRAPH_SPEC,
+                     "config": {"threads": 8, "seed": 0},
+                     "num_batches": int(num_batches),
+                     "batch_frac": float(batch_frac),
+                     "mutation_seed": int(mutation_seed),
+                     "scales": {}}
+    for scale in scales:
+        graph = generators.rmat(scale, 8.0, seed=3)
+        batches = generate_batches(graph, num_batches, batch_frac,
+                                   mutation_seed)
+        snapshots = []
+        g = graph
+        for b in batches:
+            g, _ = apply_batch(g, b)
+            snapshots.append(g)
+        row = {"vertices": graph.num_vertices, "edges": graph.num_edges,
+               "batch_edges": batches[0].size if batches else 0,
+               "algorithms": {}}
+        for name in algorithms:
+            factory = _factory(name)
+            if progress:
+                progress(f"incremental scale {scale} {name} standing+repair")
+            sink = Telemetry()
+            t0 = time.perf_counter()
+            res = run(factory(), graph, mode="delta", config=config,
+                      telemetry=sink, mutations=batches)
+            total = time.perf_counter() - t0
+            walls = {s_.iteration: s_.wall_time_s for s_ in sink.spans}
+            muts = res.extra.get("mutations", [])
+            cells = []
+            for i, m in enumerate(muts):
+                lo = m["at_iteration"]
+                hi = (muts[i + 1]["at_iteration"] if i + 1 < len(muts)
+                      else res.num_iterations)
+                reconverge = sum(walls.get(it, 0.0) for it in range(lo, hi))
+                repair_s = m["repair_seconds"] + reconverge
+                if progress:
+                    progress(f"incremental scale {scale} {name} recompute "
+                             f"batch {i}")
+                rec = _timed(factory, snapshots[i], config,
+                             vectorized="require")
+                cells.append({
+                    "inserted": m["inserted"],
+                    "deleted": m["deleted"],
+                    "repair_mode": m["repair_mode"],
+                    "repaired_vertices": m["repaired_vertices"],
+                    "reconverge_iterations": hi - lo,
+                    "repair_seconds": repair_s,
+                    "recompute_seconds": rec["seconds"],
+                    "recompute_iterations": rec["iterations"],
+                    "speedup": (rec["seconds"] / repair_s
+                                if repair_s > 0 else float("inf")),
+                })
+            standing_iters = muts[0]["at_iteration"] if muts else res.num_iterations
+            standing_s = sum(walls.get(it, 0.0) for it in range(standing_iters))
+            repair_mean = (sum(c["repair_seconds"] for c in cells) / len(cells)
+                           if cells else 0.0)
+            rec_mean = (sum(c["recompute_seconds"] for c in cells) / len(cells)
+                        if cells else 0.0)
+            row["algorithms"][name] = {
+                "standing": {"seconds": standing_s,
+                             "iterations": standing_iters,
+                             "total_seconds": total,
+                             "converged": res.converged,
+                             "accumulation_identity":
+                                 res.extra["delta"]["accumulation_identity"]},
+                "batches": cells,
+                "repair_mean_seconds": repair_mean,
+                "recompute_mean_seconds": rec_mean,
+                "speedup": (rec_mean / repair_mean if repair_mean > 0
+                            else float("inf")),
+            }
+        results["scales"][str(scale)] = row
+    return results
+
+
 SUITES = {
     "nondet": ("BENCH_nondet.json", run_nondet_suite),
     "parallel": ("BENCH_parallel.json", run_parallel_suite),
+    "incremental": ("BENCH_incremental.json", run_incremental_suite),
 }
 
 

@@ -73,6 +73,9 @@ __all__ = [
 #: ``barrier_wait``  blocked on an inter-process iteration barrier
 #: ``shm_sync``      publishing plan/state into the shared segment
 #: ``shard_io``      pread/pwrite traffic of the out-of-core files
+#: ``delta_commit``  delta engine: fold pending Δ into (x, accum)
+#: ``delta_propagate`` delta engine: scatter g(Δ) to neighbour residuals
+#: ``mutate_repair`` delta engine: incremental repair of a mutation batch
 PHASES = (
     "plan_build",
     "gather",
@@ -82,6 +85,9 @@ PHASES = (
     "barrier_wait",
     "shm_sync",
     "shard_io",
+    "delta_commit",
+    "delta_propagate",
+    "mutate_repair",
 )
 
 #: Default histogram buckets for phase seconds (upper bounds; +Inf is

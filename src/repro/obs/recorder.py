@@ -293,6 +293,40 @@ class Recorder:
         with self._lock:
             self._emit({"type": "event", "name": name, **fields})
 
+    def repair_event(
+        self,
+        *,
+        iteration: int,
+        batch: int,
+        repair_mode: str,
+        inserted: int,
+        deleted: int,
+        repaired_vertices: int,
+        seeds=(),
+        region_capped: bool = False,
+    ) -> None:
+        """One mutation batch repaired into a standing delta result.
+
+        Provenance for the dynamic-graph workload: *which* conclusions a
+        mutation invalidated.  ``seeds`` names (a bounded prefix of) the
+        vertices whose values lost their support; ``repair_mode`` says
+        how the engine recovered — ``reseed`` (invertible ⊕, pure delta
+        adjustment), ``taint`` (bounded affected-region re-expansion),
+        or ``full_restart`` (region exceeded the cap; honest recompute).
+        """
+        with self._lock:
+            self._emit({
+                "type": "repair",
+                "iteration": iteration,
+                "batch": batch,
+                "repair_mode": repair_mode,
+                "inserted": inserted,
+                "deleted": deleted,
+                "repaired_vertices": repaired_vertices,
+                "seeds": [int(v) for v in seeds],
+                "region_capped": bool(region_capped),
+            })
+
     # -- sampling -------------------------------------------------------
     def _offer(self, event: dict, conflict: bool) -> None:
         with self._lock:

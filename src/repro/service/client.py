@@ -86,6 +86,16 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict:
         return self._call("POST", f"/api/jobs/{job_id}/cancel")
 
+    def gc(self, *, max_age_s: float | None = None,
+           max_count: int | None = None) -> dict:
+        """Sweep terminal jobs server-side; returns ``{"swept": [...]}``."""
+        payload = {}
+        if max_age_s is not None:
+            payload["max_age_s"] = max_age_s
+        if max_count is not None:
+            payload["max_count"] = max_count
+        return self._call("POST", "/api/gc", payload)
+
     def trace(self, job_id: str) -> list[dict]:
         req = urllib.request.Request(self.url + f"/api/jobs/{job_id}/trace")
         try:

@@ -17,6 +17,7 @@ Routes::
     GET  /api/jobs/<id>/result     result summary (409 until done)
     GET  /api/jobs/<id>/trace      telemetry JSONL of the last attempt
     POST /api/jobs/<id>/cancel     request cancellation
+    POST /api/gc                   retention sweep of terminal jobs
 
 Error mapping: 400 bad spec, 404 unknown job/graph, 409 result not
 ready, 429 admission control (:class:`ServiceBusy`), 500 anything else.
@@ -141,6 +142,16 @@ class _Handler(BaseHTTPRequestHandler):
         elif (len(parts) == 4 and parts[:2] == ["api", "jobs"]
                 and parts[3] == "cancel"):
             self._json(200, svc.cancel(parts[2]))
+        elif parts == ["api", "gc"]:
+            body = self._body() if int(
+                self.headers.get("Content-Length") or 0) > 0 else {}
+            unknown = set(body) - {"max_age_s", "max_count"}
+            if unknown:
+                raise ValueError(
+                    f"unknown gc key(s): {', '.join(sorted(unknown))}")
+            self._json(200, svc.gc(
+                max_age_s=body.get("max_age_s"),
+                max_count=body.get("max_count")))
         else:
             self._error(404, f"unknown endpoint {self.path!r}")
 
@@ -178,7 +189,9 @@ def make_server(service: GraphService, *, host: str = "127.0.0.1",
 
 
 def serve(data_dir: str, *, host: str = "127.0.0.1", port: int = 8750,
-          max_concurrent: int = 2, max_queue: int = 64) -> int:
+          max_concurrent: int = 2, max_queue: int = 64,
+          retain_age_s: float | None = None,
+          retain_count: int | None = None) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Recovers the journal, starts the pool, serves until SIGTERM/SIGINT,
@@ -186,7 +199,8 @@ def serve(data_dir: str, *, host: str = "127.0.0.1", port: int = 8750,
     journal is compacted, so the next ``serve`` resumes them losslessly.
     """
     service = GraphService(data_dir, max_concurrent=max_concurrent,
-                           max_queue=max_queue)
+                           max_queue=max_queue, retain_age_s=retain_age_s,
+                           retain_count=retain_count)
     service.start()
     server = make_server(service, host=host, port=port)
     bound_host, bound_port = server.server_address[:2]

@@ -77,6 +77,11 @@ class JobSpec:
     record: str | None = None  #: recorder policy name, or None = off
     max_restarts: int = 3
     throttle_s: float = 0.0
+    #: delta mode only: seeded mutation-batch spec the service expands
+    #: against its graph ({"num_batches": K, "frac": F, "seed": S}) —
+    #: a spec rather than edge arrays so the submission stays small and
+    #: the draw is reproducible from the journal alone.
+    mutations: dict | None = None
 
     def validate(self) -> None:
         if not _JOB_ID_RE.match(self.job_id):
@@ -99,6 +104,27 @@ class JobSpec:
             raise ValueError(f"backend={self.backend!r} not understood")
         if self.record not in (None, "conflicts", "all", "reservoir"):
             raise ValueError(f"record={self.record!r} not a recorder policy")
+        if self.mutations is not None:
+            if self.mode != "delta":
+                raise ValueError("mutations= requires mode='delta'")
+            if not isinstance(self.mutations, dict):
+                raise ValueError("mutations must be a batch-spec dict")
+            unknown = set(self.mutations) - {"num_batches", "frac", "seed"}
+            if unknown:
+                raise ValueError(
+                    f"unknown mutation key(s): {', '.join(sorted(unknown))}")
+            if int(self.mutations.get("num_batches", 1)) < 1:
+                raise ValueError("mutations.num_batches must be >= 1")
+            if not 0 < float(self.mutations.get("frac", 0.001)) <= 1:
+                raise ValueError("mutations.frac must be in (0, 1]")
+        if self.mode == "delta":
+            if self.backend is not None or self.vectorized:
+                raise ValueError(
+                    "mode='delta' runs the single-process delta engine; "
+                    "backend=/vectorized= do not apply")
+            if self.faults is not None:
+                raise ValueError(
+                    "mode='delta' does not compose with fault injection yet")
 
     def to_dict(self) -> dict:
         return {
@@ -115,6 +141,7 @@ class JobSpec:
             "record": self.record,
             "max_restarts": self.max_restarts,
             "throttle_s": self.throttle_s,
+            "mutations": self.mutations,
         }
 
     @classmethod
@@ -144,6 +171,7 @@ class Job:
     degradations: list = dc_field(default_factory=list)
     result: dict | None = None
     error: str | None = None
+    finished_at: float | None = None  #: journaled wall-clock of ``finish``
 
     @property
     def job_id(self) -> str:
@@ -168,6 +196,8 @@ class Job:
             out["result"] = self.result
         if self.error is not None:
             out["error"] = self.error
+        if self.finished_at is not None:
+            out["finished_at"] = self.finished_at
         return out
 
     def to_state_dict(self) -> dict:
@@ -183,6 +213,7 @@ class Job:
             "degradations": list(self.degradations),
             "result": self.result,
             "error": self.error,
+            "finished_at": self.finished_at,
         }
 
     @classmethod
@@ -198,6 +229,7 @@ class Job:
             degradations=list(data.get("degradations", ())),
             result=data.get("result"),
             error=data.get("error"),
+            finished_at=data.get("finished_at"),
         )
 
 
@@ -237,6 +269,12 @@ def reduce_records(jobs: dict[str, Job], records) -> dict[str, Job]:
             job.state = rec.get("status", JobState.DONE)
             job.result = rec.get("result")
             job.error = rec.get("error")
+            if rec.get("finished_at") is not None:
+                job.finished_at = float(rec["finished_at"])
+        elif rtype == "forget":
+            # Retention GC: the job and its artifacts are gone; replaying
+            # a forget for an already-absent job is a no-op (idempotent).
+            jobs.pop(job.job_id, None)
     return jobs
 
 

@@ -95,8 +95,12 @@ class GraphService:
     """
 
     def __init__(self, data_dir: str | os.PathLike, *, max_concurrent: int = 2,
-                 max_queue: int = 64, fsync: bool = True):
+                 max_queue: int = 64, fsync: bool = True,
+                 retain_age_s: float | None = None,
+                 retain_count: int | None = None):
         self.data_dir = os.fspath(data_dir)
+        self.retain_age_s = retain_age_s
+        self.retain_count = retain_count
         os.makedirs(self.data_dir, exist_ok=True)
         self.namespace = _service_namespace(self.data_dir)
         self.journal = JobJournal(os.path.join(self.data_dir, "journal"),
@@ -174,6 +178,8 @@ class GraphService:
             self.journal.append(
                 "recovery_sweep", segments=self.swept_segments,
                 files=swept_files, requeued=requeued)
+        if self.retain_age_s is not None or self.retain_count is not None:
+            self.gc(max_age_s=self.retain_age_s, max_count=self.retain_count)
         if len(tail) > _COMPACT_THRESHOLD:
             self.journal.compact(job_table_state(self.jobs))
 
@@ -305,6 +311,56 @@ class GraphService:
             "draining": self._draining,
         }
 
+    def gc(self, *, max_age_s: float | None = None,
+           max_count: int | None = None) -> dict:
+        """Retention sweep: forget terminal jobs and delete their artifacts.
+
+        ``max_age_s`` sweeps terminal jobs that finished more than that
+        many seconds ago; ``max_count`` keeps only the newest that many
+        terminal jobs.  Both criteria compose (a job is swept if either
+        says so).  Each sweep journals a ``forget`` record *before*
+        removing ``jobs/<id>/`` — replaying a forget for an already-gone
+        job is a no-op, so a crash mid-sweep is safe — and the table is
+        compacted afterwards so forgotten jobs do not linger in the
+        snapshot.  Running and pending jobs are never touched.
+        """
+        import shutil
+
+        now = time.time()
+
+        def finished(job: Job) -> float:
+            if job.finished_at is not None:
+                return job.finished_at
+            # Jobs journaled before finished_at existed: fall back to
+            # the artifact directory's mtime, else treat as ancient.
+            try:
+                return os.path.getmtime(self.job_dir(job.job_id))
+            except OSError:
+                return 0.0
+
+        with self._lock:
+            terminal = sorted(
+                (j for j in self.jobs.values()
+                 if j.state in JobState.TERMINAL),
+                key=lambda j: (-finished(j), j.job_id))
+            victims = []
+            for rank, job in enumerate(terminal):
+                too_old = (max_age_s is not None
+                           and now - finished(job) > max_age_s)
+                overflow = max_count is not None and rank >= max_count
+                if too_old or overflow:
+                    victims.append(job)
+            for job in victims:
+                self.journal.append("forget", job=job.job_id)
+                self.jobs.pop(job.job_id, None)
+                shutil.rmtree(self.job_dir(job.job_id), ignore_errors=True)
+            if victims:
+                self.journal.compact(job_table_state(self.jobs))
+                self.metrics.counter("service_jobs_forgotten_total").inc(
+                    len(victims))
+            return {"swept": [j.job_id for j in victims],
+                    "kept": len(terminal) - len(victims)}
+
     def job_dir(self, job_id: str) -> str:
         return os.path.join(self.data_dir, "jobs", job_id)
 
@@ -400,17 +456,37 @@ class GraphService:
 
         t0 = time.monotonic()
         try:
-            with segment_namespace(f"{self.namespace}-{job.job_id}"):
-                result = supervised_run(
-                    program, graph, mode=spec.mode, config=config,
-                    vectorized=spec.vectorized, backend=spec.backend,
-                    telemetry=sink, record=recorder, faults=spec.faults,
-                    policy=DegradationPolicy(max_restarts=spec.max_restarts),
-                    checkpoint=ckpt_path,
-                    checkpoint_every=spec.checkpoint_every,
-                    resume_from=resume_from, deadline_s=spec.deadline_s,
-                    interrupt=interrupt,
-                )
+            if spec.mode == "delta":
+                # The delta engine has no barrier checkpoints yet: a
+                # killed or drained delta job re-runs from scratch on
+                # the next incarnation (journaled barriers still drive
+                # progress reporting; cancel/drain interrupt cleanly).
+                from ..engine.runner import run as engine_run
+                from ..graph.mutations import generate_batches
+
+                batches = None
+                if spec.mutations is not None:
+                    m = spec.mutations
+                    batches = generate_batches(
+                        graph, int(m.get("num_batches", 3)),
+                        float(m.get("frac", 0.001)), int(m.get("seed", 7)))
+                result = engine_run(
+                    program, graph, mode="delta", config=config,
+                    telemetry=sink, record=recorder,
+                    mutations=batches, interrupt=interrupt)
+            else:
+                with segment_namespace(f"{self.namespace}-{job.job_id}"):
+                    result = supervised_run(
+                        program, graph, mode=spec.mode, config=config,
+                        vectorized=spec.vectorized, backend=spec.backend,
+                        telemetry=sink, record=recorder, faults=spec.faults,
+                        policy=DegradationPolicy(
+                            max_restarts=spec.max_restarts),
+                        checkpoint=ckpt_path,
+                        checkpoint_every=spec.checkpoint_every,
+                        resume_from=resume_from, deadline_s=spec.deadline_s,
+                        interrupt=interrupt,
+                    )
         except RunInterrupted as stop:
             sink.close()
             if stop.reason == "cancel":
@@ -439,6 +515,12 @@ class GraphService:
             "attempts": attempt,
             "wall_s": round(time.monotonic() - t0, 6),
         }
+        if spec.mode == "delta":
+            summary["delta"] = result.extra.get("delta")
+            if "mutations" in result.extra:
+                summary["mutations"] = [
+                    {k: v for k, v in m.items() if k != "seeds"}
+                    for m in result.extra["mutations"]]
         degradations = result.extra.get("degradations")
         if degradations:
             summary["degradations"] = degradations
@@ -452,7 +534,9 @@ class GraphService:
     def _finish(self, job: Job, status: str, *, result: dict | None = None,
                 error: str | None = None) -> None:
         with self._lock:
-            record: dict = {"job": job.job_id, "status": status}
+            finished_at = time.time()
+            record: dict = {"job": job.job_id, "status": status,
+                            "finished_at": finished_at}
             if result is not None:
                 record["result"] = result
             if error is not None:
@@ -461,5 +545,6 @@ class GraphService:
             job.state = status
             job.result = result
             job.error = error
+            job.finished_at = finished_at
             self.metrics.counter("service_jobs_finished_total",
                                  status=status).inc()

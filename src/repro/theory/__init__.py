@@ -6,9 +6,12 @@ from .eligibility import (
     EligibilityReport,
     Verdict,
     audit_run,
+    check_delta_program,
     check_program,
     check_push_program,
     check_traits,
+    is_accumulative,
+    probe_delta_algebra,
 )
 from .monotonic import MonotonicityProbe, probe_monotonicity
 from .speed import SpeedPoint, SpeedReport, measure_convergence_speed
@@ -21,9 +24,12 @@ __all__ = [
     "EligibilityReport",
     "Verdict",
     "audit_run",
+    "check_delta_program",
     "check_program",
     "check_push_program",
     "check_traits",
+    "is_accumulative",
+    "probe_delta_algebra",
     "MonotonicityProbe",
     "probe_monotonicity",
     "SpeedPoint",

@@ -1,0 +1,246 @@
+"""Dynamic graphs: mutation batches, incremental repair, provenance.
+
+The contract under test is the one the bench harness banks on: streaming
+a mutation batch through a converged delta run and letting the engine
+*repair* must land on exactly the state a from-scratch run on the
+mutated graph would reach — bit-exact for MIN kernels (including the
+honest full-restart path), within truncation noise for ADD — and the
+flight recorder must name the repaired region so a repair is auditable
+after the fact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP, PageRank, WeaklyConnectedComponents
+from repro.engine import EngineConfig, run
+from repro.engine.nondet_delta import run_delta
+from repro.graph import generators
+from repro.graph.mutations import (
+    MutationBatch,
+    apply_batch,
+    apply_batches,
+    generate_batches,
+    stable_weights,
+)
+
+EPS = 1e-4
+
+
+def _graph(scale=8):
+    return generators.rmat(scale, 8.0, seed=3)
+
+
+def _sssp():
+    return SSSP(source=0, weight_fn=lambda g: stable_weights(g, seed=5))
+
+
+class TestGenerateApply:
+    def test_batches_are_seed_deterministic(self):
+        g = _graph()
+        a = generate_batches(g, 3, 0.01, seed=7)
+        b = generate_batches(g, 3, 0.01, seed=7)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.inserts, y.inserts)
+            assert np.array_equal(x.deletes, y.deletes)
+        c = generate_batches(g, 3, 0.01, seed=8)
+        assert not all(np.array_equal(x.deletes, y.deletes)
+                       for x, y in zip(a, c))
+
+    def test_batch_sizing_and_sanity(self):
+        g = _graph()
+        batches = generate_batches(g, 4, 0.01, seed=7)
+        assert len(batches) == 4
+        for b in batches:
+            assert b.size == pytest.approx(g.num_edges * 0.01, rel=0.5)
+            assert not np.any(b.inserts[:, 0] == b.inserts[:, 1]), \
+                "generated inserts must not be self-loops"
+
+    def test_apply_updates_edge_multiset(self):
+        g = _graph(6)
+        batches = generate_batches(g, 2, 0.05, seed=7)
+        g1, diff = apply_batch(g, batches[0])
+        assert g1.num_edges == (g.num_edges + diff.inserted.shape[0]
+                                - diff.deleted.shape[0])
+        assert g1.num_vertices == g.num_vertices
+        # every realized delete existed in the old graph
+        old = set(zip(g.edge_src.tolist(), g.edge_dst.tolist()))
+        for s, d in diff.deleted.tolist():
+            assert (s, d) in old
+
+    def test_missing_delete_raises(self):
+        g = _graph(6)
+        absent = [[0, 1]]
+        while tuple(absent[0]) in set(
+                zip(g.edge_src.tolist(), g.edge_dst.tolist())):
+            absent[0][1] += 1
+        with pytest.raises(ValueError, match="not present"):
+            apply_batch(g, MutationBatch(deletes=absent))
+
+    def test_diff_affected_sets(self):
+        g = _graph(6)
+        b = MutationBatch(inserts=[[1, 2]],
+                          deletes=[[int(g.edge_src[0]), int(g.edge_dst[0])]])
+        _, diff = apply_batch(g, b)
+        assert 1 in diff.affected_sources
+        assert 2 in diff.affected_targets
+        assert set(diff.affected_vertices) >= {1, 2, int(g.edge_src[0])}
+
+    def test_apply_batches_folds(self):
+        g = _graph(6)
+        batches = generate_batches(g, 3, 0.02, seed=7)
+        final, diffs = apply_batches(g, batches)
+        assert len(diffs) == 3
+        step = g
+        for b in batches:
+            step, _ = apply_batch(step, b)
+        assert np.array_equal(final.edge_src, step.edge_src)
+        assert np.array_equal(final.edge_dst, step.edge_dst)
+
+    def test_batch_round_trips_through_dict(self):
+        b = MutationBatch(inserts=[[1, 2], [3, 4]], deletes=[[5, 6]])
+        b2 = MutationBatch.from_dict(b.to_dict())
+        assert np.array_equal(b.inserts, b2.inserts)
+        assert np.array_equal(b.deletes, b2.deletes)
+
+
+class TestStableWeights:
+    def test_weights_keyed_by_endpoints(self):
+        """An edge that survives a mutation keeps its weight even though
+        its edge id reshuffles — the property index-seeded weights lack."""
+        g = _graph()
+        w = stable_weights(g, seed=5)
+        g1, _ = apply_batch(g, generate_batches(g, 1, 0.01, seed=7)[0])
+        w1 = stable_weights(g1, seed=5)
+        by_pair = {}
+        for i in range(g.num_edges):
+            by_pair.setdefault(
+                (int(g.edge_src[i]), int(g.edge_dst[i])), w[i])
+        for i in range(g1.num_edges):
+            pair = (int(g1.edge_src[i]), int(g1.edge_dst[i]))
+            if pair in by_pair:
+                assert w1[i] == by_pair[pair]
+
+    def test_range_and_seed(self):
+        g = _graph(6)
+        w = stable_weights(g, seed=5, low=1.0, high=10.0)
+        assert w.shape == (g.num_edges,)
+        assert np.all((w >= 1.0) & (w < 10.0))
+        assert not np.array_equal(w, stable_weights(g, seed=6))
+
+
+class TestIncrementalRepair:
+    """Repair ≡ from-scratch, per kernel and repair mode."""
+
+    def _scratch(self, factory, graph):
+        res = run(factory(), graph, mode="nondeterministic",
+                  vectorized="require", config=EngineConfig(threads=4, seed=0))
+        assert res.converged
+        return res.result()
+
+    @pytest.mark.parametrize("name,factory", [
+        ("sssp", _sssp), ("bfs", BFS), ("wcc", WeaklyConnectedComponents),
+    ])
+    def test_min_repair_bit_exact(self, name, factory):
+        graph = _graph()
+        batches = generate_batches(graph, 2, 0.005, seed=7)
+        res = run_delta(factory(), graph, EngineConfig(threads=4, seed=0),
+                        mutations=batches)
+        assert res.converged
+        assert res.extra["mutations_applied"] == 2
+        assert res.extra["delta"]["accumulation_identity"]
+        mutated, _ = apply_batches(graph, batches)
+        assert res.extra["final_num_edges"] == mutated.num_edges
+        assert np.array_equal(res.result(), self._scratch(factory, mutated))
+        # from-scratch *delta* on the mutated graph agrees too
+        scratch_delta = run_delta(factory(), mutated,
+                                  EngineConfig(threads=4, seed=0))
+        assert np.array_equal(res.result(), scratch_delta.result())
+
+    def test_pagerank_reseed_matches_scratch(self):
+        graph = _graph()
+        batches = generate_batches(graph, 2, 0.005, seed=7)
+        factory = lambda: PageRank(epsilon=EPS)  # noqa: E731
+        res = run_delta(factory(), graph, EngineConfig(threads=4, seed=0),
+                        mutations=batches)
+        assert res.converged
+        for m in res.extra["mutations"]:
+            assert m["repair_mode"] == "reseed"
+            assert m["repaired_vertices"] > 0
+            assert m["repair_seconds"] >= 0
+        mutated, _ = apply_batches(graph, batches)
+        scratch = run_delta(factory(), mutated,
+                            EngineConfig(threads=4, seed=0))
+        assert np.max(np.abs(res.result() - scratch.result())) <= 100 * EPS
+
+    def test_wcc_full_restart_is_honest_and_exact(self):
+        """Identity gains only trust grounded support, so a batch that
+        taints the giant component exceeds the region cap; the engine
+        must say ``full_restart`` — and still be bit-exact."""
+        graph = _graph(7)
+        batches = generate_batches(graph, 1, 0.05, seed=11)
+        res = run_delta(WeaklyConnectedComponents(), graph,
+                        EngineConfig(threads=4, seed=0), mutations=batches)
+        modes = {m["repair_mode"] for m in res.extra["mutations"]}
+        assert modes <= {"taint", "full_restart"}
+        capped = [m for m in res.extra["mutations"]
+                  if m["repair_mode"] == "full_restart"]
+        for m in capped:
+            assert m["region_capped"] is True
+        mutated, _ = apply_batches(graph, batches)
+        assert np.array_equal(
+            res.result(),
+            self._scratch(WeaklyConnectedComponents, mutated))
+
+    def test_repair_provenance_recorded(self):
+        """The flight recorder names the repaired region: mode, counts,
+        and seed vertices, per batch."""
+        from repro.obs import Recorder
+
+        recorder = Recorder(policy="all")
+        graph = _graph(7)
+        batches = generate_batches(graph, 2, 0.01, seed=7)
+        res = run_delta(_sssp(), graph, EngineConfig(threads=2, seed=0),
+                        mutations=batches, record=recorder)
+        assert res.converged
+        repairs = [e for e in recorder.records if e.get("type") == "repair"]
+        assert len(repairs) == 2
+        for i, rec in enumerate(repairs):
+            assert rec["batch"] == i
+            assert rec["repair_mode"] in ("taint", "full_restart")
+            assert rec["repaired_vertices"] >= 0
+            assert isinstance(rec["seeds"], list)
+            assert rec["inserted"] + rec["deleted"] > 0
+
+    def test_mutation_telemetry_events(self):
+        from repro.obs import Telemetry
+
+        sink = Telemetry()
+        graph = _graph(7)
+        res = run_delta(_sssp(), graph, EngineConfig(seed=0),
+                        mutations=generate_batches(graph, 1, 0.01, seed=7))
+        assert res.converged
+        sink2 = Telemetry()
+        res2 = run_delta(_sssp(), graph, EngineConfig(seed=0),
+                         mutations=generate_batches(graph, 1, 0.01, seed=7),
+                         telemetry=sink2)
+        assert np.array_equal(res.result(), res2.result()), \
+            "telemetry must not perturb the repair"
+        phases = {}
+        for span in sink2.spans:
+            for k, v in span.extra.get("phases", {}).items():
+                phases[k] = phases.get(k, 0.0) + v
+        assert phases.get("mutate_repair", 0.0) > 0.0
+
+    def test_mutations_via_dicts(self):
+        """run() accepts JSON-shaped batches (the service path)."""
+        graph = _graph(7)
+        batches = generate_batches(graph, 1, 0.01, seed=7)
+        res = run(_sssp(), graph, mode="delta",
+                  config=EngineConfig(seed=0),
+                  mutations=[b.to_dict() for b in batches])
+        ref = run(_sssp(), graph, mode="delta",
+                  config=EngineConfig(seed=0), mutations=batches)
+        assert np.array_equal(res.result(), ref.result())

@@ -149,3 +149,15 @@ def test_cli_client_unreachable_service_fails_cleanly(capsys):
     rc = cli.main(["client", "--url", "http://127.0.0.1:1", "jobs"])
     assert rc == 1
     assert "cannot reach" in capsys.readouterr().err
+
+
+def test_gc_over_http(live):
+    svc, client = live
+    jid = client.submit({"algorithm": "WCC", "graph": "web"})
+    client.wait(jid, timeout=60)
+    out = client.gc(max_age_s=0.0)
+    assert jid in out["swept"]
+    assert jid not in [j["job_id"] for j in client.jobs()]
+    with pytest.raises(ServiceError) as exc:
+        client._call("POST", "/api/gc", {"bogus": 1})
+    assert exc.value.status == 400

@@ -266,3 +266,108 @@ def test_job_ids_are_sequential_and_unique(tmp_path):
     assert c.startswith("j0003-")
     svc2.journal.close()
     svc2.graphs.close()
+
+
+# ----------------------------------------------------------------------
+# delta jobs and retention GC
+# ----------------------------------------------------------------------
+def test_delta_job_with_mutations(service):
+    """A delta job repairs its standing result through mutation batches
+    and the summary records what each repair did."""
+    jid = service.submit({
+        "algorithm": "PageRank", "graph": "web", "mode": "delta",
+        "mutations": {"num_batches": 2, "frac": 0.01, "seed": 7},
+    })
+    status = _wait(service, jid)
+    assert status["state"] == JobState.DONE, status.get("error")
+    summary = service.result(jid)
+    assert summary["delta"]["accumulation_identity"] is True
+    assert len(summary["mutations"]) == 2
+    for m in summary["mutations"]:
+        assert m["repair_mode"] == "reseed"
+    arr = service.result_array(jid)
+    assert arr.shape[0] > 0 and np.all(np.isfinite(arr))
+
+
+def test_delta_spec_validation():
+    from repro.service.jobs import JobSpec
+
+    with pytest.raises(ValueError, match="requires mode='delta'"):
+        JobSpec.from_dict({"job_id": "j0001-abcd", "algorithm": "WCC",
+                           "graph": "web", "mutations": {"num_batches": 1}})
+    with pytest.raises(ValueError, match="backend=/vectorized="):
+        JobSpec.from_dict({"job_id": "j0001-abcd", "algorithm": "WCC",
+                           "graph": "web", "mode": "delta",
+                           "backend": "process"})
+    with pytest.raises(ValueError, match="fault injection"):
+        JobSpec.from_dict({"job_id": "j0001-abcd", "algorithm": "WCC",
+                           "graph": "web", "mode": "delta",
+                           "faults": "crash@3"})
+    with pytest.raises(ValueError, match="unknown mutation key"):
+        JobSpec.from_dict({"job_id": "j0001-abcd", "algorithm": "WCC",
+                           "graph": "web", "mode": "delta",
+                           "mutations": {"frak": 0.1}})
+
+
+def test_gc_sweeps_terminal_jobs(service):
+    a = service.submit({"algorithm": "WCC", "graph": "web"})
+    _wait(service, a)  # a must *finish* first: the sweep keeps the newest
+    b = service.submit({"algorithm": "WCC", "graph": "web"})
+    _wait(service, b)
+    out = service.gc(max_count=1)
+    assert out == {"swept": [a], "kept": 1}
+    assert a not in {j["job_id"] for j in service.list_jobs()}
+    assert not os.path.isdir(service.job_dir(a))
+    assert os.path.isdir(service.job_dir(b))
+    # idempotent: a second sweep has nothing to do
+    assert service.gc(max_count=1) == {"swept": [], "kept": 1}
+
+
+def test_gc_never_touches_live_jobs(service):
+    jid = service.submit({"algorithm": "PageRank", "graph": "web",
+                          "throttle_s": 0.2})
+    deadline = time.monotonic() + 30
+    while (service.status(jid)["state"] == JobState.PENDING
+           and time.monotonic() < deadline):
+        time.sleep(0.02)
+    out = service.gc(max_age_s=0.0, max_count=0)
+    assert jid not in out["swept"]
+    service.cancel(jid)
+    _wait(service, jid)
+
+
+def test_forget_survives_restart(tmp_path):
+    """A forgotten job stays forgotten after journal replay — the
+    ``forget`` record is part of the durable history."""
+    data_dir = tmp_path / "svc"
+    svc = GraphService(data_dir, max_concurrent=1)
+    svc.graphs.register("web", WEB_SPEC)
+    svc.start()
+    jid = svc.submit({"algorithm": "WCC", "graph": "web"})
+    _wait(svc, jid)
+    assert svc.gc(max_age_s=0.0)["swept"] == [jid]
+    svc.shutdown(drain=True, timeout=60)
+
+    svc2 = GraphService(data_dir)
+    svc2.recover()
+    assert jid not in svc2.jobs
+    svc2.journal.close()
+    svc2.graphs.close()
+
+
+def test_startup_retention_sweep(tmp_path):
+    data_dir = tmp_path / "svc"
+    svc = GraphService(data_dir, max_concurrent=1)
+    svc.graphs.register("web", WEB_SPEC)
+    svc.start()
+    jid = svc.submit({"algorithm": "WCC", "graph": "web"})
+    _wait(svc, jid)
+    svc.shutdown(drain=True, timeout=60)
+
+    svc2 = GraphService(data_dir, retain_age_s=0.0)
+    svc2.start()
+    try:
+        assert jid not in svc2.jobs
+        assert not os.path.isdir(svc2.job_dir(jid))
+    finally:
+        svc2.shutdown(drain=True, timeout=60)
